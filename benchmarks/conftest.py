@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``common`` module importable from every benchmark
+# file regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,111 @@
+"""E9: ablation of the paper's two search optimisations.
+
+Section IV-C introduces GP/LS domain restriction (Figure 4) and
+timestamp-guided back-jumping (Figure 5) over plain chronological
+backtracking.  This benchmark replays identical streams under four
+configurations:
+
+* ``full``        — both optimisations (the paper's OCEP);
+* ``no-backjump`` — domains restricted, plain backtracking;
+* ``no-domains``  — back-jumping over unrestricted domains;
+* ``chrono``      — neither (the paper's strawman).
+
+Expected shape: ``full`` fastest, ``chrono`` slowest, detections
+identical under every configuration.
+"""
+
+import statistics
+
+import pytest
+
+from common import REPETITIONS, emit_text, record_stream, replay, scaled
+from repro.core.config import MatcherConfig
+from repro.workloads import (
+    build_message_race,
+    build_ordering_bug,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+
+CONFIGS = {
+    "full": MatcherConfig(),
+    "no-index": MatcherConfig(indexed_histories=False),
+    "no-backjump": MatcherConfig(backjump=False),
+    "no-domains": MatcherConfig(restrict_domains=False),
+    "chrono": MatcherConfig(
+        restrict_domains=False, backjump=False, indexed_histories=False
+    ),
+}
+
+_ROWS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ablation_report():
+    yield
+    if _ROWS:
+        lines = [
+            "E9: ablation of GP/LS domain restriction and back-jumping",
+            "(median us per terminating event; detections identical "
+            "across configurations)",
+            "",
+        ]
+        for case, rows in _ROWS.items():
+            lines.append(f"  {case}:")
+            base = rows.get("chrono")
+            for name in ("full", "no-index", "no-backjump", "no-domains", "chrono"):
+                if name in rows:
+                    med, reports = rows[name]
+                    speedup = f"  ({base[0] / med:4.1f}x vs chrono)" if base else ""
+                    lines.append(
+                        f"    {name:<12} {med:9.1f} us  "
+                        f"[{reports} reports]{speedup}"
+                    )
+        emit_text("e9_ablation", "\n".join(lines))
+
+
+def _median_us(monitor):
+    return statistics.median(monitor.terminating_timings) * 1e6
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_race_ablation(benchmark, config_name):
+    events, names, workload, outcome = record_stream(
+        ("race", 12, 9),
+        lambda: build_message_race(
+            num_traces=12, seed=9, messages_per_sender=max(4, scaled(4_000) // 96)
+        ),
+        max_events=None,
+    )
+    monitor = benchmark.pedantic(
+        lambda: replay(events, message_race_pattern(), names, CONFIGS[config_name]),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    assert monitor.reports
+    _ROWS.setdefault("message races (12 traces)", {})[config_name] = (
+        _median_us(monitor),
+        len(monitor.reports),
+    )
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+def test_ordering_ablation(benchmark, config_name):
+    events, names, workload, outcome = record_stream(
+        ("ordering", 30, 9),
+        lambda: build_ordering_bug(
+            num_traces=30, seed=9, synchs_per_follower=4, bug_probability=0.1
+        ),
+        max_events=None,
+    )
+    monitor = benchmark.pedantic(
+        lambda: replay(events, ordering_bug_pattern(), names, CONFIGS[config_name]),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    matched = {dict(r.bindings)["r"] for r in monitor.reports}
+    assert matched == set(workload.buggy_requests)
+    _ROWS.setdefault("ordering bug (30 traces)", {})[config_name] = (
+        _median_us(monitor),
+        len(monitor.reports),
+    )

@@ -1,0 +1,189 @@
+"""E8: comparison against the cited detector families (Section V-C).
+
+The paper compares against published numbers (dependency-graph deadlock
+detection: "35 seconds to detect a cycle of length 30" [2];
+conflict-graph atomicity detection: "0.4-40 seconds" [40]) because the
+tools are not publicly available.  Here the cited algorithms are
+reimplemented, so the comparison is measured, not quoted: OCEP and each
+baseline consume the identical recorded stream.
+
+Expected shape: OCEP's per-event cost is competitive or better, and —
+the paper's actual claim — it is *one generic engine* handling all
+four violation families, while each baseline is a dedicated detector.
+"""
+
+import statistics
+
+import pytest
+
+from common import REPETITIONS, emit_text, record_stream, replay, scaled
+from repro.baselines import (
+    ConflictGraphDetector,
+    TimestampRaceDetector,
+    WaitForGraphDetector,
+)
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_random_walk,
+    deadlock_pattern,
+    message_race_pattern,
+)
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def comparison_report():
+    yield
+    if _ROWS:
+        lines = [
+            "E8: OCEP vs dedicated detectors (identical streams, "
+            "mean us per event)",
+            "",
+        ]
+        lines += [f"  {row}" for row in _ROWS]
+        lines += [
+            "",
+            "Paper reference points: dependency-graph deadlock detection "
+            "took 35 s for a cycle of length 30 [2]; conflict-graph "
+            "atomicity detection took 0.4-40 s [40]; OCEP detects each "
+            "within a millisecond in most cases.",
+        ]
+        emit_text("e8_baselines", "\n".join(lines))
+
+
+def _mean_us(samples):
+    return statistics.fmean(samples) * 1e6 if samples else 0.0
+
+
+class TestDeadlockVsWaitForGraph:
+    TRACES = 20
+
+    def _stream(self):
+        return record_stream(
+            ("deadlock", self.TRACES, 1),
+            lambda: build_random_walk(
+                num_traces=self.TRACES, seed=1, skip_probability=0.08
+            ),
+            max_events=scaled(60_000),
+        )
+
+    def test_ocep(self, benchmark):
+        events, names, workload, outcome = self._stream()
+        monitor = benchmark.pedantic(
+            lambda: replay(events, deadlock_pattern(self.TRACES), names),
+            rounds=REPETITIONS,
+            iterations=1,
+        )
+        assert monitor.reports
+        _ROWS.append(
+            f"Deadlock  ocep          : {_mean_us(monitor.timings):9.1f} "
+            f"(detected: yes)"
+        )
+
+    def test_wait_for_graph(self, benchmark):
+        events, names, workload, outcome = self._stream()
+
+        def run():
+            detector = WaitForGraphDetector(workload.num_traces)
+            for event in events:
+                detector.on_event(event)
+            return detector
+
+        detector = benchmark.pedantic(run, rounds=REPETITIONS, iterations=1)
+        assert detector.reports
+        _ROWS.append(
+            f"Deadlock  wait-for-graph: {_mean_us(detector.timings):9.1f} "
+            f"(detected: yes)"
+        )
+
+
+class TestRaceVsTimestampChecker:
+    TRACES = 20
+
+    def _stream(self):
+        return record_stream(
+            ("race", self.TRACES, 2),
+            lambda: build_message_race(
+                num_traces=self.TRACES,
+                seed=2,
+                messages_per_sender=max(4, scaled(6_000) // 160),
+            ),
+            max_events=None,
+        )
+
+    def test_ocep(self, benchmark):
+        events, names, workload, outcome = self._stream()
+        monitor = benchmark.pedantic(
+            lambda: replay(events, message_race_pattern(), names),
+            rounds=REPETITIONS,
+            iterations=1,
+        )
+        assert monitor.reports
+        _ROWS.append(
+            f"Races     ocep          : {_mean_us(monitor.timings):9.1f} "
+            f"(detected: yes)"
+        )
+
+    def test_timestamp_checker(self, benchmark):
+        events, names, workload, outcome = self._stream()
+
+        def run():
+            detector = TimestampRaceDetector(workload.num_traces)
+            for event in events:
+                detector.on_event(event)
+            return detector
+
+        detector = benchmark.pedantic(run, rounds=REPETITIONS, iterations=1)
+        assert detector.reports
+        _ROWS.append(
+            f"Races     ts-checker    : {_mean_us(detector.timings):9.1f} "
+            f"(detected: yes)"
+        )
+
+
+class TestAtomicityVsConflictGraph:
+    TRACES = 20
+
+    def _stream(self):
+        return record_stream(
+            ("atomicity", self.TRACES, 4),
+            lambda: build_atomicity(
+                num_processes=self.TRACES,
+                seed=4,
+                iterations=max(10, scaled(8_000) // 160),
+                bypass_probability=0.01,
+            ),
+            max_events=None,
+        )
+
+    def test_ocep(self, benchmark):
+        events, names, workload, outcome = self._stream()
+        monitor = benchmark.pedantic(
+            lambda: replay(events, atomicity_pattern(), names),
+            rounds=REPETITIONS,
+            iterations=1,
+        )
+        assert monitor.reports
+        _ROWS.append(
+            f"Atomicity ocep          : {_mean_us(monitor.timings):9.1f} "
+            f"(detected: yes)"
+        )
+
+    def test_conflict_graph(self, benchmark):
+        events, names, workload, outcome = self._stream()
+
+        def run():
+            detector = ConflictGraphDetector(workload.num_traces)
+            for event in events:
+                detector.on_event(event)
+            return detector
+
+        detector = benchmark.pedantic(run, rounds=REPETITIONS, iterations=1)
+        assert detector.reports
+        _ROWS.append(
+            f"Atomicity conflict-graph: {_mean_us(detector.timings):9.1f} "
+            f"(detected: yes)"
+        )

@@ -1,0 +1,108 @@
+"""Figure 10: the detailed runtime table for all four test cases.
+
+Q1 / Median / Q3 / Top-Whisker / Max of the per-terminating-event
+matching time, in microseconds, one row per case study — the summary
+the paper prints alongside Figures 6-9.
+"""
+
+import pytest
+
+from common import (
+    REPETITIONS,
+    emit_text,
+    record_stream,
+    replay,
+    scaled,
+    timing_stats,
+)
+from repro.analysis import quartile_table
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_ordering_bug,
+    build_random_walk,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+
+_RESULTS = {}
+
+PAPER_ROWS = """
+Paper reference (Figure 10, us):
+Test Case  Q1    Med   Q3    Top Whisker  Max
+Deadlock   1712  1805  1888  2153         14931
+Races      49    69    76    117          10830
+Atomicity  42    45    51    65           6819
+Ordering   119   121   124   132          7668
+""".strip()
+
+
+def _case(name):
+    if name == "Deadlock":
+        events, names, workload, outcome = record_stream(
+            ("deadlock", 20, 1),
+            lambda: build_random_walk(num_traces=20, seed=1, skip_probability=0.08),
+            max_events=scaled(60_000),
+        )
+        return events, names, deadlock_pattern(20)
+    if name == "Races":
+        events, names, workload, outcome = record_stream(
+            ("race", 20, 2),
+            lambda: build_message_race(
+                num_traces=20, seed=2, messages_per_sender=max(4, scaled(6_000) // 160)
+            ),
+            max_events=None,
+        )
+        return events, names, message_race_pattern()
+    if name == "Atomicity":
+        events, names, workload, outcome = record_stream(
+            ("atomicity", 20, 4),
+            lambda: build_atomicity(
+                num_processes=20,
+                seed=4,
+                iterations=max(10, scaled(8_000) // 160),
+                bypass_probability=0.01,
+            ),
+            max_events=None,
+        )
+        return events, names, atomicity_pattern()
+    if name == "Ordering":
+        events, names, workload, outcome = record_stream(
+            ("ordering", 100, 6),
+            lambda: build_ordering_bug(
+                num_traces=100,
+                seed=6,
+                synchs_per_follower=max(2, scaled(12_000) // 1400),
+                bug_probability=0.05,
+            ),
+            max_events=None,
+        )
+        return events, names, ordering_bug_pattern()
+    raise ValueError(name)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig10_report():
+    yield
+    if _RESULTS:
+        emit_text(
+            "fig10_table",
+            "Figure 10: Detailed Runtime for Test Cases (us)\n\n"
+            + quartile_table(_RESULTS)
+            + "\n\n"
+            + PAPER_ROWS,
+        )
+
+
+@pytest.mark.parametrize("case", ["Deadlock", "Races", "Atomicity", "Ordering"])
+def test_fig10_row(benchmark, case):
+    events, names, pattern = _case(case)
+    monitor = benchmark.pedantic(
+        lambda: replay(events, pattern, names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    assert monitor.reports
+    _RESULTS[case] = timing_stats(monitor)

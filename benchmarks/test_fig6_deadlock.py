@@ -1,0 +1,70 @@
+"""Figure 6: execution time for deadlock detection.
+
+Paper setup: the parallel random walk with a latent send-cycle
+deadlock, run at 10/20/50 traces until the event budget (paper: one
+million events) or the deadlock; OCEP matches a blocked-send cycle
+spanning every trace.  Reported: boxplots of per-terminating-event
+matching time.
+
+Expected shape (paper): sub-millisecond to a few milliseconds per
+event with a heavy outlier tail (the search "is still exponential in
+terms of the length of the pattern"), times growing with the cycle
+length, and the deadlock always detected.
+"""
+
+import pytest
+
+from common import (
+    REPETITIONS,
+    emit_report,
+    record_stream,
+    replay,
+    scaled,
+    timing_stats,
+)
+from repro.workloads import build_random_walk, deadlock_pattern
+
+TRACE_COUNTS = (10, 20, 50)
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig6_report():
+    yield
+    if _RESULTS:
+        emit_report(
+            "fig6_deadlock",
+            "Figure 6: Execution Time for Deadlock (us per terminating event)",
+            _RESULTS,
+            notes=(
+                "Paper reference (Fig 6/10): Q1=1712 Med=1805 Q3=1888 "
+                "TopWhisker=2153 Max=14931 us on a 2 GHz Core 2 Duo, "
+                "pattern spanning all traces."
+            ),
+        )
+
+
+@pytest.mark.parametrize("traces", TRACE_COUNTS)
+def test_deadlock_detection_time(benchmark, traces):
+    events, names, workload, outcome = record_stream(
+        ("deadlock", traces, 1),
+        lambda: build_random_walk(num_traces=traces, seed=1, skip_probability=0.08),
+        max_events=scaled(60_000),
+    )
+    assert outcome.deadlocked, "the injected bug must deadlock the ring"
+    pattern = deadlock_pattern(traces)
+
+    monitor = benchmark.pedantic(
+        lambda: replay(events, pattern, names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+
+    assert monitor.reports, "the blocked-send cycle must be matched"
+    final = monitor.reports[-1].as_dict()
+    assert len(final) == traces
+    for i, a in enumerate(list(final.values())):
+        for b in list(final.values())[i + 1 :]:
+            assert a.concurrent_with(b)
+
+    _RESULTS[f"{traces} traces"] = timing_stats(monitor)

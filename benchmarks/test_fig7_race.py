@@ -1,0 +1,66 @@
+"""Figure 7: execution time for message-race detection.
+
+Paper setup: all processes but one concurrently send to the collector,
+which receives with ``MPI_ANY_SOURCE``; 10/20/50 traces.  A race is a
+pair of concurrent sends received by the same process.
+
+Expected shape (paper): tens-of-microseconds quartiles (Q1=49 Med=69
+Q3=76 us), far below the deadlock case, growing mildly with trace
+count, with a long outlier tail (max ~10.8 ms).
+"""
+
+import pytest
+
+from common import (
+    REPETITIONS,
+    emit_report,
+    record_stream,
+    replay,
+    scaled,
+    timing_stats,
+)
+from repro.workloads import build_message_race, message_race_pattern
+
+TRACE_COUNTS = (10, 20, 50)
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig7_report():
+    yield
+    if _RESULTS:
+        emit_report(
+            "fig7_race",
+            "Figure 7: Execution Time for Message Races (us per terminating event)",
+            _RESULTS,
+            notes=(
+                "Paper reference (Fig 7/10): Q1=49 Med=69 Q3=76 "
+                "TopWhisker=117 Max=10830 us."
+            ),
+        )
+
+
+@pytest.mark.parametrize("traces", TRACE_COUNTS)
+def test_race_detection_time(benchmark, traces):
+    messages = max(4, scaled(6_000) // (traces * 8))
+    events, names, workload, outcome = record_stream(
+        ("race", traces, 2),
+        lambda: build_message_race(
+            num_traces=traces, seed=2, messages_per_sender=messages
+        ),
+        max_events=None,
+    )
+    assert not outcome.deadlocked
+
+    monitor = benchmark.pedantic(
+        lambda: replay(events, message_race_pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+
+    assert monitor.reports, "concurrent sends to the collector must race"
+    for report in monitor.reports[:20]:
+        sends = [e for e in report.as_dict().values() if e.etype == "Send"]
+        assert sends[0].concurrent_with(sends[1])
+
+    _RESULTS[f"{traces} traces"] = timing_stats(monitor)

@@ -1,0 +1,70 @@
+"""Figure 8: execution time for atomicity-violation detection.
+
+Paper setup: a semaphore-protected method executed by 10/20/50 μC++
+tasks; 1% of acquires are broken.  The semaphore is its own trace, so
+a violation is a pair of concurrent ``Access`` events.
+
+Expected shape (paper): the cheapest case of the four (Q1=42 Med=45
+Q3=51 us), roughly flat across trace counts, outliers to ~6.8 ms.
+"""
+
+import pytest
+
+from common import (
+    REPETITIONS,
+    emit_report,
+    record_stream,
+    replay,
+    scaled,
+    timing_stats,
+)
+from repro.workloads import atomicity_pattern, build_atomicity
+
+TRACE_COUNTS = (10, 20, 50)
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig8_report():
+    yield
+    if _RESULTS:
+        emit_report(
+            "fig8_atomicity",
+            "Figure 8: Execution Time for Atomicity Violation "
+            "(us per terminating event)",
+            _RESULTS,
+            notes=(
+                "Paper reference (Fig 8/10): Q1=42 Med=45 Q3=51 "
+                "TopWhisker=65 Max=6819 us."
+            ),
+        )
+
+
+@pytest.mark.parametrize("traces", TRACE_COUNTS)
+def test_atomicity_detection_time(benchmark, traces):
+    iterations = max(10, scaled(8_000) // (traces * 8))
+    events, names, workload, outcome = record_stream(
+        ("atomicity", traces, 4),
+        lambda: build_atomicity(
+            num_processes=traces,
+            seed=4,
+            iterations=iterations,
+            bypass_probability=0.01,
+        ),
+        max_events=None,
+    )
+    assert not outcome.deadlocked
+    assert workload.bypasses, "the 1% bug should fire at this scale"
+
+    monitor = benchmark.pedantic(
+        lambda: replay(events, atomicity_pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+
+    assert monitor.reports, "bypassed acquires must yield concurrent accesses"
+    for report in monitor.reports[:20]:
+        x, y = report.as_dict().values()
+        assert x.concurrent_with(y)
+
+    _RESULTS[f"{traces} traces"] = timing_stats(monitor)

@@ -1,0 +1,83 @@
+"""Figure 9: execution time for the ordering bug.
+
+Paper setup: the leader/follower replicated service with the
+stale-snapshot window, at 50/100/500 traces.  "Figure 9 shows almost a
+linear increase in runtime with the number of traces.  This signifies
+that our algorithm was effectively able to isolate the relevant traces
+from the pattern specification" — a complete match involves only the
+leader and one follower regardless of the trace count.
+
+Expected shape (paper): narrow quartiles around 120 us (Q1=119 Med=121
+Q3=124), near-linear growth in traces, outliers to ~7.7 ms.
+"""
+
+import pytest
+
+from common import (
+    REPETITIONS,
+    emit_report,
+    record_stream,
+    replay,
+    scaled,
+    timing_stats,
+)
+from repro.core.config import MatcherConfig
+from repro.workloads import build_ordering_bug, ordering_bug_pattern
+
+TRACE_COUNTS = (50, 100, 500)
+#: The paper's algorithm (no indexed-history extension) is the
+#: headline series; the extension is shown as an extra row.
+PAPER_CONFIG = MatcherConfig(indexed_histories=False)
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fig9_report():
+    yield
+    if _RESULTS:
+        emit_report(
+            "fig9_ordering",
+            "Figure 9: Execution Time for Ordering Bug "
+            "(us per terminating event)",
+            _RESULTS,
+            notes=(
+                "Paper reference (Fig 9/10): Q1=119 Med=121 Q3=124 "
+                "TopWhisker=132 Max=7668 us; near-linear growth with "
+                "the number of traces."
+            ),
+        )
+
+
+@pytest.mark.parametrize("traces", TRACE_COUNTS)
+def test_ordering_detection_time(benchmark, traces):
+    synchs = max(2, scaled(12_000) // (traces * 14))
+    events, names, workload, outcome = record_stream(
+        ("ordering", traces, 6),
+        lambda: build_ordering_bug(
+            num_traces=traces,
+            seed=6,
+            synchs_per_follower=synchs,
+            bug_probability=0.05,
+        ),
+        max_events=None,
+    )
+    assert not outcome.deadlocked
+
+    monitor = benchmark.pedantic(
+        lambda: replay(events, ordering_bug_pattern(), names, PAPER_CONFIG),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+
+    matched = {dict(r.bindings)["r"] for r in monitor.reports}
+    assert matched == set(workload.buggy_requests), (
+        "detection must be complete with no false positives"
+    )
+
+    _RESULTS[f"{traces} traces"] = timing_stats(monitor)
+
+    if traces == TRACE_COUNTS[-1]:
+        # this reproduction's indexed-history extension, for contrast
+        indexed = replay(events, ordering_bug_pattern(), names)
+        assert {dict(r.bindings)["r"] for r in indexed.reports} == matched
+        _RESULTS[f"{traces} traces (indexed ext.)"] = timing_stats(indexed)

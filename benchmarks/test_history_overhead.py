@@ -1,0 +1,127 @@
+"""E10: storage overhead of the monitor (Section V-D).
+
+The paper's overhead discussion: OCEP discards "multiple occurrences of
+the same event on a trace which have no send or receive events between
+them" — O(1) per event but with no minimality guarantee, so "in the
+worst case it will store all the events since the start-up".
+
+This benchmark measures, on identical streams:
+
+* leaf-history size with and without the pruning rule;
+* the representative subset size against its ``k x n`` bound;
+* the compressed GP/LS index size against total event count.
+"""
+
+import pytest
+
+from common import REPETITIONS, emit_text, record_stream, replay, scaled
+from repro.core.config import MatcherConfig
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_ordering_bug,
+    ordering_bug_pattern,
+)
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def overhead_report():
+    yield
+    if _ROWS:
+        emit_text(
+            "e10_history_overhead",
+            "E10: monitor storage overhead (Section V-D)\n\n  "
+            + "\n  ".join(_ROWS)
+            + "\n\nPaper: the pruning rule is O(1) per event but does not "
+            "guarantee a minimal subset; worst case stores everything.",
+        )
+
+
+def _bursty_workload():
+    """Processes emit bursts of pattern-relevant local events between
+    communications — exactly the repetition the same-epoch rule
+    collapses ("multiple occurrences of the same event on a trace which
+    have no send or receive events between them")."""
+    from repro.poet.instrument import instrument
+    from repro.simulation import Kernel
+
+    class _Workload:
+        def __init__(self):
+            self.kernel = Kernel(num_processes=6, seed=13, buffer_capacity=None)
+            self.server = instrument(self.kernel)
+
+            def body(p):
+                rng = p.rng
+                rounds = max(20, scaled(9_000) // 60)
+                right = (p.pid + 1) % 6
+                left = (p.pid - 1) % 6
+                for _ in range(rounds):
+                    for _ in range(rng.randrange(2, 6)):
+                        yield p.emit("A", text="burst")
+                    yield p.send(right, text=f"to{right}")
+                    yield p.receive(source=left)
+                    yield p.emit("B")
+
+            for pid in range(6):
+                self.kernel.spawn(pid, body)
+            self.num_traces = 6
+
+        def run(self, max_events=None):
+            return self.kernel.run(max_events=max_events)
+
+    return _Workload()
+
+
+BURST_PATTERN = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["pruned", "unpruned"])
+def test_history_growth(benchmark, prune):
+    events, names, workload, outcome = record_stream(
+        ("bursty", 6, 13), _bursty_workload, max_events=None
+    )
+    config = MatcherConfig(prune_history=prune)
+    monitor = benchmark.pedantic(
+        lambda: replay(events, BURST_PATTERN, names, config),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    stats = monitor.stats()
+    _ROWS.append(
+        f"bursty A->B prune={str(prune):<5}: {stats.events_seen} events -> "
+        f"history {stats.history_size}, subset {stats.subset_size} "
+        f"(bound {monitor.pattern.num_leaves * workload.num_traces}), "
+        f"gp/ls index {monitor.matcher.index.index_size()} entries"
+    )
+    assert monitor.subset.check_bound()
+    if prune:
+        unpruned_matchable = sum(1 for e in events if e.etype in ("A", "B"))
+        assert stats.history_size < unpruned_matchable
+
+
+def test_subset_stays_bounded_on_long_ordering_run(benchmark):
+    events, names, workload, outcome = record_stream(
+        ("ordering-long", 20, 13),
+        lambda: build_ordering_bug(
+            num_traces=20,
+            seed=13,
+            synchs_per_follower=max(6, scaled(15_000) // 280),
+            bug_probability=0.2,
+        ),
+        max_events=None,
+    )
+    monitor = benchmark.pedantic(
+        lambda: replay(events, ordering_bug_pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    stats = monitor.stats()
+    bound = monitor.pattern.num_leaves * workload.num_traces
+    assert stats.subset_size <= bound
+    _ROWS.append(
+        f"ordering  long run      : {stats.events_seen} events -> "
+        f"{stats.matches_reported} reports, subset {stats.subset_size} "
+        f"<= bound {bound}, history {stats.history_size}"
+    )

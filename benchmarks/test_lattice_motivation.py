@@ -1,0 +1,104 @@
+"""E11: the motivating comparison — global-state lattices vs event patterns.
+
+Paper, Section I: detecting a global predicate "is based on building a
+lattice of global states [12], which is known to be NP-complete [29]";
+OCEP instead matches the events that represent the state transition.
+This benchmark runs both approaches on identical atomicity-violation
+streams and reports the lattice's consistent-cut count (its cost unit)
+against OCEP's per-event matching work, as concurrency grows.
+"""
+
+import pytest
+
+from common import REPETITIONS, emit_text, record_stream, replay
+from repro.baselines import (
+    LatticeExplosion,
+    StateLatticeDetector,
+    concurrent_types,
+)
+from repro.workloads import atomicity_pattern, build_atomicity
+
+_ROWS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def lattice_report():
+    yield
+    if _ROWS:
+        emit_text(
+            "e11_lattice",
+            "E11: global-state lattice vs OCEP (identical streams)\n\n  "
+            + "\n  ".join(_ROWS)
+            + "\n\nPaper motivation: lattice size is exponential in "
+            "concurrency (NP-complete detection [29]); OCEP's work is "
+            "per-event with pattern-restricted domains.",
+        )
+
+
+@pytest.mark.parametrize("tasks", [3, 4, 5])
+def test_clean_stream_full_exploration(benchmark, tasks):
+    """Without a violation the lattice must visit every reachable cut
+    before answering 'no' — the exponential blow-up — while OCEP's
+    per-event searches stay bounded and also answer 'no'."""
+    events, names, workload, outcome = record_stream(
+        ("atomicity-lattice-clean", tasks, 22),
+        lambda: build_atomicity(
+            num_processes=tasks, seed=22, iterations=8, bypass_probability=0.0
+        ),
+        max_events=None,
+    )
+    monitor = benchmark.pedantic(
+        lambda: replay(events, atomicity_pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    assert not monitor.reports
+
+    detector = StateLatticeDetector(workload.num_traces, max_states=3_000_000)
+    try:
+        lattice = detector.detect(events, concurrent_types("Access"))
+        assert not lattice.satisfied
+        lattice_note = f"{lattice.states_explored:>9} cuts (full lattice)"
+    except LatticeExplosion as explosion:
+        lattice_note = f"EXPLODED past {explosion.explored} cuts"
+
+    _ROWS.append(
+        f"{tasks} tasks clean ({len(events):>5} events): lattice "
+        f"{lattice_note}; OCEP: no violation, "
+        f"{monitor.matcher.searches_run} bounded searches"
+    )
+
+
+@pytest.mark.parametrize("tasks", [3, 4, 5])
+def test_lattice_vs_ocep(benchmark, tasks):
+    events, names, workload, outcome = record_stream(
+        ("atomicity-lattice", tasks, 21),
+        lambda: build_atomicity(
+            num_processes=tasks, seed=21, iterations=8, bypass_probability=0.2
+        ),
+        max_events=None,
+    )
+
+    monitor = benchmark.pedantic(
+        lambda: replay(events, atomicity_pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    ocep_detected = bool(monitor.reports)
+
+    detector = StateLatticeDetector(workload.num_traces, max_states=3_000_000)
+    try:
+        lattice = detector.detect(events, concurrent_types("Access"))
+        lattice_note = (
+            f"{lattice.states_explored:>9} cuts explored, "
+            f"detected={lattice.satisfied}"
+        )
+        assert lattice.satisfied == ocep_detected
+    except LatticeExplosion as explosion:
+        lattice_note = f"EXPLODED past {explosion.explored} cuts"
+
+    _ROWS.append(
+        f"{tasks} tasks ({len(events):>5} events): lattice {lattice_note}; "
+        f"OCEP detected={ocep_detected} with "
+        f"{monitor.matcher.searches_run} bounded searches"
+    )

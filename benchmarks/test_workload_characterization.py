@@ -1,0 +1,99 @@
+"""Workload characterization: the causal structure of each case study.
+
+Not a paper artifact per se, but the context the evaluation section
+implies: how much communication and concurrency each case-study stream
+contains.  Reported: events, messages, causal critical path, average
+width, and the exact pairwise-concurrency ratio.
+"""
+
+import pytest
+
+from common import REPETITIONS, emit_text, record_stream, replay, scaled
+from repro.analysis import compute_metrics, format_table
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_ordering_bug,
+    build_random_walk,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+
+_ROWS = []
+
+CASES = {
+    "deadlock": (
+        lambda: build_random_walk(num_traces=8, seed=31, skip_probability=0.08),
+        lambda: deadlock_pattern(8),
+        scaled(8_000),
+    ),
+    "race": (
+        lambda: build_message_race(num_traces=8, seed=31, messages_per_sender=8),
+        message_race_pattern,
+        None,
+    ),
+    "atomicity": (
+        lambda: build_atomicity(
+            num_processes=8, seed=31, iterations=12, bypass_probability=0.05
+        ),
+        atomicity_pattern,
+        None,
+    ),
+    "ordering": (
+        lambda: build_ordering_bug(
+            num_traces=8, seed=31, synchs_per_follower=4, bug_probability=0.2
+        ),
+        ordering_bug_pattern,
+        None,
+    ),
+}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def characterization_report():
+    yield
+    if _ROWS:
+        table = format_table(
+            [
+                "case",
+                "events",
+                "messages",
+                "critical path",
+                "avg width",
+                "concurrency",
+            ],
+            _ROWS,
+        )
+        emit_text(
+            "workload_characterization",
+            "Workload characterization (causal structure per case study)\n\n"
+            + table,
+        )
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_characterize(benchmark, case):
+    build, pattern, max_events = CASES[case]
+    events, names, workload, outcome = record_stream(
+        ("characterize", case, 31), build, max_events=max_events
+    )
+    monitor = benchmark.pedantic(
+        lambda: replay(events, pattern(), names),
+        rounds=REPETITIONS,
+        iterations=1,
+    )
+    metrics = compute_metrics(events, workload.num_traces)
+    _ROWS.append(
+        [
+            case,
+            str(metrics.num_events),
+            str(metrics.num_messages),
+            str(metrics.critical_path),
+            f"{metrics.width:.1f}",
+            f"{metrics.concurrency_ratio:.2f}",
+        ]
+    )
+    assert metrics.num_messages > 0
+    assert 0.0 <= metrics.concurrency_ratio <= 1.0

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Monitoring your own protocol with a custom pattern.
+
+This example builds a small two-phase-commit-style protocol from
+scratch on the simulation kernel and writes a bespoke safety pattern
+for it: *a participant must never apply a transaction it voted NO on*.
+
+The coordinator broadcasts PREPARE, collects votes, and broadcasts
+COMMIT when all votes are YES (ABORT otherwise).  The injected bug: a
+participant occasionally applies the transaction on PREPARE already,
+presuming the commit — a safety violation because the decision might
+be ABORT.
+
+Safety as a causal pattern: a correct apply is causally *after* the
+coordinator's decision, ``Decide(tx) -> Apply(tx)``.  The presumptuous
+apply happens before the participant's vote is even sent, so it
+causally *precedes* the decision — the violating order is exactly
+``Apply(tx) -> Decide(tx)``, with the transaction id tied by the
+attribute variable ``$tx``.  In a correct run this chain can never
+occur (the decision for ``tx`` is unique and precedes every apply of
+``tx``), so any match is a true violation.
+
+Run with::
+
+    python examples/custom_protocol.py
+"""
+
+from repro import ANY_SOURCE, Kernel, Monitor, instrument
+
+PARTICIPANTS = 4
+TRANSACTIONS = 12
+PRESUME_COMMIT_PROB = 0.08  # the injected bug
+
+PATTERN = """
+# an application of a transaction that causally PRECEDES the
+# coordinator's decision for the same transaction ($tx binds the ids):
+# the participant applied before the outcome existed.
+Decide := [P0, Decide, $tx];
+Apply  := ['', Apply, $tx];
+pattern := Apply -> Decide;
+"""
+
+
+def coordinator(p):
+    for tx in range(TRANSACTIONS):
+        tx_id = f"tx{tx}"
+        for participant in range(1, PARTICIPANTS + 1):
+            yield p.send(participant, payload=("prepare", tx_id), tag="2pc")
+        votes = []
+        for _ in range(PARTICIPANTS):
+            msg = yield p.receive(ANY_SOURCE, tag="vote")
+            votes.append(msg.payload[1])
+        decision = "commit" if all(votes) else "abort"
+        yield p.emit("Decide", text=tx_id)
+        for participant in range(1, PARTICIPANTS + 1):
+            yield p.send(participant, payload=(decision, tx_id), tag="2pc")
+
+
+def participant(p):
+    rng = p.rng
+    while True:
+        msg = yield p.receive(0, tag="2pc")
+        kind, tx_id = msg.payload
+        if kind == "prepare":
+            vote = rng.random() > 0.2
+            if rng.random() < PRESUME_COMMIT_PROB:
+                # the bug: apply before hearing the decision
+                yield p.emit("Apply", text=tx_id)
+            yield p.send(0, payload=("vote", vote), tag="vote")
+        elif kind == "commit":
+            yield p.emit("Apply", text=tx_id)
+        # aborts apply nothing
+
+
+def main() -> None:
+    kernel = Kernel(num_processes=PARTICIPANTS + 1, seed=17)
+    server = instrument(kernel)
+
+    monitor = Monitor.from_source(PATTERN, kernel.trace_names())
+    server.connect(monitor)
+
+    kernel.spawn(0, coordinator)
+    for pid in range(1, PARTICIPANTS + 1):
+        kernel.spawn(pid, participant)
+
+    print(f"running 2PC for {TRANSACTIONS} transactions over "
+          f"{PARTICIPANTS} participants ...")
+    result = kernel.run(max_events=20_000)
+    print(f"simulated {result.num_events} events\n")
+
+    violations = {}
+    for report in monitor.reports:
+        tx = dict(report.bindings)["tx"]
+        apply_event = next(
+            e for e in report.as_dict().values() if e.etype == "Apply"
+        )
+        violations.setdefault(tx, set()).add(
+            kernel.trace_names()[apply_event.trace]
+        )
+
+    if violations:
+        print("presumed-commit violations detected:")
+        for tx, names in sorted(violations.items()):
+            print(f"  {tx}: applied before the decision existed, "
+                  f"on {sorted(names)}")
+    else:
+        print("no violations this run (increase PRESUME_COMMIT_PROB "
+              "or change the seed)")
+
+    # each reported apply really precedes its decision
+    for report in monitor.reports:
+        assignment = report.as_dict()
+        apply_event = next(
+            e for e in assignment.values() if e.etype == "Apply"
+        )
+        decide_event = next(
+            e for e in assignment.values() if e.etype == "Decide"
+        )
+        assert apply_event.happens_before(decide_event)
+    print(f"\n{len(monitor.reports)} reports, all causally verified; "
+          f"subset stores {len(monitor.subset)} matches")
+
+
+if __name__ == "__main__":
+    main()

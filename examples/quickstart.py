@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: monitor a simulated distributed application online.
+
+This is the smallest complete OCEP pipeline:
+
+1. build a simulated target application (two processes exchanging
+   messages) on the discrete-event kernel;
+2. instrument it with the POET substrate;
+3. connect an online monitor watching the causal pattern ``A -> B``;
+4. run — matches are reported the moment their last event arrives.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Kernel, Monitor, instrument
+
+PATTERN = """
+# A request event on any process, causally followed by a completion
+# event on any process.
+A := ['', Request, ''];
+B := ['', Complete, ''];
+pattern := A -> B;
+"""
+
+
+def producer(p):
+    """Emits Request events and ships work to the consumer."""
+    for i in range(5):
+        yield p.emit("Request", text=f"job-{i}")
+        yield p.send(1, payload=f"job-{i}")
+
+
+def consumer(p):
+    """Receives work and emits Complete events."""
+    for _ in range(5):
+        msg = yield p.receive()
+        yield p.emit("Complete", text=msg.payload)
+
+
+def main() -> None:
+    kernel = Kernel(num_processes=2, seed=42)
+    server = instrument(kernel)
+
+    def on_match(report):
+        assignment = report.as_dict()
+        request, complete = assignment[0], assignment[1]
+        print(
+            f"  match: {request.text!r} on trace {request.trace} "
+            f"-> {complete.text!r} on trace {complete.trace}"
+        )
+
+    monitor = Monitor.from_source(
+        PATTERN, kernel.trace_names(), on_match=on_match
+    )
+    server.connect(monitor)
+
+    kernel.spawn(0, producer)
+    kernel.spawn(1, consumer)
+
+    print("running the simulated application ...")
+    result = kernel.run()
+
+    stats = monitor.stats()
+    print(f"\nprocessed {stats.events_seen} events")
+    print(f"reported {stats.matches_reported} matches online")
+    print(
+        f"representative subset stores {stats.subset_size} matches "
+        f"(bound: {monitor.pattern.num_leaves} leaves x "
+        f"{kernel.num_traces} traces)"
+    )
+    assert not result.deadlocked
+
+
+if __name__ == "__main__":
+    main()

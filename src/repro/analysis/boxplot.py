@@ -1,0 +1,76 @@
+"""ASCII boxplot rendering for the figure benchmarks.
+
+Renders grouped boxplots in the style of the paper's Figures 6-9:
+one row per group (e.g. per trace count), a shared horizontal scale,
+the IQR box with the median tick, whiskers, and up to a few outlier
+crosses — "We limited the number of outliers shown ... so that the IQR
+and whisker marks are clearly shown."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.stats import BoxplotStats
+
+
+def render_boxplots(
+    groups: Dict[str, BoxplotStats],
+    width: int = 72,
+    unit: str = "us",
+    max_outliers: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render labelled boxplots on a shared scale.
+
+    Parameters
+    ----------
+    groups:
+        Ordered mapping of group label -> statistics.
+    width:
+        Plot area width in characters.
+    unit:
+        Unit label for the scale line.
+    max_outliers:
+        Outlier crosses drawn per row (the largest ones).
+    """
+    if not groups:
+        raise ValueError("nothing to plot")
+
+    # Scale to the whiskers (plus headroom) rather than the outliers,
+    # mirroring the paper's "we limited the number of outliers shown so
+    # that the IQR and whisker marks are clearly shown"; outliers
+    # beyond the right edge are drawn as '>' markers there.
+    hi = max(s.top_whisker for s in groups.values()) * 1.6
+    lo = min(s.low_whisker for s in groups.values())
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    label_width = max(len(label) for label in groups)
+
+    def col(value: float) -> int:
+        return min(width - 1, max(0, int((value - lo) / span * (width - 1))))
+
+    lines = []
+    if title:
+        lines.append(title)
+    for label, stats in groups.items():
+        row = [" "] * width
+        for x in range(col(stats.low_whisker), col(stats.top_whisker) + 1):
+            row[x] = "-"
+        row[col(stats.low_whisker)] = "|"
+        row[col(stats.top_whisker)] = "|"
+        for x in range(col(stats.q1), col(stats.q3) + 1):
+            row[x] = "="
+        row[col(stats.q1)] = "["
+        row[col(stats.q3)] = "]"
+        row[col(stats.median)] = "#"
+        for outlier in stats.outliers[-max_outliers:]:
+            row[col(outlier)] = "x" if outlier <= hi else ">"
+        lines.append(f"{label.rjust(label_width)} {''.join(row)}")
+
+    scale = f"{lo:,.0f}{unit}".ljust(width // 2) + f"{hi:,.0f}{unit}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * (label_width + 1) + scale)
+    return "\n".join(lines)

@@ -1,0 +1,143 @@
+"""ASCII process-time diagrams.
+
+Renders a computation the way the paper draws its figures (e.g.
+Figure 3): one horizontal line per trace, events in delivery order,
+message arrows linking send/receive pairs, and optional highlighting of
+a match's constituent events.
+
+    >>> from repro.testing import Weaver
+    >>> from repro.analysis.diagram import render_diagram
+    >>> w = Weaver(2)
+    >>> a = w.local(0, "A")
+    >>> s, r = w.message(0, 1)
+    >>> b = w.local(1, "B")
+    >>> print(render_diagram(w.events, num_traces=2))  # doctest: +SKIP
+    P0  A-----s
+               \\
+    P1          r-----B
+
+The layout places every event in its global delivery column, so causal
+order reads left to right and concurrency is visible as unlinked
+vertical overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set
+
+from repro.events.event import Event, EventId, EventKind
+
+
+def render_diagram(
+    events: Sequence[Event],
+    num_traces: int,
+    trace_names: Optional[Sequence[str]] = None,
+    highlight: Optional[Iterable[Event]] = None,
+    max_width: int = 110,
+    label_types: bool = True,
+) -> str:
+    """Render events as an ASCII process-time diagram.
+
+    Parameters
+    ----------
+    events:
+        The events in delivery order (a linearization).
+    num_traces:
+        Number of traces (rows).
+    trace_names:
+        Optional row labels.
+    highlight:
+        Events to mark with ``*`` (e.g. one match's constituents).
+    max_width:
+        Truncate the diagram beyond this width (with an ellipsis).
+    label_types:
+        Print the first letter of each event's type at its position;
+        otherwise every event is drawn as ``o``.
+    """
+    if num_traces <= 0:
+        raise ValueError("need at least one trace")
+    names = list(trace_names) if trace_names else [
+        f"P{i}" for i in range(num_traces)
+    ]
+    if len(names) != num_traces:
+        raise ValueError(f"got {len(names)} names for {num_traces} traces")
+
+    highlighted: Set[EventId] = {
+        e.event_id for e in (highlight or ())
+    }
+
+    # one column per event, in delivery order
+    spacing = 3
+    columns: Dict[EventId, int] = {}
+    for position, event in enumerate(events):
+        columns[event.event_id] = position * spacing
+
+    width = min(max_width, (len(events) - 1) * spacing + 1) if events else 1
+    label_width = max(len(n) for n in names) + 1
+
+    rows = [[" "] * width for _ in range(num_traces)]
+    truncated = False
+
+    def put(row: int, col: int, ch: str) -> bool:
+        nonlocal truncated
+        if col >= width:
+            truncated = True
+            return False
+        rows[row][col] = ch
+        return True
+
+    # trace lines between a trace's first and last event
+    firsts: Dict[int, int] = {}
+    lasts: Dict[int, int] = {}
+    for event in events:
+        col = columns[event.event_id]
+        firsts.setdefault(event.trace, col)
+        lasts[event.trace] = col
+    for trace, first in firsts.items():
+        for col in range(first, min(lasts[trace] + 1, width)):
+            rows[trace][col] = "-"
+
+    # message arrows: a diagonal of '\' or '/' between the endpoints'
+    # rows at the receive column, plus a vertical bar when far apart
+    arrow_rows = [[" "] * width for _ in range(num_traces)]
+    for event in events:
+        if event.kind is not EventKind.RECEIVE or event.partner is None:
+            continue
+        src_trace = event.partner.trace
+        dst_trace = event.trace
+        col = columns[event.event_id]
+        if col - 1 < 0 or col - 1 >= width:
+            continue
+        step = 1 if dst_trace > src_trace else -1
+        for row in range(src_trace + step, dst_trace, step):
+            if col - 1 < width:
+                arrow_rows[row][col - 1] = "|"
+
+    # events last so they overwrite lines
+    for event in events:
+        col = columns[event.event_id]
+        if event.event_id in highlighted:
+            ch = "*"
+        elif label_types and event.etype:
+            ch = event.etype[0]
+        else:
+            ch = "o"
+        put(event.trace, col, ch)
+
+    lines = []
+    for trace in range(num_traces):
+        interline = "".join(arrow_rows[trace])
+        if interline.strip():
+            lines.append(" " * label_width + interline)
+        lines.append(names[trace].ljust(label_width) + "".join(rows[trace]))
+    if truncated:
+        lines.append(" " * label_width + "... (truncated)")
+
+    legend = []
+    if highlighted:
+        legend.append("* = match constituent")
+    if label_types:
+        legend.append("letters = event type initials")
+    if legend:
+        lines.append(" " * label_width + "(" + ", ".join(legend) + ")")
+    return "\n".join(lines)

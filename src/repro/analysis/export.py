@@ -1,0 +1,85 @@
+"""Exporting computations for external tooling.
+
+``to_dot`` renders the happens-before structure as a GraphViz digraph:
+one subgraph rank per trace, program-order edges along each trace,
+message edges between send/receive partners, and optional highlighting
+of a match's constituent events.  The transitive closure is *not*
+drawn (it follows from the drawn edges), so the output stays readable.
+
+``causality_edges`` exposes the same minimal edge set programmatically
+(e.g. for feeding networkx).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.events.event import Event, EventId, EventKind
+
+
+def causality_edges(events: Sequence[Event]) -> List[Tuple[EventId, EventId]]:
+    """The covering edges of happens-before: program order plus
+    message partners.  Their transitive closure is the full relation."""
+    edges: List[Tuple[EventId, EventId]] = []
+    last_on_trace: Dict[int, EventId] = {}
+    for event in events:
+        previous = last_on_trace.get(event.trace)
+        if previous is not None:
+            edges.append((previous, event.event_id))
+        last_on_trace[event.trace] = event.event_id
+        if event.kind is EventKind.RECEIVE and event.partner is not None:
+            edges.append((event.partner, event.event_id))
+    return edges
+
+
+def to_dot(
+    events: Sequence[Event],
+    num_traces: int,
+    trace_names: Optional[Sequence[str]] = None,
+    highlight: Optional[Iterable[Event]] = None,
+    graph_name: str = "computation",
+) -> str:
+    """Render the computation as GraphViz DOT source."""
+    names = list(trace_names) if trace_names else [
+        f"P{i}" for i in range(num_traces)
+    ]
+    if len(names) != num_traces:
+        raise ValueError(f"got {len(names)} names for {num_traces} traces")
+    highlighted: Set[EventId] = {e.event_id for e in (highlight or ())}
+
+    def node_id(eid: EventId) -> str:
+        return f"e{eid.trace}_{eid.index}"
+
+    lines = [f"digraph {graph_name} {{", "  rankdir=LR;", "  node [shape=box];"]
+
+    by_trace: Dict[int, List[Event]] = {t: [] for t in range(num_traces)}
+    for event in events:
+        by_trace[event.trace].append(event)
+
+    for trace in range(num_traces):
+        if not by_trace[trace]:
+            continue
+        lines.append(f"  subgraph cluster_{trace} {{")
+        lines.append(f'    label="{names[trace]}";')
+        for event in by_trace[trace]:
+            label = f"{event.etype}"
+            if event.text:
+                label += f"\\n{event.text}"
+            attrs = [f'label="{label}"']
+            if event.event_id in highlighted:
+                attrs.append("style=filled")
+                attrs.append('fillcolor="#ffd27f"')
+            lines.append(f"    {node_id(event.event_id)} [{', '.join(attrs)}];")
+        lines.append("  }")
+
+    message_targets = {
+        event.partner for event in events if event.partner is not None
+    }
+    for src, dst in causality_edges(events):
+        style = ""
+        if src in message_targets or dst.trace != src.trace:
+            style = ' [style=dashed, color="#3366cc"]' if dst.trace != src.trace else ""
+        lines.append(f"  {node_id(src)} -> {node_id(dst)}{style};")
+
+    lines.append("}")
+    return "\n".join(lines)

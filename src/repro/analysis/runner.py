@@ -1,0 +1,140 @@
+"""Experiment harness reproducing the paper's methodology.
+
+Section V-B: "Each test case is executed until the number of events
+generated exceeds one million.  We used the dump feature in POET to
+save the collected trace-event data in a file.  The reload feature ...
+allows us to reuse this file with the saved events passed to POET via
+the same interface used to collect events from a running application.
+... OCEP is executed with each set of trace-event data five times and
+the average is used for the evaluation."
+
+``run_case`` does exactly that shape: generate a workload's event
+stream once (recording it), then replay it through a fresh monitor
+``repetitions`` times, averaging the per-event wall time elementwise.
+The default event budget is laptop-scale; set ``OCEP_FULL_SCALE=1``
+for the paper's one-million-event runs or ``OCEP_EVENTS=<n>`` for an
+explicit budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.stats import BoxplotStats, compute_boxplot
+from repro.core.config import MatcherConfig
+from repro.core.monitor import Monitor
+from repro.events.event import Event
+from repro.poet.client import RecordingClient
+
+#: The paper's event budget per test case.
+PAPER_SCALE = 1_000_000
+
+
+def scaled(default: int) -> int:
+    """Resolve the event budget from the environment.
+
+    ``OCEP_EVENTS`` wins outright; ``OCEP_FULL_SCALE=1`` selects the
+    paper's one million; otherwise ``default``.
+    """
+    explicit = os.environ.get("OCEP_EVENTS")
+    if explicit:
+        return int(explicit)
+    if os.environ.get("OCEP_FULL_SCALE") == "1":
+        return PAPER_SCALE
+    return default
+
+
+@dataclasses.dataclass
+class CaseResult:
+    """Outcome of one experiment configuration.
+
+    ``timings_us`` holds the repetition-averaged per-terminating-event
+    matching times in microseconds — the paper's metric.
+    """
+
+    label: str
+    num_events: int
+    timings_us: List[float]
+    matches_reported: int
+    subset_size: int
+    history_size: int
+    deadlocked: bool
+
+    def stats(self) -> BoxplotStats:
+        return compute_boxplot(self.timings_us)
+
+
+def replay_through_monitor(
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    repetitions: int = 3,
+    config: Optional[MatcherConfig] = None,
+) -> tuple:
+    """Replay a recorded stream through fresh monitors, averaging the
+    per-event timings elementwise; returns ``(timings, last_monitor)``."""
+    if repetitions < 1:
+        raise ValueError(f"need at least one repetition, got {repetitions}")
+    summed: Optional[List[float]] = None
+    monitor: Optional[Monitor] = None
+    for _ in range(repetitions):
+        monitor = Monitor.from_source(pattern_source, trace_names, config=config)
+        for event in events:
+            monitor.on_event(event)
+        timings = monitor.terminating_timings
+        if summed is None:
+            summed = list(timings)
+        else:
+            if len(timings) != len(summed):
+                raise RuntimeError(
+                    "nondeterministic replay: timing streams differ in length"
+                )
+            summed = [a + b for a, b in zip(summed, timings)]
+    assert summed is not None and monitor is not None
+    return [t / repetitions for t in summed], monitor
+
+
+def run_case(
+    label: str,
+    build: Callable[[], object],
+    pattern_source: str,
+    max_events: Optional[int] = None,
+    repetitions: int = 3,
+    config: Optional[MatcherConfig] = None,
+) -> CaseResult:
+    """Run one experiment configuration.
+
+    ``build`` returns a workload result object exposing ``kernel``,
+    ``server`` and ``run(max_events)`` (all four case-study builders
+    do).  The workload's stream is recorded once and replayed through
+    ``repetitions`` fresh monitors.
+    """
+    workload = build()
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    outcome = workload.run(max_events=max_events)
+
+    timings, monitor = replay_through_monitor(
+        recorder.events,
+        pattern_source,
+        workload.kernel.trace_names(),
+        repetitions=repetitions,
+        config=config,
+    )
+    if not timings:
+        raise RuntimeError(
+            f"{label}: no terminating events — the workload produced no "
+            "pattern-relevant activity"
+        )
+    stats = monitor.stats()
+    return CaseResult(
+        label=label,
+        num_events=outcome.num_events,
+        timings_us=[t * 1e6 for t in timings],
+        matches_reported=stats.matches_reported,
+        subset_size=stats.subset_size,
+        history_size=stats.history_size,
+        deadlocked=outcome.deadlocked,
+    )

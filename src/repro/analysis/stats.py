@@ -1,0 +1,86 @@
+"""Boxplot statistics matching the paper's conventions.
+
+Section V-C: "The centre rectangle spans the inter quartile range
+(IQR), which is the likely range of variation, with the inner segment
+representing the median.  The whisker marks are placed 1.5 x IQR above
+the third quartile and below the first quartile, while the crosses
+mark the outliers."  Whiskers are clamped to the most extreme samples
+inside the 1.5 x IQR fences (the standard Tukey convention matching
+the figures).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class BoxplotStats:
+    """Summary statistics of one sample group.
+
+    All values are in the unit of the input samples (the benchmark
+    harness uses microseconds, like the paper).
+    """
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    low_whisker: float
+    top_whisker: float
+    outliers: tuple
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile on pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+def compute_boxplot(samples: Sequence[float]) -> BoxplotStats:
+    """Compute Tukey boxplot statistics for one sample group."""
+    if not samples:
+        raise ValueError("cannot summarise an empty sample")
+    ordered: List[float] = sorted(samples)
+    q1 = _percentile(ordered, 0.25)
+    median = _percentile(ordered, 0.50)
+    q3 = _percentile(ordered, 0.75)
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+
+    inside = [v for v in ordered if low_fence <= v <= high_fence]
+    low_whisker = inside[0] if inside else q1
+    top_whisker = inside[-1] if inside else q3
+    outliers = tuple(v for v in ordered if v < low_fence or v > high_fence)
+
+    return BoxplotStats(
+        count=len(ordered),
+        minimum=ordered[0],
+        q1=q1,
+        median=median,
+        q3=q3,
+        maximum=ordered[-1],
+        low_whisker=low_whisker,
+        top_whisker=top_whisker,
+        outliers=outliers,
+        mean=sum(ordered) / len(ordered),
+    )

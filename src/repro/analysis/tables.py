@@ -1,0 +1,52 @@
+"""Table formatting for experiment output.
+
+``quartile_table`` reproduces the shape of the paper's Figure 10:
+one row per test case with Q1 / Median / Q3 / Top-Whisker / Max of the
+per-event detection time in microseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import BoxplotStats
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Fixed-width table with a header separator."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(str(headers[c])), *(len(str(row[c])) for row in rows))
+        if rows
+        else len(str(headers[c]))
+        for c in range(columns)
+    ]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[c]) for c, cell in enumerate(cells))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def quartile_table(groups: Dict[str, BoxplotStats]) -> str:
+    """The Figure-10 table: Q1 / Med / Q3 / Top Whisker / Max (us)."""
+    headers = ["Test Case", "Q1", "Med", "Q3", "Top Whisker", "Max"]
+    rows: List[List[str]] = []
+    for label, stats in groups.items():
+        rows.append(
+            [
+                label,
+                f"{stats.q1:,.0f}",
+                f"{stats.median:,.0f}",
+                f"{stats.q3:,.0f}",
+                f"{stats.top_whisker:,.0f}",
+                f"{stats.maximum:,.0f}",
+            ]
+        )
+    return format_table(headers, rows)

@@ -1,0 +1,49 @@
+"""Chronological-backtracking ablation.
+
+Section IV-C: "A very basic implementation of goForward can use
+chronological backtracking, which will start with the latest match on
+a trace and chronologically go back in time.  That is not very
+efficient in practice as it explores the entire search space until a
+solution is found or a conflict is reached."
+
+This baseline is OCEP with both timestamp optimisations switched off:
+candidate domains are whole per-trace histories verified causally per
+candidate (no GP/LS restriction), and failures backtrack one level at
+a time (no ``bt``-table back-jumping).  Everything else — pattern
+compilation, histories, representative subset — is shared, so the
+ablation isolates exactly the paper's Figure 4/5 contributions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import MatcherConfig, SweepMode
+from repro.core.monitor import Monitor
+
+
+def chronological_config(sweep: SweepMode = SweepMode.COVERAGE) -> MatcherConfig:
+    """Matcher configuration with domain restriction and back-jumping
+    disabled."""
+    return MatcherConfig(
+        sweep=sweep,
+        restrict_domains=False,
+        backjump=False,
+    )
+
+
+def chronological_monitor(
+    source: str,
+    trace_names: Sequence[str],
+    sweep: SweepMode = SweepMode.COVERAGE,
+    on_match=None,
+    record_timings: bool = True,
+) -> Monitor:
+    """Build a monitor running the chronological-backtracking baseline."""
+    return Monitor.from_source(
+        source,
+        trace_names,
+        config=chronological_config(sweep),
+        on_match=on_match,
+        record_timings=record_timings,
+    )

@@ -1,0 +1,119 @@
+"""Conflict-graph atomicity-violation detection.
+
+The approach of [40] the paper contrasts with in Section V-C3:
+"approaches for detecting an atomicity violation rely on finding
+unserializable patterns of operations by searching the events that are
+related to shared-variable access and synchronization primitives",
+with published runtimes of "0.4-40 seconds for detecting similar
+violation".
+
+This detector reconstructs critical sections (Acquire..Release spans
+per process) from the POET stream and keeps *every* completed and open
+section.  A violation is two sections on different processes that
+causally overlap — neither section's release happens before the
+other's acquire.  The cost of comparing each new section against the
+ever-growing section history is the baseline's weakness; OCEP instead
+matches the two concurrent section events directly with restricted
+domains.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from repro.events.event import Event, EventId, EventKind
+
+
+@dataclasses.dataclass
+class _Section:
+    """One critical-section execution on one process."""
+
+    trace: int
+    acquire: Event
+    release: Optional[Event] = None
+
+    def overlaps(self, other: "_Section") -> bool:
+        """Causal overlap: neither section completes before the other
+        begins.  Open sections extend to the end of the observation."""
+        if self.trace == other.trace:
+            return False
+        self_before = (
+            self.release is not None
+            and self.release.happens_before(other.acquire)
+        )
+        other_before = (
+            other.release is not None
+            and other.release.happens_before(self.acquire)
+        )
+        return not self_before and not other_before
+
+
+@dataclasses.dataclass(frozen=True)
+class AtomicityReport:
+    """Two causally overlapping critical sections."""
+
+    first_acquire: EventId
+    second_acquire: EventId
+
+
+class ConflictGraphDetector:
+    """Online conflict-graph atomicity detector over a POET stream.
+
+    Parameters
+    ----------
+    num_traces:
+        Traces in the computation.
+    acquire_type, release_type:
+        Event types delimiting critical sections (defaults match the
+        simulation kernel's semaphore instrumentation).
+    """
+
+    def __init__(
+        self,
+        num_traces: int,
+        acquire_type: str = "Acquire",
+        release_type: str = "Release",
+    ):
+        self.num_traces = num_traces
+        self.acquire_type = acquire_type
+        self.release_type = release_type
+        self._open: Dict[int, _Section] = {}
+        self._sections: List[_Section] = []
+        self.reports: List[AtomicityReport] = []
+        self.timings: List[float] = []
+
+    def on_event(self, event: Event) -> List[AtomicityReport]:
+        """Consume an event; returns violations completed by it."""
+        start = time.perf_counter()
+        found: List[AtomicityReport] = []
+        if event.etype == self.acquire_type:
+            section = _Section(trace=event.trace, acquire=event)
+            self._open[event.trace] = section
+            found = self._check(section)
+            self._sections.append(section)
+        elif event.etype == self.release_type:
+            section = self._open.pop(event.trace, None)
+            if section is not None:
+                section.release = event
+        self.reports.extend(found)
+        self.timings.append(time.perf_counter() - start)
+        return found
+
+    def _check(self, section: _Section) -> List[AtomicityReport]:
+        """Compare a new section against every stored section — the
+        conflict-graph edge construction."""
+        return [
+            AtomicityReport(
+                first_acquire=other.acquire.event_id,
+                second_acquire=section.acquire.event_id,
+            )
+            for other in self._sections
+            if other.overlaps(section)
+        ]
+
+    @property
+    def section_count(self) -> int:
+        """Stored sections (memory metric)."""
+        return len(self._sections)

@@ -1,0 +1,282 @@
+"""Command-line interface.
+
+Four subcommands mirror the workflows a user of the paper's system
+would run:
+
+``ocep simulate <case>``
+    Run one of the four case-study workloads and dump its event stream
+    to a POET dump file.
+
+``ocep match <pattern-file> <dump-file>``
+    Replay a dump through the online matcher and print every reported
+    match plus the representative subset.
+
+``ocep case <case>``
+    Simulate a case study and monitor it live with its built-in
+    pattern (ground truth checked).
+
+``ocep bench <case>``
+    Replay a case study several times and print the per-event quartile
+    table (the Figure 10 methodology).
+
+``ocep diagram <dump-file>``
+    Render a dump as an ASCII process-time diagram (or GraphViz DOT
+    with ``--dot``).
+
+``ocep offline <pattern-file> <dump-file>``
+    Post-mortem analysis: enumerate *every* match in a complete log
+    (the offline comparison point to the online monitor).
+
+Installed as the ``ocep`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.analysis import compute_boxplot, quartile_table
+from repro.analysis.runner import replay_through_monitor
+from repro.core.monitor import Monitor
+from repro.poet.client import RecordingClient
+from repro.poet.dumpfile import dump_events, load_events
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_ordering_bug,
+    build_random_walk,
+    build_traffic_light,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+    traffic_light_pattern,
+)
+
+#: case name -> (builder(traces, seed), pattern source builder(traces))
+CASES: Dict[str, Tuple[Callable, Callable]] = {
+    "deadlock": (
+        lambda traces, seed: build_random_walk(
+            num_traces=traces, seed=seed, skip_probability=0.08
+        ),
+        deadlock_pattern,
+    ),
+    "race": (
+        lambda traces, seed: build_message_race(
+            num_traces=traces, seed=seed, messages_per_sender=20
+        ),
+        lambda traces: message_race_pattern(),
+    ),
+    "atomicity": (
+        lambda traces, seed: build_atomicity(
+            num_processes=traces, seed=seed, iterations=40, bypass_probability=0.02
+        ),
+        lambda traces: atomicity_pattern(),
+    ),
+    "ordering": (
+        lambda traces, seed: build_ordering_bug(
+            num_traces=traces, seed=seed, synchs_per_follower=6, bug_probability=0.05
+        ),
+        lambda traces: ordering_bug_pattern(),
+    ),
+    "traffic": (
+        lambda traces, seed: build_traffic_light(
+            num_lights=max(2, traces - 1),
+            seed=seed,
+            cycles=40,
+            fault_probability=0.05,
+        ),
+        lambda traces: traffic_light_pattern(),
+    ),
+}
+
+
+def _build_case(name: str, traces: int, seed: int):
+    builder, pattern_builder = CASES[name]
+    return builder(traces, seed), pattern_builder(traces)
+
+
+def _print_report(report, names) -> None:
+    chain = sorted(report.as_dict().values(), key=lambda e: e.lamport)
+    rendered = "  ".join(
+        f"{e.etype}@{names[e.trace]}#{e.index}" for e in chain
+    )
+    bindings = dict(report.bindings)
+    suffix = f"  bindings={bindings}" if bindings else ""
+    print(f"match: {rendered}{suffix}")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    workload, _ = _build_case(args.case, args.traces, args.seed)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    outcome = workload.run(max_events=args.max_events)
+    names = workload.kernel.trace_names()
+    count = dump_events(args.output, recorder.events, len(names), names)
+    print(
+        f"simulated {outcome.num_events} events "
+        f"(deadlocked={outcome.deadlocked}); wrote {count} to {args.output}"
+    )
+    return 0
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    with open(args.pattern, "r", encoding="utf-8") as fh:
+        pattern_source = fh.read()
+    events, num_traces, names = load_events(args.dump)
+    monitor = Monitor.from_source(pattern_source, names)
+    for event in events:
+        monitor.on_event(event)
+    for report in monitor.reports:
+        _print_report(report, names)
+    stats = monitor.stats()
+    print(
+        f"\n{stats.events_seen} events, {stats.matches_reported} matches, "
+        f"subset {stats.subset_size} "
+        f"(bound {monitor.pattern.num_leaves * num_traces}), "
+        f"history {stats.history_size}"
+    )
+    return 0
+
+
+def cmd_case(args: argparse.Namespace) -> int:
+    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
+    names = workload.kernel.trace_names()
+    monitor = Monitor.from_source(
+        pattern_source,
+        names,
+        on_match=None if args.quiet else (lambda r: _print_report(r, names)),
+    )
+    workload.server.connect(monitor)
+    outcome = workload.run(max_events=args.max_events)
+    stats = monitor.stats()
+    print(
+        f"\ncase={args.case} traces={args.traces}: {outcome.num_events} events"
+        f"{' (deadlocked)' if outcome.deadlocked else ''}, "
+        f"{stats.matches_reported} matches, subset {stats.subset_size}"
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    outcome = workload.run(max_events=args.max_events)
+    names = workload.kernel.trace_names()
+    timings, monitor = replay_through_monitor(
+        recorder.events, pattern_source, names, repetitions=args.repetitions
+    )
+    stats = compute_boxplot([t * 1e6 for t in timings])
+    print(f"case={args.case} traces={args.traces} events={outcome.num_events} "
+          f"repetitions={args.repetitions}")
+    print(quartile_table({args.case: stats}))
+    return 0
+
+
+def cmd_diagram(args: argparse.Namespace) -> int:
+    from repro.analysis.diagram import render_diagram
+    from repro.analysis.export import to_dot
+
+    events, num_traces, names = load_events(args.dump)
+    if args.limit:
+        events = events[: args.limit]
+    if args.dot:
+        print(to_dot(events, num_traces, names))
+    else:
+        print(
+            render_diagram(
+                events, num_traces, names, max_width=args.width
+            )
+        )
+    return 0
+
+
+def cmd_offline(args: argparse.Namespace) -> int:
+    from repro.baselines.offline import OfflineAnalyzer
+
+    with open(args.pattern, "r", encoding="utf-8") as fh:
+        pattern_source = fh.read()
+    events, num_traces, names = load_events(args.dump)
+    analyzer = OfflineAnalyzer.from_source(pattern_source, names)
+    result = analyzer.analyze(events)
+    for match in result.matches[: args.limit or len(result.matches)]:
+        chain = sorted(match.values(), key=lambda e: e.lamport)
+        print("match:", "  ".join(
+            f"{e.etype}@{names[e.trace]}#{e.index}" for e in chain
+        ))
+    shown = min(len(result.matches), args.limit or len(result.matches))
+    if shown < result.num_matches:
+        print(f"... and {result.num_matches - shown} more")
+    print(
+        f"\n{len(events)} events, {result.num_matches} total matches, "
+        f"{len(result.covered)} (event, trace) slots, "
+        f"analysis took {result.analysis_seconds:.3f}s"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ocep",
+        description="OCEP: online causal-event-pattern matching (ICDCS 2013)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_traces_default):
+        p.add_argument("--traces", type=int, default=with_traces_default,
+                       help="number of traces / processes")
+        p.add_argument("--seed", type=int, default=0, help="simulation seed")
+        p.add_argument("--max-events", type=int, default=50_000,
+                       help="event budget for the simulation")
+
+    p = sub.add_parser("simulate", help="run a case study and dump its events")
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("output", help="dump file to write")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("match", help="replay a dump through a pattern")
+    p.add_argument("pattern", help="pattern source file")
+    p.add_argument("dump", help="POET dump file")
+    p.set_defaults(func=cmd_match)
+
+    p = sub.add_parser("case", help="simulate + monitor a case study live")
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("--quiet", action="store_true", help="suppress per-match output")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_case)
+
+    p = sub.add_parser("bench", help="quartile table for a case study")
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("--repetitions", type=int, default=3)
+    add_common(p, 10)
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("diagram", help="render a dump as a diagram")
+    p.add_argument("dump", help="POET dump file")
+    p.add_argument("--dot", action="store_true", help="emit GraphViz DOT")
+    p.add_argument("--limit", type=int, default=60,
+                   help="events to include (0 = all)")
+    p.add_argument("--width", type=int, default=110, help="diagram width")
+    p.set_defaults(func=cmd_diagram)
+
+    p = sub.add_parser("offline", help="post-mortem full enumeration")
+    p.add_argument("pattern", help="pattern source file")
+    p.add_argument("dump", help="POET dump file")
+    p.add_argument("--limit", type=int, default=20,
+                   help="matches to print (0 = all)")
+    p.set_defaults(func=cmd_offline)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

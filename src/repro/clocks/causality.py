@@ -1,0 +1,70 @@
+"""Causality predicates over vector timestamps.
+
+These are the constant-time tests of paper Section III-A: given two
+events and their vector timestamps, happens-before is decided with at
+most two integer comparisons, and equality versus concurrency with two
+more comparisons of trace and event numbers.
+
+All functions take the timestamp together with the trace the event
+occurred on; the event's index on its own trace is recoverable from the
+clock itself (``V[trace]`` under the Fidge/Mattern convention used
+throughout this library, see :mod:`repro.clocks.vector_clock`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.clocks.vector_clock import VectorClock
+
+
+class Ordering(enum.Enum):
+    """The four possible relations between two primitive events."""
+
+    BEFORE = "before"  # first happens before second
+    AFTER = "after"  # second happens before first
+    EQUAL = "equal"  # same event
+    CONCURRENT = "concurrent"  # causally unrelated
+
+    def inverse(self) -> "Ordering":
+        """The relation with the operand order swapped."""
+        if self is Ordering.BEFORE:
+            return Ordering.AFTER
+        if self is Ordering.AFTER:
+            return Ordering.BEFORE
+        return self
+
+
+def happens_before(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> bool:
+    """True when the event stamped ``va`` (on ``trace_a``) happens before
+    the event stamped ``vb`` (on ``trace_b``).
+
+    Under the receive-merges-then-ticks convention, for distinct events
+    ``a -> b  <=>  Va[trace_a] <= Vb[trace_a]``; on the same trace the
+    comparison is strict because each event has a distinct own-component
+    value.  Two integer comparisons in the worst case.
+    """
+    if trace_a == trace_b:
+        return va[trace_a] < vb[trace_a]
+    return va[trace_a] <= vb[trace_a]
+
+
+def concurrent(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> bool:
+    """True when neither event happens before the other and they differ."""
+    return compare(va, trace_a, vb, trace_b) is Ordering.CONCURRENT
+
+
+def compare(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> Ordering:
+    """Classify the relation between two stamped events.
+
+    Equality is decided by trace number plus own-component (the event's
+    index on its trace), matching the paper's "two more integer
+    comparisons ... to distinguish between equality and concurrency".
+    """
+    if trace_a == trace_b and va[trace_a] == vb[trace_b]:
+        return Ordering.EQUAL
+    if happens_before(va, trace_a, vb, trace_b):
+        return Ordering.BEFORE
+    if happens_before(vb, trace_b, va, trace_a):
+        return Ordering.AFTER
+    return Ordering.CONCURRENT

@@ -1,0 +1,149 @@
+"""Fidge/Mattern vector clocks.
+
+A :class:`VectorClock` is an immutable, fixed-width vector of event
+counters, one entry per trace.  The protocol implemented by the
+simulation substrate (``repro.simulation``) and POET plugins is the
+classic one:
+
+* every trace ``i`` keeps a current clock, initially all zeros;
+* on every event of trace ``i`` the clock is advanced: ``V[i] += 1``;
+* every message carries the sender's clock at the send event;
+* a receive event first merges (component-wise max) the carried clock
+  into the local clock, then advances its own component.
+
+With this convention, for an event ``a`` on trace ``i`` the component
+``Va[i]`` is the 1-based index of ``a`` on its own trace, and for any
+remote trace ``t``, ``Va[t]`` is the index of the *greatest
+predecessor* of ``a`` on ``t`` — the most recent event on ``t`` that
+happens before ``a`` (0 if none).  The OCEP matcher's domain pruning
+(paper, Figures 4 and 5) relies on exactly this property.
+
+Instances are immutable and hashable so they can be freely shared
+between the event store, pattern-tree histories, and partial matches
+without defensive copying.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Tuple
+
+
+class VectorClock:
+    """An immutable vector timestamp over a fixed number of traces.
+
+    Parameters
+    ----------
+    components:
+        Iterable of non-negative integers, one per trace.
+
+    Examples
+    --------
+    >>> a = VectorClock([1, 0, 0])
+    >>> b = a.tick(1)
+    >>> b
+    VectorClock(1, 1, 0)
+    >>> a < b
+    False
+    >>> a.merge(b).tick(2)
+    VectorClock(1, 1, 1)
+    """
+
+    __slots__ = ("_components", "_hash")
+
+    def __init__(self, components: Iterable[int]):
+        comps = tuple(int(c) for c in components)
+        for c in comps:
+            if c < 0:
+                raise ValueError(f"vector clock components must be >= 0, got {c}")
+        self._components: Tuple[int, ...] = comps
+        self._hash = hash(comps)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zero(cls, width: int) -> "VectorClock":
+        """Return the all-zero clock over ``width`` traces."""
+        if width <= 0:
+            raise ValueError(f"clock width must be positive, got {width}")
+        return cls((0,) * width)
+
+    def tick(self, trace: int) -> "VectorClock":
+        """Return a new clock with the ``trace`` component advanced by one."""
+        comps = list(self._components)
+        comps[trace] += 1
+        return VectorClock(comps)
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Return the component-wise maximum of two clocks (message join)."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"cannot merge clocks of widths {len(self)} and {len(other)}"
+            )
+        return VectorClock(
+            max(a, b) for a, b in zip(self._components, other._components)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def components(self) -> Tuple[int, ...]:
+        """The raw component tuple."""
+        return self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __getitem__(self, trace: int) -> int:
+        return self._components[trace]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._components)
+
+    # ------------------------------------------------------------------
+    # Causality comparisons
+    # ------------------------------------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Component-wise ``<=`` — the clock partial order."""
+        self._check_width(other)
+        return all(a <= b for a, b in zip(self._components, other._components))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        """Strictly less in the clock partial order (``<=`` and not equal)."""
+        return self <= other and self._components != other._components
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        self._check_width(other)
+        return all(a >= b for a, b in zip(self._components, other._components))
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return self >= other and self._components != other._components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock dominates the other (incomparable)."""
+        return not (self <= other) and not (self >= other)
+
+    def _check_width(self, other: "VectorClock") -> None:
+        if len(other) != len(self):
+            raise ValueError(
+                f"cannot compare clocks of widths {len(self)} and {len(other)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Value semantics
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._components == other._components
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"VectorClock({', '.join(map(str, self._components))})"

@@ -1,0 +1,46 @@
+"""OCEP core: the online causal-event-pattern matcher.
+
+This package implements the paper's contribution (Section IV):
+
+* :mod:`~repro.core.gpls` — greatest-predecessor / least-successor
+  queries over vector timestamps, the primitives behind domain
+  restriction;
+* :mod:`~repro.core.domain` — per-trace candidate domains restricted
+  by the causality of already-instantiated events (Figure 4);
+* :mod:`~repro.core.history` — per-leaf event histories grouped by
+  trace, with the O(1) same-epoch pruning rule of Section V-D;
+* :mod:`~repro.core.subset` — the representative subset of matches
+  (at most ``k * n`` stored matches, Section IV-B);
+* :mod:`~repro.core.matcher` — the backtracking search with
+  timestamp-guided back-jumping (Algorithms 1-3, Figure 5);
+* :mod:`~repro.core.monitor` — the online monitor: a POET client that
+  feeds the matcher and reports matches as events arrive;
+* :mod:`~repro.core.oracle` — a brute-force reference matcher used as
+  the correctness oracle by the test suite.
+"""
+
+from repro.core.config import MatcherConfig, SweepMode
+from repro.core.gpls import CausalIndex
+from repro.core.history import HistorySet, LeafHistory
+from repro.core.subset import RepresentativeSubset, Slot
+from repro.core.matcher import Match, MatchReport, OCEPMatcher
+from repro.core.monitor import Monitor, MonitorStats
+from repro.core.multi import MultiMonitor
+from repro.core.oracle import enumerate_matches
+
+__all__ = [
+    "MatcherConfig",
+    "SweepMode",
+    "CausalIndex",
+    "HistorySet",
+    "LeafHistory",
+    "RepresentativeSubset",
+    "Slot",
+    "Match",
+    "MatchReport",
+    "OCEPMatcher",
+    "Monitor",
+    "MonitorStats",
+    "MultiMonitor",
+    "enumerate_matches",
+]

@@ -1,0 +1,121 @@
+"""Greatest predecessor and least successor queries.
+
+Paper, Section IV-C: "The greatest predecessor (GP) of an event ``a``
+on a trace ``t`` is the most-recent event on that trace that happens
+before ``a`` ... The least successor (LS) of an event ``a`` on a trace
+``t`` is the least-recent event on that trace that happens after
+``a``."  Together they delimit the portion of trace ``t`` concurrent
+with ``a``, which is exactly what domain restriction needs (Figure 4).
+
+Under the Fidge/Mattern convention, ``GP(a, t)`` is read directly off
+``a``'s own timestamp: it is the event at position ``Va[t]`` on trace
+``t`` (position 0 meaning "none").  ``LS(a, t)`` needs the *reverse*
+lookup — the earliest event on ``t`` whose clock column for ``a``'s
+trace has reached ``a``'s index — which this module answers with a
+compressed per-trace-pair index of clock-column increase points.  Only
+events that merge a remote clock (receives) grow the index, so its
+size is proportional to communication, not to the total event count;
+this is how the monitor avoids retaining every event just to answer
+successor queries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.events.event import Event, EventKind
+
+
+class CausalIndex:
+    """Incremental GP/LS index over a stream of events.
+
+    Feed every event of the computation (in delivery order) to
+    :meth:`observe`; then :meth:`gp` and :meth:`ls` answer in O(1) and
+    O(log messages) respectively.
+    """
+
+    def __init__(self, num_traces: int):
+        if num_traces <= 0:
+            raise ValueError(f"need at least one trace, got {num_traces}")
+        self.num_traces = num_traces
+        # _columns[l][m]: increase points of clock column m along trace
+        # l, as parallel lists (values, positions), both strictly
+        # increasing.  Own columns (l == m) are implicit.
+        self._values: List[List[List[int]]] = [
+            [[] for _ in range(num_traces)] for _ in range(num_traces)
+        ]
+        self._positions: List[List[List[int]]] = [
+            [[] for _ in range(num_traces)] for _ in range(num_traces)
+        ]
+        self._lengths = [0] * num_traces
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def observe(self, event: Event) -> None:
+        """Ingest the next event (must arrive in delivery order)."""
+        trace = event.trace
+        expected = self._lengths[trace] + 1
+        if event.index != expected:
+            raise ValueError(
+                f"trace {trace}: observed event {event.index}, expected {expected}"
+            )
+        self._lengths[trace] = event.index
+
+        # Only a clock merge can raise a remote column; merges happen
+        # exclusively at receive events, so everything else is O(1).
+        if event.kind is EventKind.RECEIVE:
+            clock = event.clock
+            values_row = self._values[trace]
+            positions_row = self._positions[trace]
+            for m in range(self.num_traces):
+                if m == trace:
+                    continue
+                v = clock[m]
+                col = values_row[m]
+                if v > 0 and (not col or v > col[-1]):
+                    col.append(v)
+                    positions_row[m].append(event.index)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def trace_length(self, trace: int) -> int:
+        """Number of events observed on a trace so far."""
+        return self._lengths[trace]
+
+    def gp(self, event: Event, trace: int) -> int:
+        """Position of ``GP(event, trace)`` on ``trace`` (0 = none).
+
+        On the event's own trace this is simply its predecessor; on a
+        remote trace it is the event's clock entry for that trace.
+        """
+        if trace == event.trace:
+            return event.index - 1
+        return event.clock[trace]
+
+    def ls(self, event: Event, trace: int) -> Optional[int]:
+        """Position of ``LS(event, trace)`` on ``trace`` (``None`` =
+        no successor observed yet).
+
+        On the event's own trace this is its successor; on a remote
+        trace it is the earliest position whose clock column for the
+        event's trace has reached the event's index.
+        """
+        if trace == event.trace:
+            nxt = event.index + 1
+            return nxt if nxt <= self._lengths[trace] else None
+        col = self._values[trace][event.trace]
+        pos = bisect.bisect_left(col, event.index)
+        if pos == len(col):
+            return None
+        return self._positions[trace][event.trace][pos]
+
+    def index_size(self) -> int:
+        """Total increase points stored (memory proxy for benchmarks)."""
+        return sum(
+            len(col) for row in self._values for col in row
+        )

@@ -1,0 +1,695 @@
+"""The OCEP matching engine (paper, Section IV-C, Algorithms 1-3).
+
+On each *terminating* event the matcher runs a backtracking search for
+pattern matches containing it:
+
+* level 1 of the search is the newly matched event (the partial match
+  ``{e1}`` of Algorithm 1);
+* ``goForward`` (Algorithm 2) instantiates the next pattern position:
+  it sweeps the traces, computes the candidate domain on each trace by
+  intersecting the Figure-4 restrictions contributed by every already
+  instantiated event, and takes candidates newest-first;
+* a restriction that empties a domain records a conflict in the ``bt``
+  table together with the vector-timestamp-derived bounds within which
+  a *different* choice at the conflicting level could resolve it
+  (Figure 5);
+* ``goBackward`` (Algorithm 3) consults the recorded conflicts: when
+  the failing level never produced a candidate and every failure was a
+  domain conflict, it jumps directly to the deepest conflicting level
+  and narrows that level's remaining candidates with the recorded
+  bounds; otherwise it backtracks one level (a jump past levels whose
+  choices could have mattered — variable bindings, partner identity,
+  exhausted candidates — would lose matches, so those failures
+  deliberately fall back to plain backtracking);
+* every complete match is offered to the representative subset
+  (``updateSubset``); after a completed match the level it completed
+  on advances to the next trace, which is what sweeps coverage across
+  the ``(pattern event, trace)`` slots.
+
+Domain intervals are exact under the clock convention (see
+:mod:`repro.core.domain`), so candidate acceptance only needs the
+non-interval checks: distinctness, attribute-variable consistency,
+partner identity, and limited-precedence immediacy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import MatcherConfig, SweepMode
+from repro.core.domain import Interval, restrict
+from repro.core.gpls import CausalIndex
+from repro.core.history import HistorySet, LeafHistory
+from repro.core.subset import RepresentativeSubset
+from repro.events.event import Event, EventKind
+from repro.patterns.classes import Bindings
+from repro.patterns.compile import CompiledPattern, Constraint
+
+#: A complete match: leaf id -> event.
+Match = Dict[int, Event]
+
+
+@dataclasses.dataclass(frozen=True)
+class MatchReport:
+    """One complete match found online.
+
+    Attributes
+    ----------
+    trigger_leaf, trigger_event:
+        The terminating event that triggered the search.
+    assignment:
+        The matched event for every pattern leaf.
+    bindings:
+        Final attribute-variable environment.
+    new_slots:
+        Representative-subset slots this match newly covered (empty
+        when the match was redundant for the subset).
+    """
+
+    trigger_leaf: int
+    trigger_event: Event
+    assignment: Tuple[Tuple[int, Event], ...]
+    bindings: Tuple[Tuple[str, str], ...]
+    new_slots: Tuple[Tuple[int, int], ...]
+
+    def as_dict(self) -> Match:
+        return dict(self.assignment)
+
+
+@dataclasses.dataclass
+class _Conflict:
+    """A recorded ``bt`` entry: changing ``level``'s event to a position
+    within ``[lo, hi]`` on its current trace might resolve the failure
+    (``None`` bounds = unbounded on that side)."""
+
+    level: int
+    lo: Optional[int]
+    hi: Optional[int]
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the per-trigger search budget ran out."""
+
+
+class _Level:
+    """Search state for one backtracking level (pattern position)."""
+
+    __slots__ = (
+        "leaf_id",
+        "trace",
+        "candidates",
+        "pos",
+        "event",
+        "env",
+        "extra_lo",
+        "extra_hi",
+        "conflicts",
+        "accepted_any",
+        "filter_rejected",
+        "match_since_assign",
+    )
+
+    def __init__(self, leaf_id: int):
+        self.leaf_id = leaf_id
+        self.reset()
+
+    def reset(self) -> None:
+        self.trace = 0
+        self.candidates: Optional[Sequence[Event]] = None
+        self.pos = -1
+        self.event: Optional[Event] = None
+        self.env: Optional[Bindings] = None
+        self.extra_lo: Optional[int] = None
+        self.extra_hi: Optional[int] = None
+        self.conflicts: List[_Conflict] = []
+        self.accepted_any = False
+        self.filter_rejected = False
+        self.match_since_assign = False
+
+    def advance_trace(self) -> None:
+        """Abandon the current trace and move the sweep to the next."""
+        self.trace += 1
+        self.candidates = None
+        self.pos = -1
+        self.event = None
+        self.extra_lo = None
+        self.extra_hi = None
+
+
+class OCEPMatcher:
+    """Online matcher for one compiled pattern.
+
+    Feed every event of the monitored computation (in linearization
+    order) to :meth:`on_event`; it returns the match reports the event
+    triggered.  The matcher owns the leaf histories, the GP/LS index,
+    and the representative subset.
+    """
+
+    def __init__(
+        self,
+        pattern: CompiledPattern,
+        num_traces: int,
+        config: Optional[MatcherConfig] = None,
+    ):
+        self.pattern = pattern
+        self.num_traces = num_traces
+        self.config = config or MatcherConfig()
+        self.index = CausalIndex(num_traces)
+        self.history = HistorySet(pattern.num_leaves, num_traces)
+        self.subset = RepresentativeSubset(pattern.num_leaves, num_traces)
+        self._terminating = frozenset(pattern.terminating_leaves())
+        self.events_processed = 0
+        self.searches_run = 0
+        self.searches_truncated = 0
+        self._steps_left: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Online interface
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> List[MatchReport]:
+        """Process the next event; returns any matches it completed."""
+        self.events_processed += 1
+        self.index.observe(event)
+        if event.kind.is_communication:
+            self.history.bump_comm_epoch(event.trace)
+
+        triggered: List[Tuple[int, Bindings]] = []
+        for leaf in self.pattern.leaves:
+            env = leaf.event_class.matches(event)
+            if env is None:
+                continue
+            self.history.append(
+                leaf.leaf_id, event, prune=self.config.prune_history
+            )
+            if leaf.leaf_id in self._terminating:
+                triggered.append((leaf.leaf_id, env))
+
+        reports: List[MatchReport] = []
+        for leaf_id, env in triggered:
+            self.searches_run += 1
+            reports.extend(self._search(leaf_id, event, env))
+        return reports
+
+    # ------------------------------------------------------------------
+    # Backtracking search (Algorithms 1-3)
+    # ------------------------------------------------------------------
+
+    def _search(
+        self, trigger_leaf: int, trigger_event: Event, trigger_env: Bindings
+    ) -> List[MatchReport]:
+        order = self.pattern.evaluation_order(trigger_leaf)
+        k = len(order)
+        # Fail fast: a representative subset only contains events that
+        # are part of a complete match, and a complete match needs one
+        # event per leaf — if some leaf has never matched anything, no
+        # search can succeed.
+        for leaf_id in order[1:]:
+            if self.history.leaf(leaf_id).size == 0:
+                return []
+        levels = [_Level(leaf_id) for leaf_id in order]
+        levels[0].event = trigger_event
+        levels[0].env = trigger_env
+        levels[0].accepted_any = True
+
+        reports: List[MatchReport] = []
+        if k == 1:
+            self._report(reports, trigger_leaf, trigger_event, levels)
+            return reports
+
+        budget = self.config.max_forward_steps
+        self._steps_left = budget if budget is not None else None
+
+        found_any = False
+        i = 1
+        try:
+            self._run_levels(levels, i, k, trigger_leaf, trigger_event, reports)
+        except _BudgetExhausted:
+            self.searches_truncated += 1
+        return reports
+
+    def _run_levels(
+        self,
+        levels: List["_Level"],
+        i: int,
+        k: int,
+        trigger_leaf: int,
+        trigger_event: Event,
+        reports: List[MatchReport],
+    ) -> None:
+        found_any = False
+        while i >= 1:
+            if self._go_forward(levels, i, found_any):
+                if i == k - 1:
+                    if self._accept_complete(levels):
+                        self._report(reports, trigger_leaf, trigger_event, levels)
+                        found_any = True
+                        for level in levels[1:]:
+                            level.match_since_assign = True
+                        if self.config.sweep is SweepMode.FIRST:
+                            break
+                        if self.config.sweep is SweepMode.COVERAGE:
+                            levels[i].advance_trace()
+                    else:
+                        # whole-assignment check failed: its cause spans
+                        # levels, so disable back-jumping from here.
+                        levels[i].filter_rejected = True
+                else:
+                    i += 1
+            else:
+                i = self._go_backward(levels, i)
+
+    def _report(
+        self,
+        reports: List[MatchReport],
+        trigger_leaf: int,
+        trigger_event: Event,
+        levels: Sequence[_Level],
+    ) -> None:
+        assignment = {level.leaf_id: level.event for level in levels}
+        new_slots = self.subset.update(assignment)
+        env = levels[-1].env or {}
+        reports.append(
+            MatchReport(
+                trigger_leaf=trigger_leaf,
+                trigger_event=trigger_event,
+                assignment=tuple(sorted(assignment.items())),
+                bindings=tuple(sorted(env.items())),
+                new_slots=new_slots,
+            )
+        )
+
+    # -- goForward ------------------------------------------------------
+
+    def _go_forward(
+        self, levels: List[_Level], i: int, found_any: bool
+    ) -> bool:
+        level = levels[i]
+        leaf_history = self.history.leaf(level.leaf_id)
+        coverage = self.config.sweep is SweepMode.COVERAGE
+
+        leaf_class = self.pattern.leaves[level.leaf_id].event_class
+        env_prev = levels[i - 1].env
+        if self.config.indexed_histories:
+            pinned = leaf_class.pinned_trace(env_prev)
+            required_text = leaf_class.required_text(env_prev)
+        else:
+            pinned = None
+            required_text = None
+
+        while True:
+            if self._steps_left is not None:
+                self._steps_left -= 1
+                if self._steps_left < 0:
+                    raise _BudgetExhausted()
+            if level.candidates is None:
+                if pinned is not None:
+                    if pinned < 0 or level.trace > pinned:
+                        return False
+                    if level.trace < pinned:
+                        level.trace = pinned
+                if level.trace >= self.num_traces:
+                    return False
+                trace = level.trace
+                if (
+                    coverage
+                    and found_any
+                    and self.subset.is_covered(level.leaf_id, trace)
+                ):
+                    level.advance_trace()
+                    continue
+                if not leaf_history.on_trace(trace):
+                    level.advance_trace()
+                    continue
+                domain = self._compute_domain(levels, i, trace)
+                if domain is None:
+                    level.advance_trace()
+                    continue
+                interval, lo_level, hi_level = domain
+                if required_text is not None:
+                    level.candidates = leaf_history.slice_by_text(
+                        trace, interval.lo, interval.hi, required_text
+                    )
+                else:
+                    level.candidates = leaf_history.slice(
+                        trace, interval.lo, interval.hi
+                    )
+                level.pos = len(level.candidates) - 1  # newest first
+                if not level.candidates:
+                    # The interval is satisfiable but holds no stored
+                    # candidate — the Figure 5 conflict proper.  Record
+                    # a resolution for every binding contributor so the
+                    # back-jump hull never excludes a real resolver.
+                    if self.config.backjump:
+                        self._record_slice_conflicts(
+                            levels, level, leaf_history, trace,
+                            interval, lo_level, hi_level,
+                        )
+                    level.advance_trace()
+                    continue
+
+            while level.pos >= 0:
+                if self._steps_left is not None:
+                    self._steps_left -= 1
+                    if self._steps_left < 0:
+                        raise _BudgetExhausted()
+                candidate = level.candidates[level.pos]
+                level.pos -= 1
+                if level.extra_lo is not None and candidate.index < level.extra_lo:
+                    continue
+                if level.extra_hi is not None and candidate.index > level.extra_hi:
+                    continue
+                env = self._acceptable(levels, i, candidate)
+                if env is None:
+                    continue
+                level.event = candidate
+                level.env = env
+                level.accepted_any = True
+                level.match_since_assign = False
+                return True
+
+            level.advance_trace()
+
+    def _compute_domain(
+        self, levels: List[_Level], i: int, trace: int
+    ) -> Optional[Tuple[Interval, Optional[int], Optional[int]]]:
+        """Intersect the Figure-4 restrictions of all instantiated
+        events.  On interval emptiness, record the conflict (with
+        Figure-5 resolution bounds) and return None; otherwise return
+        the interval together with the levels whose restrictions set
+        its binding lower and upper bounds (None = unbounded side)."""
+        level = levels[i]
+        interval = Interval()
+        lo_level: Optional[int] = None
+        hi_level: Optional[int] = None
+        # each restriction costs budget too, so the per-trigger bound
+        # stays uniform across pattern sizes (a domain computation is
+        # O(pattern length))
+        if self._steps_left is not None:
+            self._steps_left -= i
+            if self._steps_left < 0:
+                raise _BudgetExhausted()
+        for j in range(i):
+            assigned = levels[j].event
+            constraint = self.pattern.constraint(levels[j].leaf_id, level.leaf_id)
+            if constraint is Constraint.NONE:
+                continue
+            if not self.config.restrict_domains and constraint is not Constraint.PARTNER:
+                # Chronological-backtracking ablation: scan everything,
+                # verify causality per candidate instead.
+                continue
+            before_lo, before_hi = interval.lo, interval.hi
+            if not restrict(interval, constraint, assigned, trace, self.index):
+                if self.config.backjump:
+                    level.conflicts.append(
+                        self._make_conflict(j, constraint, assigned, level.leaf_id, trace)
+                    )
+                return None
+            if interval.lo != before_lo:
+                lo_level = j
+            if interval.hi != before_hi:
+                hi_level = j
+        return interval, lo_level, hi_level
+
+    def _record_slice_conflicts(
+        self,
+        levels: List[_Level],
+        level: _Level,
+        leaf_history: LeafHistory,
+        trace: int,
+        interval: Interval,
+        lo_level: Optional[int],
+        hi_level: Optional[int],
+    ) -> None:
+        """Figure 5 for an empty candidate slice: every stored event on
+        ``trace`` lies outside ``interval``, so a different choice at a
+        binding contributor could admit one.  For the lower bound the
+        nearest admissible candidate is the latest event below it; for
+        the upper bound, the earliest event above it."""
+        events = leaf_history.on_trace(trace)
+
+        if lo_level is not None and lo_level >= 1:
+            below = leaf_history.slice(trace, 1, interval.lo - 1)
+            if below:
+                target = below[-1]
+                assigned = levels[lo_level].event
+                constraint = self.pattern.constraint(
+                    levels[lo_level].leaf_id, level.leaf_id
+                )
+                lo, hi = self._admit_bounds_lower(constraint, assigned, target)
+                level.conflicts.append(_Conflict(level=lo_level, lo=lo, hi=hi))
+
+        if hi_level is not None and hi_level >= 1 and interval.hi is not None:
+            above_start = interval.hi + 1
+            above = leaf_history.slice(trace, above_start, None)
+            if above:
+                target = above[0]
+                assigned = levels[hi_level].event
+                constraint = self.pattern.constraint(
+                    levels[hi_level].leaf_id, level.leaf_id
+                )
+                lo, hi = self._admit_bounds_upper(constraint, assigned, target)
+                level.conflicts.append(_Conflict(level=hi_level, lo=lo, hi=hi))
+
+    def _admit_bounds_lower(
+        self, constraint: Constraint, assigned: Event, target: Event
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Positions on ``assigned``'s trace where a replacement's
+        lower-bound restriction would admit ``target``."""
+        own = assigned.trace
+        if constraint in (Constraint.BEFORE, Constraint.LIMITED, Constraint.PARTNER):
+            # need replacement -> target
+            hi = self.index.gp(target, own)
+            return (None, hi) if hi > 0 else (None, None)
+        if constraint in (Constraint.NOT_AFTER, Constraint.CONCURRENT):
+            # need not (target -> replacement)
+            ls = self.index.ls(target, own)
+            return (None, ls - 1) if ls is not None else (None, None)
+        return (None, None)
+
+    def _admit_bounds_upper(
+        self, constraint: Constraint, assigned: Event, target: Event
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Positions on ``assigned``'s trace where a replacement's
+        upper-bound restriction would admit ``target``."""
+        own = assigned.trace
+        if constraint in (Constraint.AFTER, Constraint.LIMITED_REV, Constraint.PARTNER):
+            # need target -> replacement
+            lo = self.index.ls(target, own)
+            return (lo, None) if lo is not None else (None, None)
+        if constraint in (Constraint.NOT_BEFORE, Constraint.CONCURRENT):
+            # need not (replacement -> target)
+            return (self.index.gp(target, own) + 1, None)
+        return (None, None)
+
+    def _make_conflict(
+        self,
+        j: int,
+        constraint: Constraint,
+        assigned: Event,
+        leaf_id: int,
+        trace: int,
+    ) -> _Conflict:
+        lo, hi = self._resolution_bounds(
+            constraint, assigned, self.history.leaf(leaf_id), trace
+        )
+        return _Conflict(level=j, lo=lo, hi=hi)
+
+    def _resolution_bounds(
+        self,
+        constraint: Constraint,
+        assigned: Event,
+        leaf_history: LeafHistory,
+        trace: int,
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Figure 5: positions on ``assigned``'s own trace within which
+        a replacement could satisfy ``constraint`` against *some*
+        stored candidate on ``trace``.  The bounds are the hull of the
+        per-candidate resolutions, hence sound (never exclude a
+        workable replacement) while the instantiation prefix below the
+        conflicting level is unchanged."""
+        own = assigned.trace
+        earliest = leaf_history.earliest_on(trace)
+        latest = leaf_history.latest_on(trace)
+        if earliest is None or latest is None:
+            return (None, None)
+
+        if constraint in (Constraint.BEFORE, Constraint.LIMITED):
+            # replacement -> some candidate; easiest against the latest
+            hi = self.index.gp(latest, own)
+            return (None, hi) if hi > 0 else (None, None)
+        if constraint in (Constraint.AFTER, Constraint.LIMITED_REV):
+            lo = self.index.ls(earliest, own)
+            return (lo, None) if lo is not None else (None, None)
+        if constraint is Constraint.NOT_AFTER:
+            ls = self.index.ls(latest, own)
+            return (None, ls - 1) if ls is not None else (None, None)
+        if constraint is Constraint.NOT_BEFORE:
+            return (self.index.gp(earliest, own) + 1, None)
+        if constraint is Constraint.CONCURRENT:
+            lo = self.index.gp(earliest, own) + 1
+            ls = self.index.ls(latest, own)
+            hi = ls - 1 if ls is not None else None
+            return (lo, hi)
+        return (None, None)  # PARTNER: no timestamp form, plain jump
+
+    # -- candidate acceptance --------------------------------------------
+
+    def _acceptable(
+        self, levels: List[_Level], i: int, candidate: Event
+    ) -> Optional[Bindings]:
+        """Non-interval checks; returns the extended environment on
+        success and flags the rejection kind for back-jump safety."""
+        level = levels[i]
+
+        for j in range(i):
+            if levels[j].event == candidate:
+                level.filter_rejected = True
+                return None
+
+        env = self.pattern.leaves[level.leaf_id].event_class.matches(
+            candidate, levels[i - 1].env
+        )
+        if env is None:
+            level.filter_rejected = True
+            return None
+
+        verify_all = self.config.paranoid or not self.config.restrict_domains
+        for j in range(i):
+            assigned = levels[j].event
+            constraint = self.pattern.constraint(levels[j].leaf_id, level.leaf_id)
+            if constraint is Constraint.NONE:
+                continue
+            if constraint is Constraint.PARTNER:
+                if not candidate.is_partner_of(assigned):
+                    level.filter_rejected = True
+                    return None
+            elif constraint is Constraint.LIMITED:
+                # assigned ~> candidate: no same-class event between
+                if self.history.leaf(levels[j].leaf_id).has_between(
+                    assigned, candidate
+                ):
+                    level.filter_rejected = True
+                    return None
+            elif constraint is Constraint.LIMITED_REV:
+                # candidate ~> assigned
+                if self.history.leaf(level.leaf_id).has_between(
+                    candidate, assigned
+                ):
+                    level.filter_rejected = True
+                    return None
+            if verify_all and not _satisfies(constraint, assigned, candidate):
+                if self.config.restrict_domains:
+                    raise AssertionError(
+                        "exact domain restriction admitted a causally "
+                        f"invalid candidate {candidate.event_id} "
+                        f"({constraint.value} vs {assigned.event_id})"
+                    )
+                level.filter_rejected = True
+                return None
+        return env
+
+    def _accept_complete(self, levels: Sequence[_Level]) -> bool:
+        """Whole-assignment checks: compound-precedence existentials
+        and entanglement (equations (1) and (2))."""
+        if not self.pattern.exist_checks and not self.pattern.entangle_checks:
+            return True
+        assignment = {level.leaf_id: level.event for level in levels}
+        for check in self.pattern.exist_checks:
+            if not any(
+                assignment[a].happens_before(assignment[b])
+                for a in check.left_leaves
+                for b in check.right_leaves
+            ):
+                return False
+        for check in self.pattern.entangle_checks:
+            forward = any(
+                assignment[a].happens_before(assignment[b])
+                for a in check.left_leaves
+                for b in check.right_leaves
+            )
+            backward = any(
+                assignment[b].happens_before(assignment[a])
+                for a in check.left_leaves
+                for b in check.right_leaves
+            )
+            if not (forward and backward):
+                return False
+        return True
+
+    # -- goBackward -------------------------------------------------------
+
+    def _go_backward(self, levels: List[_Level], i: int) -> int:
+        level = levels[i]
+        can_jump = (
+            self.config.backjump
+            and not level.accepted_any
+            and not level.filter_rejected
+            and level.conflicts
+        )
+        if can_jump:
+            target = max(c.level for c in level.conflicts)
+            if target >= 1:
+                lo, hi = _bounds_hull(
+                    c for c in level.conflicts if c.level == target
+                )
+                level.reset()
+                for q in range(target + 1, i):
+                    levels[q].reset()
+                jump_level = levels[target]
+                if lo is not None and (
+                    jump_level.extra_lo is None or lo > jump_level.extra_lo
+                ):
+                    jump_level.extra_lo = lo
+                if hi is not None and (
+                    jump_level.extra_hi is None or hi < jump_level.extra_hi
+                ):
+                    jump_level.extra_hi = hi
+                return target
+
+        level.reset()
+        target = i - 1
+        if (
+            target >= 1
+            and self.config.sweep is SweepMode.COVERAGE
+            and levels[target].match_since_assign
+        ):
+            levels[target].advance_trace()
+        return target
+
+
+def _bounds_hull(conflicts) -> Tuple[Optional[int], Optional[int]]:
+    """Union hull of resolution bounds: the weakest (soundest) bound
+    covering every recorded way of resolving the target level."""
+    lo: Optional[int] = None
+    hi: Optional[int] = None
+    first = True
+    for conflict in conflicts:
+        if first:
+            lo, hi = conflict.lo, conflict.hi
+            first = False
+            continue
+        if conflict.lo is None or (lo is not None and conflict.lo < lo):
+            lo = conflict.lo
+        if conflict.hi is None or (hi is not None and conflict.hi > hi):
+            hi = conflict.hi
+    return lo, hi
+
+
+def _satisfies(constraint: Constraint, assigned: Event, candidate: Event) -> bool:
+    """Direct causal verification of a pairwise constraint (used by the
+    chronological ablation and paranoid mode)."""
+    if constraint in (Constraint.BEFORE, Constraint.LIMITED):
+        return assigned.happens_before(candidate)
+    if constraint in (Constraint.AFTER, Constraint.LIMITED_REV):
+        return candidate.happens_before(assigned)
+    if constraint is Constraint.NOT_AFTER:
+        return not candidate.happens_before(assigned)
+    if constraint is Constraint.NOT_BEFORE:
+        return not assigned.happens_before(candidate)
+    if constraint is Constraint.CONCURRENT:
+        return candidate.concurrent_with(assigned)
+    if constraint is Constraint.PARTNER:
+        return candidate.is_partner_of(assigned)
+    return True

@@ -1,0 +1,148 @@
+"""The online monitor: POET client + pattern tree + OCEP matcher.
+
+This is the top of the stack and the main entry point of the library:
+
+    >>> from repro import Monitor
+    >>> monitor = Monitor.from_source(pattern_text, trace_names)
+    >>> server.connect(monitor)       # POET server of the computation
+    >>> kernel.run()                  # reports stream via the callback
+
+The monitor parses and compiles the pattern, feeds every delivered
+event to the matcher, collects per-event wall-clock timings (the
+paper's headline metric: "execution time ... taken by the monitor to
+find the set of matches on arrival of an event"), and invokes an
+optional callback for every reported match.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import MatchReport, OCEPMatcher
+from repro.events.event import Event
+from repro.patterns.compile import CompiledPattern, compile_pattern
+from repro.patterns.parser import parse_pattern
+from repro.patterns.tree import PatternTree
+from repro.poet.client import POETClient
+
+MatchCallback = Callable[[MatchReport], None]
+
+
+@dataclasses.dataclass
+class MonitorStats:
+    """Aggregate counters of one monitoring run."""
+
+    events_seen: int = 0
+    matches_reported: int = 0
+    subset_size: int = 0
+    history_size: int = 0
+    searches_run: int = 0
+
+
+class Monitor(POETClient):
+    """Online causal-event-pattern monitor.
+
+    Parameters
+    ----------
+    pattern:
+        The compiled pattern to watch for.
+    num_traces:
+        Number of traces in the monitored computation.
+    config:
+        Matcher configuration (defaults preserve the paper's
+        behaviour).
+    on_match:
+        Optional callback invoked for every reported match.
+    record_timings:
+        When true (default), record per-event matching wall time in
+        seconds; :attr:`timings` aligns with delivery order and
+        :attr:`terminating_timings` keeps only events that triggered a
+        search (the paper's "terminating events").
+    """
+
+    def __init__(
+        self,
+        pattern: CompiledPattern,
+        num_traces: int,
+        config: Optional[MatcherConfig] = None,
+        on_match: Optional[MatchCallback] = None,
+        record_timings: bool = True,
+    ):
+        self.matcher = OCEPMatcher(pattern, num_traces, config)
+        self.pattern = pattern
+        self._on_match = on_match
+        self._record_timings = record_timings
+        self.reports: List[MatchReport] = []
+        self.timings: List[float] = []
+        self.terminating_timings: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        trace_names: Sequence[str],
+        config: Optional[MatcherConfig] = None,
+        on_match: Optional[MatchCallback] = None,
+        record_timings: bool = True,
+    ) -> "Monitor":
+        """Parse, build, and compile a pattern, then wrap it in a
+        monitor for a computation with the given trace names."""
+        definition = parse_pattern(source)
+        tree = PatternTree(definition, trace_names)
+        compiled = compile_pattern(tree)
+        return cls(
+            compiled,
+            num_traces=len(trace_names),
+            config=config,
+            on_match=on_match,
+            record_timings=record_timings,
+        )
+
+    # ------------------------------------------------------------------
+    # POET client interface
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """Process one delivered event (the POET client hook)."""
+        searches_before = self.matcher.searches_run
+        if self._record_timings:
+            start = time.perf_counter()
+            reports = self.matcher.on_event(event)
+            elapsed = time.perf_counter() - start
+            self.timings.append(elapsed)
+            if self.matcher.searches_run > searches_before:
+                self.terminating_timings.append(elapsed)
+        else:
+            reports = self.matcher.on_event(event)
+
+        if reports:
+            self.reports.extend(reports)
+            if self._on_match is not None:
+                for report in reports:
+                    self._on_match(report)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def subset(self):
+        """The matcher's representative subset."""
+        return self.matcher.subset
+
+    def stats(self) -> MonitorStats:
+        """Aggregate counters for reporting."""
+        return MonitorStats(
+            events_seen=self.matcher.events_processed,
+            matches_reported=len(self.reports),
+            subset_size=len(self.matcher.subset),
+            history_size=self.matcher.history.total_size(),
+            searches_run=self.matcher.searches_run,
+        )

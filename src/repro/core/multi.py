@@ -1,0 +1,121 @@
+"""Monitoring several patterns over one event stream.
+
+A deployment typically watches many safety conditions at once (a
+deadlock pattern, a race pattern, an application-specific ordering
+pattern...).  :class:`MultiMonitor` multiplexes one POET stream into
+per-pattern :class:`~repro.core.monitor.Monitor` instances, sharing
+the delivery path and giving named access to each pattern's reports,
+subset, and statistics.
+
+    >>> multi = MultiMonitor(trace_names)
+    >>> multi.watch("races", race_pattern)
+    >>> multi.watch("ordering", ordering_pattern)
+    >>> server.connect(multi)
+    >>> kernel.run()
+    >>> multi["races"].reports
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import MatchReport
+from repro.core.monitor import Monitor, MonitorStats
+from repro.events.event import Event
+from repro.poet.client import POETClient
+
+#: Callback receiving (pattern name, report).
+NamedMatchCallback = Callable[[str, MatchReport], None]
+
+
+class MultiMonitor(POETClient):
+    """A POET client fanning one stream into several pattern monitors.
+
+    Parameters
+    ----------
+    trace_names:
+        Trace names of the monitored computation (shared by every
+        pattern).
+    on_match:
+        Optional callback invoked as ``on_match(name, report)`` for
+        every match of every watched pattern.
+    """
+
+    def __init__(
+        self,
+        trace_names: Sequence[str],
+        on_match: Optional[NamedMatchCallback] = None,
+    ):
+        self.trace_names = tuple(trace_names)
+        self._monitors: Dict[str, Monitor] = {}
+        self._on_match = on_match
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        name: str,
+        pattern_source: str,
+        config: Optional[MatcherConfig] = None,
+        record_timings: bool = True,
+    ) -> Monitor:
+        """Add a named pattern; returns its monitor.
+
+        Patterns added after events have flowed miss the prefix, like
+        any late POET client; add every pattern before running.
+        """
+        if name in self._monitors:
+            raise ValueError(f"already watching a pattern named {name!r}")
+        callback = None
+        if self._on_match is not None:
+            outer = self._on_match
+
+            def callback(report: MatchReport, _name: str = name) -> None:
+                outer(_name, report)
+
+        monitor = Monitor.from_source(
+            pattern_source,
+            self.trace_names,
+            config=config,
+            on_match=callback,
+            record_timings=record_timings,
+        )
+        self._monitors[name] = monitor
+        return monitor
+
+    # ------------------------------------------------------------------
+    # POET client interface
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        self.events_seen += 1
+        for monitor in self._monitors.values():
+            monitor.on_event(event)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> Monitor:
+        return self._monitors[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._monitors
+
+    def __iter__(self) -> Iterator[Tuple[str, Monitor]]:
+        return iter(self._monitors.items())
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    def stats(self) -> Dict[str, MonitorStats]:
+        """Per-pattern statistics, keyed by pattern name."""
+        return {name: mon.stats() for name, mon in self._monitors.items()}
+
+    def total_reports(self) -> int:
+        """Matches reported across all patterns."""
+        return sum(len(mon.reports) for mon in self._monitors.values())

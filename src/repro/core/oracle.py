@@ -1,0 +1,144 @@
+"""Brute-force reference matcher.
+
+Enumerates *every* assignment of events to pattern leaves that
+satisfies the compiled constraints, by exhaustive search over the full
+(unpruned) candidate lists.  Exponential and offline by design — its
+only job is to be obviously correct, so the test suite can compare the
+OCEP engine's online results against ground truth on small traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.events.event import Event
+from repro.patterns.classes import Bindings
+from repro.patterns.compile import CompiledPattern, Constraint
+
+Match = Dict[int, Event]
+
+
+def enumerate_matches(
+    pattern: CompiledPattern, events: Iterable[Event]
+) -> List[Match]:
+    """All complete matches of ``pattern`` over the event collection.
+
+    Events may be given in any order.  Matches are returned as
+    leaf-id -> event dictionaries, in no particular order.
+    """
+    ordered = sorted(events, key=lambda e: (e.trace, e.index))
+    candidates: List[List[Event]] = []
+    for leaf in pattern.leaves:
+        candidates.append([e for e in ordered if leaf.event_class.could_match(e)])
+
+    matches: List[Match] = []
+    assignment: Match = {}
+
+    def backtrack(leaf_id: int, env: Bindings) -> None:
+        if leaf_id == pattern.num_leaves:
+            if _exist_checks_pass(pattern, assignment):
+                matches.append(dict(assignment))
+            return
+        leaf = pattern.leaves[leaf_id]
+        for event in candidates[leaf_id]:
+            if any(event == chosen for chosen in assignment.values()):
+                continue
+            next_env = leaf.event_class.matches(event, env)
+            if next_env is None:
+                continue
+            if not _pairwise_ok(pattern, assignment, leaf_id, event, candidates):
+                continue
+            assignment[leaf_id] = event
+            backtrack(leaf_id + 1, next_env)
+            del assignment[leaf_id]
+
+    backtrack(0, {})
+    return matches
+
+
+def _pairwise_ok(
+    pattern: CompiledPattern,
+    assignment: Match,
+    leaf_id: int,
+    event: Event,
+    candidates: List[List[Event]],
+) -> bool:
+    for other_id, other in assignment.items():
+        constraint = pattern.constraint(other_id, leaf_id)
+        if constraint is Constraint.NONE:
+            continue
+        if not _holds(constraint, other, event, other_id, leaf_id, candidates):
+            return False
+    return True
+
+
+def _holds(
+    constraint: Constraint,
+    assigned: Event,
+    event: Event,
+    assigned_leaf: int,
+    event_leaf: int,
+    candidates: List[List[Event]],
+) -> bool:
+    if constraint is Constraint.BEFORE:
+        return assigned.happens_before(event)
+    if constraint is Constraint.AFTER:
+        return event.happens_before(assigned)
+    if constraint is Constraint.NOT_AFTER:
+        return not event.happens_before(assigned)
+    if constraint is Constraint.NOT_BEFORE:
+        return not assigned.happens_before(event)
+    if constraint is Constraint.CONCURRENT:
+        return event.concurrent_with(assigned)
+    if constraint is Constraint.PARTNER:
+        return event.is_partner_of(assigned)
+    if constraint is Constraint.LIMITED:
+        return assigned.happens_before(event) and not _has_between(
+            candidates[assigned_leaf], assigned, event
+        )
+    if constraint is Constraint.LIMITED_REV:
+        return event.happens_before(assigned) and not _has_between(
+            candidates[event_leaf], event, assigned
+        )
+    raise ValueError(f"unhandled constraint {constraint!r}")
+
+
+def _has_between(pool: List[Event], low: Event, high: Event) -> bool:
+    return any(
+        x != low and x != high and low.happens_before(x) and x.happens_before(high)
+        for x in pool
+    )
+
+
+def _exist_checks_pass(pattern: CompiledPattern, assignment: Match) -> bool:
+    for check in pattern.exist_checks:
+        if not any(
+            assignment[a].happens_before(assignment[b])
+            for a in check.left_leaves
+            for b in check.right_leaves
+        ):
+            return False
+    for check in pattern.entangle_checks:
+        forward = any(
+            assignment[a].happens_before(assignment[b])
+            for a in check.left_leaves
+            for b in check.right_leaves
+        )
+        backward = any(
+            assignment[b].happens_before(assignment[a])
+            for a in check.left_leaves
+            for b in check.right_leaves
+        )
+        if not (forward and backward):
+            return False
+    return True
+
+
+def covered_slots(matches: Iterable[Match]) -> set:
+    """The full set of (leaf, trace) slots any match covers — what a
+    perfect representative subset must cover."""
+    slots = set()
+    for match in matches:
+        for leaf_id, event in match.items():
+            slots.add((leaf_id, event.trace))
+    return slots

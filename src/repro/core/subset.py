@@ -1,0 +1,95 @@
+"""The representative subset of matches.
+
+Paper, Section IV-B: reporting *all* matches of a pattern over
+unbounded processes needs unbounded memory.  OCEP instead maintains a
+representative subset: it "will report if any of the constituent
+events in the pattern has occurred on any of the processes and is part
+of a complete match".  A subset chosen this way has cardinality at
+most ``k * n`` (``k`` pattern events, ``n`` traces) because each
+stored match must cover at least one previously uncovered
+``(pattern event, trace)`` slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from repro.events.event import Event
+
+#: A representative-subset slot: (leaf id, trace id).
+Slot = Tuple[int, int]
+
+#: A complete match: leaf id -> matched event.
+Assignment = Dict[int, Event]
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredMatch:
+    """A match retained in the subset, with the slots it covered."""
+
+    assignment: Tuple[Tuple[int, Event], ...]
+    new_slots: Tuple[Slot, ...]
+
+    def as_dict(self) -> Assignment:
+        return dict(self.assignment)
+
+
+class RepresentativeSubset:
+    """Bounded store of pattern matches covering every occupied slot.
+
+    ``update`` implements the paper's ``updateSubset``: a match is
+    added exactly when it covers a slot no stored match covers yet.
+    """
+
+    def __init__(self, num_leaves: int, num_traces: int):
+        self.num_leaves = num_leaves
+        self.num_traces = num_traces
+        self._covered: Set[Slot] = set()
+        self._matches: List[StoredMatch] = []
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, assignment: Assignment) -> Tuple[Slot, ...]:
+        """Consider a complete match; returns the newly covered slots
+        (empty when the match was redundant and not stored)."""
+        slots = {
+            (leaf_id, event.trace) for leaf_id, event in assignment.items()
+        }
+        new_slots = tuple(sorted(slots - self._covered))
+        if not new_slots:
+            return ()
+        self._covered.update(new_slots)
+        self._matches.append(
+            StoredMatch(
+                assignment=tuple(sorted(assignment.items())),
+                new_slots=new_slots,
+            )
+        )
+        return new_slots
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def is_covered(self, leaf_id: int, trace: int) -> bool:
+        """True when a stored match already covers the slot."""
+        return (leaf_id, trace) in self._covered
+
+    @property
+    def covered_slots(self) -> Set[Slot]:
+        return set(self._covered)
+
+    @property
+    def matches(self) -> List[StoredMatch]:
+        """The stored matches, in discovery order."""
+        return list(self._matches)
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def check_bound(self) -> bool:
+        """The ``k * n`` cardinality invariant (paper, Section IV-B)."""
+        return len(self._matches) <= self.num_leaves * self.num_traces

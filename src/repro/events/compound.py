@@ -1,0 +1,177 @@
+"""Compound events and their causal relations.
+
+A compound event is a non-empty set of causally related primitive
+events (paper, Section III-B).  Relations between compound events are
+defined from the relations between their constituent primitive events:
+
+* strong precedence  ``A >> B  <=>  forall a, b: a -> b``  (Lamport)
+* weak precedence    ``A -> B  <=>  exists a, b: a -> b``
+* overlap            ``A and B share a primitive event``
+* disjoint           ``A and B share no primitive event``
+* crosses            ``exists a0,a1 in A, b0,b1 in B: a0 -> b0 and
+  b1 -> a1``, with A and B disjoint
+* entanglement (eq. 1)   ``A <-> B  <=>  A crosses B  or  A overlaps B``
+* precedence (eq. 2)     ``A -> B  <=>  (exists a,b: a -> b) and
+  not (A <-> B)``
+* concurrency (eq. 3)    ``A || B  <=>  forall a, b: a || b``
+
+With entanglement included, any two compound events stand in exactly
+one of the four relations A -> B, B -> A, A || B, A <-> B.  The module
+offers both free functions over plain collections of events and a
+:class:`CompoundEvent` value type with operator sugar.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.events.event import Event
+
+
+def _as_sets(a: Iterable[Event], b: Iterable[Event]):
+    sa, sb = frozenset(a), frozenset(b)
+    if not sa or not sb:
+        raise ValueError("compound events must be non-empty")
+    return sa, sb
+
+
+def overlaps(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """``A overlaps B <=> A ∩ B != ∅``."""
+    sa, sb = _as_sets(a, b)
+    return bool(sa & sb)
+
+
+def disjoint(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """``A is disjoint from B <=> A ∩ B = ∅``."""
+    return not overlaps(a, b)
+
+
+def crosses(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """Some A-event precedes a B-event *and* some B-event precedes an
+    A-event, while the sets are disjoint."""
+    sa, sb = _as_sets(a, b)
+    if sa & sb:
+        return False
+    forward = any(x.happens_before(y) for x in sa for y in sb)
+    backward = any(y.happens_before(x) for x in sa for y in sb)
+    return forward and backward
+
+
+def entangled(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """Equation (1): ``A <-> B  <=>  A crosses B or A overlaps B``."""
+    sa, sb = _as_sets(a, b)
+    return overlaps(sa, sb) or crosses(sa, sb)
+
+
+def weak_precedes(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """``exists a in A, b in B: a -> b``."""
+    sa, sb = _as_sets(a, b)
+    return any(x.happens_before(y) for x in sa for y in sb)
+
+
+def strong_precedes(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """``forall a in A, b in B: a -> b`` (Lamport's strong precedence)."""
+    sa, sb = _as_sets(a, b)
+    return all(x.happens_before(y) for x in sa for y in sb)
+
+
+def compound_precedes(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """Equation (2): weak precedence without entanglement.
+
+    Equivalently for disjoint sets: some A-event precedes some B-event
+    and *no* B-event precedes any A-event.
+    """
+    sa, sb = _as_sets(a, b)
+    return weak_precedes(sa, sb) and not entangled(sa, sb)
+
+
+def compound_concurrent(a: Iterable[Event], b: Iterable[Event]) -> bool:
+    """Equation (3): ``forall a in A, b in B: a || b``."""
+    sa, sb = _as_sets(a, b)
+    return all(x.concurrent_with(y) for x in sa for y in sb)
+
+
+class CompoundEvent:
+    """A non-empty frozen set of primitive events with relation sugar.
+
+    Examples
+    --------
+    Given compound events ``A`` and ``B``::
+
+        A.precedes(B)       # equation (2)
+        A.concurrent(B)     # equation (3)
+        A.entangled(B)      # equation (1)
+        A.classify(B)       # exactly one of '->', '<-', '||', '<->'
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Iterable[Event]):
+        self._events: FrozenSet[Event] = frozenset(events)
+        if not self._events:
+            raise ValueError("compound events must be non-empty")
+
+    @property
+    def events(self) -> FrozenSet[Event]:
+        """The constituent primitive events."""
+        return self._events
+
+    def overlaps(self, other: "CompoundEvent") -> bool:
+        return overlaps(self._events, other._events)
+
+    def is_disjoint_from(self, other: "CompoundEvent") -> bool:
+        return disjoint(self._events, other._events)
+
+    def crosses(self, other: "CompoundEvent") -> bool:
+        return crosses(self._events, other._events)
+
+    def entangled(self, other: "CompoundEvent") -> bool:
+        return entangled(self._events, other._events)
+
+    def weak_precedes(self, other: "CompoundEvent") -> bool:
+        return weak_precedes(self._events, other._events)
+
+    def strong_precedes(self, other: "CompoundEvent") -> bool:
+        return strong_precedes(self._events, other._events)
+
+    def precedes(self, other: "CompoundEvent") -> bool:
+        return compound_precedes(self._events, other._events)
+
+    def concurrent(self, other: "CompoundEvent") -> bool:
+        return compound_concurrent(self._events, other._events)
+
+    def classify(self, other: "CompoundEvent") -> str:
+        """Return exactly one of ``'->'``, ``'<-'``, ``'||'``, ``'<->'``.
+
+        The four relations are mutually exclusive and exhaustive over
+        pairs of compound events once entanglement is included
+        (paper, Section III-B).
+        """
+        if self.entangled(other):
+            return "<->"
+        if self.precedes(other):
+            return "->"
+        if other.precedes(self):
+            return "<-"
+        return "||"
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __contains__(self, event: object) -> bool:
+        return event in self._events
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CompoundEvent):
+            return self._events == other._events
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._events)
+
+    def __repr__(self) -> str:
+        ids = ", ".join(sorted(str(e.event_id) for e in self._events))
+        return f"CompoundEvent({{{ids}}})"

@@ -1,0 +1,98 @@
+"""Event store: all traces of one monitored computation.
+
+This is the core data structure POET keeps server-side — "a set of
+events grouped by traces and the partial-order relationships among
+those events" (paper, Section V-A).  The matcher-side structures
+(pattern-tree histories, causal index) are derived from the stream of
+events the store delivers; they do not require the full store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.events.event import Event, EventId
+from repro.events.trace import Trace
+
+
+class EventStore:
+    """All events of a computation, grouped by trace.
+
+    Parameters
+    ----------
+    num_traces:
+        Number of traces (fixed for the lifetime of the computation —
+        vector clock width).
+    trace_names:
+        Optional human-readable names, one per trace.
+    """
+
+    def __init__(self, num_traces: int, trace_names: Optional[Sequence[str]] = None):
+        if num_traces <= 0:
+            raise ValueError(f"need at least one trace, got {num_traces}")
+        if trace_names is not None and len(trace_names) != num_traces:
+            raise ValueError(
+                f"got {len(trace_names)} names for {num_traces} traces"
+            )
+        self._traces: List[Trace] = [
+            Trace(i, trace_names[i] if trace_names else None)
+            for i in range(num_traces)
+        ]
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, event: Event) -> None:
+        """Append an event to its trace (validated by the trace)."""
+        if not 0 <= event.trace < len(self._traces):
+            raise ValueError(
+                f"event trace {event.trace} out of range "
+                f"(store has {len(self._traces)} traces)"
+            )
+        self._traces[event.trace].append(event)
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def num_traces(self) -> int:
+        """Number of traces in the computation."""
+        return len(self._traces)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of stored events across all traces."""
+        return self._count
+
+    def trace(self, trace_id: int) -> Trace:
+        """Return the :class:`Trace` with the given id."""
+        return self._traces[trace_id]
+
+    def traces(self) -> Sequence[Trace]:
+        """All traces, ordered by trace id."""
+        return tuple(self._traces)
+
+    def get(self, event_id: EventId) -> Event:
+        """Resolve an :class:`EventId` to the stored event."""
+        return self._traces[event_id.trace].at(event_id.index)
+
+    def partner_of(self, event: Event) -> Optional[Event]:
+        """Resolve an event's communication partner, if recorded."""
+        if event.partner is None:
+            return None
+        return self.get(event.partner)
+
+    def __iter__(self) -> Iterator[Event]:
+        """Iterate all events, trace by trace (not a linearization)."""
+        for trace in self._traces:
+            yield from trace
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:
+        return f"EventStore({self.num_traces} traces, {self._count} events)"

@@ -1,0 +1,107 @@
+"""Per-trace total order of events.
+
+Each process (or other sequential entity) is represented as a
+:class:`Trace`: an append-only, totally ordered sequence of events
+whose indices run 1, 2, 3, ...  The class validates the per-trace clock
+monotonicity invariants on every append, which catches substrate bugs
+early instead of letting them surface as wrong match results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.events.event import Event
+
+
+class Trace:
+    """An append-only totally ordered event sequence for one trace.
+
+    Parameters
+    ----------
+    trace_id:
+        The trace number, matching ``Event.trace`` of every appended
+        event.
+    name:
+        Optional human-readable name (e.g. ``"leader"`` or ``"sem:0"``).
+    """
+
+    __slots__ = ("trace_id", "name", "_events")
+
+    def __init__(self, trace_id: int, name: Optional[str] = None):
+        if trace_id < 0:
+            raise ValueError(f"trace id must be >= 0, got {trace_id}")
+        self.trace_id = trace_id
+        self.name = name if name is not None else f"trace-{trace_id}"
+        self._events: List[Event] = []
+
+    def append(self, event: Event) -> None:
+        """Append the next event of this trace.
+
+        Raises
+        ------
+        ValueError
+            If the event belongs to another trace, skips an index, or
+            its clock does not dominate its predecessor's clock.
+        """
+        if event.trace != self.trace_id:
+            raise ValueError(
+                f"event on trace {event.trace} appended to trace {self.trace_id}"
+            )
+        expected = len(self._events) + 1
+        if event.index != expected:
+            raise ValueError(
+                f"trace {self.trace_id}: expected event index {expected}, "
+                f"got {event.index}"
+            )
+        if self._events and not (self._events[-1].clock <= event.clock):
+            raise ValueError(
+                f"trace {self.trace_id}: clock of event {event.index} does not "
+                f"dominate its predecessor's clock"
+            )
+        self._events.append(event)
+
+    def at(self, index: int) -> Event:
+        """Return the event with the given 1-based index."""
+        if not 1 <= index <= len(self._events):
+            raise IndexError(
+                f"trace {self.trace_id} has {len(self._events)} events, "
+                f"index {index} out of range"
+            )
+        return self._events[index - 1]
+
+    def last(self) -> Optional[Event]:
+        """The most recent event, or ``None`` for an empty trace."""
+        return self._events[-1] if self._events else None
+
+    def first_index_with_column_at_least(self, column: int, value: int) -> Optional[int]:
+        """Binary-search the earliest index whose clock[column] >= value.
+
+        The per-trace clock columns are non-decreasing (clocks only ever
+        merge forward), so this is well-defined.  This is the primitive
+        behind least-successor queries: the least successor of an event
+        ``a`` (on trace ``m``, index ``i``) on this trace is the first
+        event here whose clock column ``m`` reaches ``i``.
+
+        Returns ``None`` when no event on this trace has reached the
+        value yet.
+        """
+        lo, hi = 0, len(self._events)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._events[mid].clock[column] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo == len(self._events):
+            return None
+        return lo + 1  # back to 1-based indices
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.trace_id}, {self.name!r}, {len(self._events)} events)"

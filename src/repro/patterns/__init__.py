@@ -1,0 +1,85 @@
+"""The causal event-pattern language.
+
+Paper Section III-A/B/C: a pattern is built from *event classes*
+(3-tuples ``[process, type, text]`` whose attributes can be exact
+values, wildcards, or attribute variables), *event variables* binding
+one matched event to several positions, and causality operators:
+
+====================  =====================================================
+``A -> B``            event ``a`` happens before event ``b``
+``A || B``            ``a`` and ``b`` are concurrent
+``A <> B``            ``a`` and ``b`` are partner events of one message
+``A ~> B``            limited precedence: ``a -> b`` with no other
+                      ``A``-event strictly between them
+``expr /\\ expr``      conjunction of sub-patterns
+====================  =====================================================
+
+The concrete syntax follows the paper's examples, e.g. the ZooKeeper
+bug-962 ordering pattern (Section III-D)::
+
+    Synch    := [$1, Synch_Leader, $2];
+    Snapshot := [$2, Take_Snapshot, ''];
+    Update   := [$2, Make_Update, ''];
+    Forward  := [$2, Take_Snapshot, $1];
+    Snapshot $Diff;
+    Update $Write;
+    pattern := (Synch -> $Diff) /\\ ($Diff -> $Write) /\\ ($Write -> Forward);
+
+Parsing produces an AST (:mod:`repro.patterns.ast`), which is built
+into a :class:`~repro.patterns.tree.PatternTree` (leaf nodes with
+Type / Order / History, internal compound nodes) and compiled into the
+pairwise-constraint form the OCEP matcher consumes
+(:mod:`repro.patterns.compile`).
+"""
+
+from repro.patterns.ast import (
+    AndExpr,
+    AttrSpec,
+    AttrVar,
+    BinaryExpr,
+    ClassDef,
+    ClassRef,
+    Exact,
+    Operator,
+    PatternDef,
+    VarDecl,
+    VarRef,
+    Wildcard,
+)
+from repro.patterns.errors import PatternError, PatternParseError
+from repro.patterns.lexer import Token, TokenKind, tokenize
+from repro.patterns.parser import parse_pattern
+from repro.patterns.classes import EventClass
+from repro.patterns.tree import LeafNode, PatternTree
+from repro.patterns.compile import CompiledPattern, Constraint, compile_pattern
+from repro.patterns.render import render_attr, render_expr, render_pattern
+
+__all__ = [
+    "Operator",
+    "AttrSpec",
+    "Exact",
+    "Wildcard",
+    "AttrVar",
+    "ClassDef",
+    "VarDecl",
+    "ClassRef",
+    "VarRef",
+    "BinaryExpr",
+    "AndExpr",
+    "PatternDef",
+    "PatternError",
+    "PatternParseError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_pattern",
+    "EventClass",
+    "PatternTree",
+    "LeafNode",
+    "CompiledPattern",
+    "Constraint",
+    "compile_pattern",
+    "render_attr",
+    "render_expr",
+    "render_pattern",
+]

@@ -1,0 +1,163 @@
+"""Abstract syntax for the pattern language.
+
+A parsed pattern definition (:class:`PatternDef`) consists of event
+class definitions, event-variable declarations, and one pattern
+expression.  Expression nodes form a binary tree whose leaves reference
+classes or variables and whose internal nodes carry a causality
+operator or the conjunction connector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Union
+
+
+class Operator(enum.Enum):
+    """Causality operators and the conjunction connector (Figure 1)."""
+
+    PRECEDES = "->"  # a happens before b
+    CONCURRENT = "||"  # a is concurrent with b
+    PARTNER = "<>"  # a and b are the halves of one message
+    LIMITED = "~>"  # a -> b with no other A-class event between
+    ENTANGLED = "<->"  # compound events cross (equation 1)
+    AND = "/\\"  # conjunction of sub-patterns
+
+    @property
+    def is_causal(self) -> bool:
+        """True for the four event-relation operators (not ``AND``)."""
+        return self is not Operator.AND
+
+
+# ----------------------------------------------------------------------
+# Attribute specifications
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Exact:
+    """Attribute must equal this value exactly."""
+
+    value: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Wildcard:
+    """Attribute matches anything (written ``''`` in pattern source)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrVar:
+    """Attribute variable (``$1``, ``$2`` ...): first occurrence binds
+    the value, later occurrences must equal it."""
+
+    name: str
+
+
+AttrSpec = Union[Exact, Wildcard, AttrVar]
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassDef:
+    """``Name := [process, type, text];``"""
+
+    name: str
+    process: AttrSpec
+    etype: AttrSpec
+    text: AttrSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class VarDecl:
+    """``ClassName $var;`` — an event variable of the named class.
+
+    All pattern occurrences of ``$var`` must bind the *same* matched
+    event (Section III-C).
+    """
+
+    class_name: str
+    var_name: str
+
+
+# ----------------------------------------------------------------------
+# Pattern expressions
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassRef:
+    """Occurrence of a class name in the pattern expression.
+
+    Distinct occurrences of the same class are *distinct* pattern
+    positions (may bind different events); use a variable for identity.
+    """
+
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class VarRef:
+    """Occurrence of an event variable (``$var``)."""
+
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryExpr:
+    """A causality operator applied to two sub-expressions."""
+
+    op: Operator
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if not self.op.is_causal:
+            raise ValueError("use AndExpr for the conjunction connector")
+
+
+@dataclasses.dataclass(frozen=True)
+class AndExpr:
+    """Conjunction of two or more sub-patterns."""
+
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("conjunction needs at least two parts")
+
+
+Expr = Union[ClassRef, VarRef, BinaryExpr, AndExpr]
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternDef:
+    """A complete parsed pattern definition."""
+
+    classes: Dict[str, ClassDef]
+    variables: Dict[str, VarDecl]
+    expr: Expr
+
+    def class_of_var(self, var_name: str) -> ClassDef:
+        """Resolve an event variable to its declared class."""
+        decl = self.variables[var_name]
+        return self.classes[decl.class_name]
+
+
+def walk_leaves(expr: Expr) -> List[Union[ClassRef, VarRef]]:
+    """All leaf references of an expression, left to right."""
+    if isinstance(expr, (ClassRef, VarRef)):
+        return [expr]
+    if isinstance(expr, BinaryExpr):
+        return walk_leaves(expr.left) + walk_leaves(expr.right)
+    if isinstance(expr, AndExpr):
+        leaves: List[Union[ClassRef, VarRef]] = []
+        for part in expr.parts:
+            leaves.extend(walk_leaves(part))
+        return leaves
+    raise TypeError(f"unknown expression node {expr!r}")

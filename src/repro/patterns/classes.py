@@ -1,0 +1,138 @@
+"""Runtime event classes: matching events against class specifications.
+
+An event class ``[process, type, text]`` matches an event when each
+attribute matches: exact attributes compare for equality, wildcards
+always match, and attribute variables (``$1``) match when consistent
+with the current binding environment, extending it on first use
+(Section III-A: attributes "can be specified for an exact match, left
+empty as a wild-card or used as a variable to enforce equality
+comparison in an operator").
+
+The *process* attribute of an event is its trace name (e.g. ``"P3"``
+or ``"sem0"``); exact process attributes also accept the bare trace
+number as a string.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.events.event import Event
+from repro.patterns.ast import AttrSpec, AttrVar, ClassDef, Exact, Wildcard
+
+#: An attribute binding environment: variable name -> bound value.
+Bindings = Dict[str, str]
+
+
+@dataclasses.dataclass(frozen=True)
+class EventClass:
+    """A compiled event class bound to a concrete trace-name table."""
+
+    name: str
+    process: AttrSpec
+    etype: AttrSpec
+    text: AttrSpec
+    trace_names: Sequence[str]
+
+    @classmethod
+    def from_def(cls, definition: ClassDef, trace_names: Sequence[str]) -> "EventClass":
+        return cls(
+            name=definition.name,
+            process=definition.process,
+            etype=definition.etype,
+            text=definition.text,
+            trace_names=tuple(trace_names),
+        )
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+
+    def event_attrs(self, event: Event) -> Dict[str, str]:
+        """The three attribute values of an event, as strings."""
+        return {
+            "process": self._trace_name(event.trace),
+            "type": event.etype,
+            "text": event.text,
+        }
+
+    def _trace_name(self, trace: int) -> str:
+        if 0 <= trace < len(self.trace_names):
+            return self.trace_names[trace]
+        return str(trace)
+
+    def matches(self, event: Event, bindings: Optional[Bindings] = None) -> Optional[Bindings]:
+        """Match an event against this class under a binding environment.
+
+        Returns the (possibly extended) bindings on success, ``None``
+        on mismatch.  The input environment is never mutated.
+        """
+        env = dict(bindings) if bindings else {}
+        checks = (
+            (self.process, self._trace_name(event.trace), str(event.trace)),
+            (self.etype, event.etype, None),
+            (self.text, event.text, None),
+        )
+        for spec, value, alias in checks:
+            if isinstance(spec, Wildcard):
+                continue
+            if isinstance(spec, Exact):
+                if spec.value != value and spec.value != alias:
+                    return None
+                continue
+            if isinstance(spec, AttrVar):
+                bound = env.get(spec.name)
+                if bound is None:
+                    env[spec.name] = value
+                elif bound != value and bound != alias:
+                    return None
+                continue
+            raise TypeError(f"unknown attribute spec {spec!r}")
+        return env
+
+    def could_match(self, event: Event) -> bool:
+        """Match ignoring variables (used to size candidate histories)."""
+        return self.matches(event, None) is not None
+
+    # ------------------------------------------------------------------
+    # Search hints
+    # ------------------------------------------------------------------
+
+    def pinned_trace(self, bindings: Optional[Bindings]) -> Optional[int]:
+        """The only trace this class can match on, when the process
+        attribute is exact or already bound — lets the matcher skip the
+        trace sweep entirely.  ``None`` when unresolved."""
+        value: Optional[str] = None
+        if isinstance(self.process, Exact):
+            value = self.process.value
+        elif isinstance(self.process, AttrVar) and bindings:
+            value = bindings.get(self.process.name)
+        if value is None:
+            return None
+        for trace, name in enumerate(self.trace_names):
+            if value == name or value == str(trace):
+                return trace
+        return -1  # resolved to a nonexistent trace: matches nowhere
+
+    def required_text(self, bindings: Optional[Bindings]) -> Optional[str]:
+        """The exact text a candidate must carry, when determinable —
+        enables indexed candidate lookup.  ``None`` when unresolved."""
+        if isinstance(self.text, Exact):
+            return self.text.value
+        if isinstance(self.text, AttrVar) and bindings:
+            return bindings.get(self.text.name)
+        return None
+
+    def __repr__(self) -> str:
+        def show(spec: AttrSpec) -> str:
+            if isinstance(spec, Wildcard):
+                return "''"
+            if isinstance(spec, Exact):
+                return spec.value
+            return f"${spec.name}"
+
+        return (
+            f"EventClass({self.name} := [{show(self.process)}, "
+            f"{show(self.etype)}, {show(self.text)}])"
+        )

@@ -1,0 +1,19 @@
+"""Pattern-language error types."""
+
+from __future__ import annotations
+
+
+class PatternError(Exception):
+    """Base class for pattern definition and compilation problems."""
+
+
+class PatternParseError(PatternError):
+    """Lexical or syntactic error in pattern source text.
+
+    Carries the 1-based line and column of the offending input.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        self.line = line
+        self.column = column
+        super().__init__(f"{message} (line {line}, column {column})")

@@ -1,0 +1,176 @@
+"""Tokenizer for the pattern language.
+
+Token inventory: identifiers, ``$``-variables (``$1`` is an attribute
+variable, ``$Diff`` an event variable — distinguished by the parser,
+not here), single-quoted strings, and the punctuation / operators of
+the grammar.  ASCII operator spellings are canonical; the Unicode forms
+used in the paper's figures (``→ ∥ ∧``) are accepted as aliases.
+``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+from repro.patterns.errors import PatternParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    DOLLAR = "dollar"  # $name or $123
+    STRING = "string"  # 'text' (may be empty)
+    ASSIGN = "assign"  # :=
+    SEMI = "semi"  # ;
+    COMMA = "comma"  # ,
+    LBRACKET = "lbracket"  # [
+    RBRACKET = "rbracket"  # ]
+    LPAREN = "lparen"  # (
+    RPAREN = "rparen"  # )
+    PRECEDES = "precedes"  # ->  or  →
+    CONCURRENT = "concurrent"  # ||  or  ∥
+    PARTNER = "partner"  # <>
+    LIMITED = "limited"  # ~>
+    ENTANGLED = "entangled"  # <->  or  ↔
+    AND = "and"  # /\  or  ∧
+    EOF = "eof"
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+_THREE_CHAR = {
+    "<->": TokenKind.ENTANGLED,
+}
+
+_TWO_CHAR = {
+    ":=": TokenKind.ASSIGN,
+    "->": TokenKind.PRECEDES,
+    "||": TokenKind.CONCURRENT,
+    "<>": TokenKind.PARTNER,
+    "~>": TokenKind.LIMITED,
+    "/\\": TokenKind.AND,
+}
+
+_ONE_CHAR = {
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "→": TokenKind.PRECEDES,  # →
+    "∥": TokenKind.CONCURRENT,  # ∥
+    "∧": TokenKind.AND,  # ∧
+    "↔": TokenKind.ENTANGLED,  # ↔
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in ("_", "-", ".")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize pattern source text; raises :class:`PatternParseError`
+    on any unrecognised input."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> PatternParseError:
+        return PatternParseError(message, line, column)
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        start_line, start_column = line, column
+
+        three = source[i : i + 3]
+        if three in _THREE_CHAR:
+            tokens.append(Token(_THREE_CHAR[three], three, start_line, start_column))
+            i += 3
+            column += 3
+            continue
+
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[two], two, start_line, start_column))
+            i += 2
+            column += 2
+            continue
+
+        if ch in _ONE_CHAR:
+            tokens.append(Token(_ONE_CHAR[ch], ch, start_line, start_column))
+            i += 1
+            column += 1
+            continue
+
+        if ch == "'":
+            j = i + 1
+            while j < n and source[j] != "'":
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            value = source[i + 1 : j]
+            tokens.append(Token(TokenKind.STRING, value, start_line, start_column))
+            consumed = j + 1 - i
+            i = j + 1
+            column += consumed
+            continue
+
+        if ch == "$":
+            j = i + 1
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            if j == i + 1:
+                raise error("'$' must be followed by a variable name or number")
+            value = source[i + 1 : j]
+            tokens.append(Token(TokenKind.DOLLAR, value, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        if _is_ident_start(ch):
+            j = i + 1
+            while j < n and _is_ident_char(source[j]):
+                j += 1
+            value = source[i:j]
+            tokens.append(Token(TokenKind.IDENT, value, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

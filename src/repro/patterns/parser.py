@@ -1,0 +1,248 @@
+"""Recursive-descent parser for the pattern language.
+
+Grammar (see the package docstring for examples)::
+
+    program      := { class_def | var_decl } pattern_def { class_def | var_decl }
+    class_def    := IDENT ':=' '[' attr ',' attr ',' attr ']' ';'
+    attr         := STRING            # '' is a wildcard, otherwise exact
+                  | IDENT             # exact
+                  | '$' NUM           # attribute variable
+    var_decl     := IDENT '$' IDENT ';'
+    pattern_def  := 'pattern' ':=' expr ';'
+    expr         := rel { '/\\' rel }               # AND binds loosest
+    rel          := primary { causal_op primary }    # left-associative
+    causal_op    := '->' | '||' | '<>' | '~>'
+    primary      := IDENT | '$' IDENT | '(' expr ')'
+
+Attribute variables are ``$`` followed by digits (``$1``); event
+variables are ``$`` followed by a name (``$Diff``).  Declarations may
+appear in any order relative to each other; the pattern may reference
+only declared classes and variables.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.patterns.ast import (
+    AndExpr,
+    AttrSpec,
+    AttrVar,
+    BinaryExpr,
+    ClassDef,
+    ClassRef,
+    Exact,
+    Expr,
+    Operator,
+    PatternDef,
+    VarDecl,
+    VarRef,
+    Wildcard,
+    walk_leaves,
+)
+from repro.patterns.errors import PatternParseError
+from repro.patterns.lexer import Token, TokenKind, tokenize
+
+_CAUSAL_OPS = {
+    TokenKind.PRECEDES: Operator.PRECEDES,
+    TokenKind.CONCURRENT: Operator.CONCURRENT,
+    TokenKind.PARTNER: Operator.PARTNER,
+    TokenKind.LIMITED: Operator.LIMITED,
+    TokenKind.ENTANGLED: Operator.ENTANGLED,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: TokenKind, what: str) -> Token:
+        token = self._peek()
+        if token.kind is not kind:
+            raise self._error(f"expected {what}, found {token.value!r}", token)
+        return self._advance()
+
+    @staticmethod
+    def _error(message: str, token: Token) -> PatternParseError:
+        return PatternParseError(message, token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Program
+    # ------------------------------------------------------------------
+
+    def parse(self) -> PatternDef:
+        classes = {}
+        variables = {}
+        expr: Optional[Expr] = None
+
+        while self._peek().kind is not TokenKind.EOF:
+            token = self._peek()
+            if token.kind is not TokenKind.IDENT:
+                raise self._error(
+                    f"expected a declaration or 'pattern', found {token.value!r}",
+                    token,
+                )
+            if token.value == "pattern":
+                if expr is not None:
+                    raise self._error("duplicate pattern definition", token)
+                expr = self._parse_pattern_def()
+                continue
+            name_token = self._advance()
+            nxt = self._peek()
+            if nxt.kind is TokenKind.ASSIGN:
+                class_def = self._parse_class_body(name_token.value)
+                if class_def.name in classes:
+                    raise self._error(
+                        f"duplicate class {class_def.name!r}", name_token
+                    )
+                classes[class_def.name] = class_def
+            elif nxt.kind is TokenKind.DOLLAR:
+                var_token = self._advance()
+                self._expect(TokenKind.SEMI, "';'")
+                if var_token.value.isdigit():
+                    raise self._error(
+                        "event variable names cannot be numeric", var_token
+                    )
+                if var_token.value in variables:
+                    raise self._error(
+                        f"duplicate variable ${var_token.value}", var_token
+                    )
+                variables[var_token.value] = VarDecl(
+                    class_name=name_token.value, var_name=var_token.value
+                )
+            else:
+                raise self._error(
+                    f"expected ':=' or a variable after {name_token.value!r}", nxt
+                )
+
+        if expr is None:
+            token = self._peek()
+            raise self._error("missing 'pattern := ...;' definition", token)
+
+        definition = PatternDef(classes=classes, variables=variables, expr=expr)
+        self._validate(definition)
+        return definition
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _parse_class_body(self, name: str) -> ClassDef:
+        self._expect(TokenKind.ASSIGN, "':='")
+        self._expect(TokenKind.LBRACKET, "'['")
+        process = self._parse_attr()
+        self._expect(TokenKind.COMMA, "','")
+        etype = self._parse_attr()
+        self._expect(TokenKind.COMMA, "','")
+        text = self._parse_attr()
+        self._expect(TokenKind.RBRACKET, "']'")
+        self._expect(TokenKind.SEMI, "';'")
+        return ClassDef(name=name, process=process, etype=etype, text=text)
+
+    def _parse_attr(self) -> AttrSpec:
+        token = self._peek()
+        if token.kind is TokenKind.STRING:
+            self._advance()
+            return Wildcard() if token.value == "" else Exact(token.value)
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return Exact(token.value)
+        if token.kind is TokenKind.DOLLAR:
+            self._advance()
+            return AttrVar(token.value)
+        raise self._error(
+            f"expected an attribute (string, name, or $var), found {token.value!r}",
+            token,
+        )
+
+    # ------------------------------------------------------------------
+    # Pattern expression
+    # ------------------------------------------------------------------
+
+    def _parse_pattern_def(self) -> Expr:
+        self._advance()  # 'pattern'
+        self._expect(TokenKind.ASSIGN, "':='")
+        expr = self._parse_expr()
+        self._expect(TokenKind.SEMI, "';'")
+        return expr
+
+    def _parse_expr(self) -> Expr:
+        parts = [self._parse_rel()]
+        while self._peek().kind is TokenKind.AND:
+            self._advance()
+            parts.append(self._parse_rel())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(parts=tuple(parts))
+
+    def _parse_rel(self) -> Expr:
+        expr = self._parse_primary()
+        while self._peek().kind in _CAUSAL_OPS:
+            op_token = self._advance()
+            right = self._parse_primary()
+            expr = BinaryExpr(op=_CAUSAL_OPS[op_token.kind], left=expr, right=right)
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN, "')'")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ClassRef(name=token.value)
+        if token.kind is TokenKind.DOLLAR:
+            self._advance()
+            if token.value.isdigit():
+                raise self._error(
+                    "attribute variables cannot appear as pattern events", token
+                )
+            return VarRef(name=token.value)
+        raise self._error(
+            f"expected an event class, variable, or '(', found {token.value!r}",
+            token,
+        )
+
+    # ------------------------------------------------------------------
+    # Semantic validation
+    # ------------------------------------------------------------------
+
+    def _validate(self, definition: PatternDef) -> None:
+        eof = self._tokens[-1]
+        for decl in definition.variables.values():
+            if decl.class_name not in definition.classes:
+                raise self._error(
+                    f"variable ${decl.var_name} references unknown class "
+                    f"{decl.class_name!r}",
+                    eof,
+                )
+        for leaf in walk_leaves(definition.expr):
+            if isinstance(leaf, ClassRef) and leaf.name not in definition.classes:
+                raise self._error(f"unknown event class {leaf.name!r}", eof)
+            if isinstance(leaf, VarRef) and leaf.name not in definition.variables:
+                raise self._error(f"unknown event variable ${leaf.name}", eof)
+
+
+def parse_pattern(source: str) -> PatternDef:
+    """Parse pattern source text into a :class:`PatternDef`.
+
+    Raises :class:`~repro.patterns.errors.PatternParseError` with line
+    and column information on malformed input.
+    """
+    return _Parser(tokenize(source)).parse()

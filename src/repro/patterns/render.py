@@ -1,0 +1,85 @@
+"""Rendering parsed patterns back to canonical source text.
+
+The unparser produces source that re-parses to an equal
+:class:`~repro.patterns.ast.PatternDef` — useful for tooling (pattern
+normalisation, error messages, storing compiled patterns alongside
+dumps) and as a parser round-trip invariant for the property tests.
+"""
+
+from __future__ import annotations
+
+from repro.patterns.ast import (
+    AndExpr,
+    AttrSpec,
+    AttrVar,
+    BinaryExpr,
+    ClassRef,
+    Exact,
+    Expr,
+    Operator,
+    PatternDef,
+    VarRef,
+    Wildcard,
+)
+
+_NEEDS_QUOTES = set(" \t'()[]{},;$#")
+
+
+def render_attr(spec: AttrSpec) -> str:
+    """One attribute in class-definition syntax."""
+    if isinstance(spec, Wildcard):
+        return "''"
+    if isinstance(spec, AttrVar):
+        return f"${spec.name}"
+    if isinstance(spec, Exact):
+        value = spec.value
+        if not value or any(ch in _NEEDS_QUOTES for ch in value):
+            return f"'{value}'"
+        if value[0].isdigit():
+            return f"'{value}'"
+        return value
+    raise TypeError(f"unknown attribute spec {spec!r}")
+
+
+def render_expr(expr: Expr, parent_is_causal: bool = False) -> str:
+    """A pattern expression, parenthesised only where required."""
+    if isinstance(expr, ClassRef):
+        return expr.name
+    if isinstance(expr, VarRef):
+        return f"${expr.name}"
+    if isinstance(expr, BinaryExpr):
+        # causal chains are left-associative: the left child may stay
+        # bare when it is itself causal, the right child may not.
+        left = render_expr(expr.left, parent_is_causal=False)
+        if isinstance(expr.right, (BinaryExpr, AndExpr)):
+            right = f"({render_expr(expr.right)})"
+        else:
+            right = render_expr(expr.right)
+        if isinstance(expr.left, AndExpr):
+            left = f"({left})"
+        text = f"{left} {expr.op.value} {right}"
+        return f"({text})" if parent_is_causal else text
+    if isinstance(expr, AndExpr):
+        parts = []
+        for part in expr.parts:
+            rendered = render_expr(part)
+            if isinstance(part, AndExpr):
+                rendered = f"({rendered})"
+            parts.append(rendered)
+        text = " /\\ ".join(parts)
+        return f"({text})" if parent_is_causal else text
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def render_pattern(definition: PatternDef) -> str:
+    """Full pattern-definition source (classes, variables, pattern)."""
+    lines = []
+    for class_def in definition.classes.values():
+        lines.append(
+            f"{class_def.name} := [{render_attr(class_def.process)}, "
+            f"{render_attr(class_def.etype)}, {render_attr(class_def.text)}];"
+        )
+    for decl in definition.variables.values():
+        lines.append(f"{decl.class_name} ${decl.var_name};")
+    lines.append(f"pattern := {render_expr(definition.expr)};")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Pattern trees.
+
+"The specified pattern is first parsed to create a pattern tree ...
+The leaf nodes represent the primitive events in the pattern and the
+internal nodes represent the compound-event expressions" (paper,
+Section IV-A, Figure 2).  Each leaf has three attributes:
+
+* **Type** — the event class for the primitive event;
+* **Order** — the order of evaluation (assigned by the compiler's
+  heuristic, or overridden by the user);
+* **History** — the list of matched primitive events grouped by
+  traces (owned by :mod:`repro.core.history` at runtime; the leaf here
+  carries the identity and class used to key it).
+
+Event variables collapse to a single leaf: every occurrence of ``$X``
+in the pattern expression refers to the same leaf node, which is
+exactly the variable-binding semantics of Section III-C (one matched
+event for all occurrences).  Distinct occurrences of a plain class
+name become distinct leaves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.patterns.ast import (
+    AndExpr,
+    BinaryExpr,
+    ClassRef,
+    Expr,
+    Operator,
+    PatternDef,
+    VarRef,
+)
+from repro.patterns.classes import EventClass
+from repro.patterns.errors import PatternError
+
+
+@dataclasses.dataclass(frozen=True)
+class LeafNode:
+    """A pattern-tree leaf: one primitive event position.
+
+    ``var_name`` is set when the leaf arises from an event variable;
+    the leaf is shared by all occurrences of that variable.
+    """
+
+    leaf_id: int
+    event_class: EventClass
+    var_name: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        if self.var_name is not None:
+            return f"${self.var_name}"
+        return f"{self.event_class.name}#{self.leaf_id}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeLeaf:
+    """Expression-tree reference to a leaf node (by id)."""
+
+    leaf_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeNode:
+    """Internal pattern-tree node: an operator over child subtrees."""
+
+    op: Operator
+    children: Tuple["TreeExpr", ...]
+
+
+TreeExpr = Union[TreeLeaf, TreeNode]
+
+
+class PatternTree:
+    """The pattern tree for one parsed pattern over a trace-name table.
+
+    Parameters
+    ----------
+    definition:
+        A parsed :class:`~repro.patterns.ast.PatternDef`.
+    trace_names:
+        Trace names of the monitored computation, used to interpret
+        process attributes.
+    """
+
+    def __init__(self, definition: PatternDef, trace_names: Sequence[str]):
+        self.definition = definition
+        self.trace_names = tuple(trace_names)
+        self._leaves: List[LeafNode] = []
+        self._var_leaf: Dict[str, int] = {}
+        self.root = self._build(definition.expr)
+        if not self._leaves:
+            raise PatternError("pattern has no event positions")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self, expr: Expr) -> TreeExpr:
+        if isinstance(expr, ClassRef):
+            definition = self.definition.classes[expr.name]
+            return TreeLeaf(self._new_leaf(definition, var_name=None))
+        if isinstance(expr, VarRef):
+            if expr.name in self._var_leaf:
+                return TreeLeaf(self._var_leaf[expr.name])
+            definition = self.definition.class_of_var(expr.name)
+            leaf_id = self._new_leaf(definition, var_name=expr.name)
+            self._var_leaf[expr.name] = leaf_id
+            return TreeLeaf(leaf_id)
+        if isinstance(expr, BinaryExpr):
+            left = self._build(expr.left)
+            right = self._build(expr.right)
+            return TreeNode(op=expr.op, children=(left, right))
+        if isinstance(expr, AndExpr):
+            children = tuple(self._build(part) for part in expr.parts)
+            return TreeNode(op=Operator.AND, children=children)
+        raise TypeError(f"unknown expression node {expr!r}")
+
+    def _new_leaf(self, definition, var_name: Optional[str]) -> int:
+        leaf_id = len(self._leaves)
+        event_class = EventClass.from_def(definition, self.trace_names)
+        self._leaves.append(
+            LeafNode(leaf_id=leaf_id, event_class=event_class, var_name=var_name)
+        )
+        return leaf_id
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def leaves(self) -> Sequence[LeafNode]:
+        """All leaf nodes, in creation (left-to-right) order."""
+        return tuple(self._leaves)
+
+    def leaf(self, leaf_id: int) -> LeafNode:
+        return self._leaves[leaf_id]
+
+    def leaf_ids_under(self, node: TreeExpr) -> List[int]:
+        """Leaf ids in a subtree, left to right (with duplicates from
+        shared variable leaves removed)."""
+        found: List[int] = []
+
+        def visit(n: TreeExpr) -> None:
+            if isinstance(n, TreeLeaf):
+                if n.leaf_id not in found:
+                    found.append(n.leaf_id)
+                return
+            for child in n.children:
+                visit(child)
+
+        visit(node)
+        return found
+
+    def __repr__(self) -> str:
+        labels = ", ".join(leaf.label for leaf in self._leaves)
+        return f"PatternTree({len(self._leaves)} leaves: {labels})"

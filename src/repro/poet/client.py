@@ -1,0 +1,45 @@
+"""POET client interface.
+
+A client connects to the POET server "in a way that it receives the
+arriving events in a linearization of the partial order" (paper,
+Section V-A).  OCEP's online monitor is one such client; tests and
+benchmarks use the small concrete clients here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, List
+
+from repro.events.event import Event
+
+
+class POETClient(abc.ABC):
+    """Interface for consumers of the POET event stream."""
+
+    @abc.abstractmethod
+    def on_event(self, event: Event) -> None:
+        """Handle the next event of the linearization."""
+
+
+class CallbackClient(POETClient):
+    """Adapts a plain callable to the client interface."""
+
+    def __init__(self, callback: Callable[[Event], None]):
+        self._callback = callback
+
+    def on_event(self, event: Event) -> None:
+        self._callback(event)
+
+
+class RecordingClient(POETClient):
+    """Stores every delivered event, in delivery order (for tests)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)

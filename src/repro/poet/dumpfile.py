@@ -1,0 +1,107 @@
+"""Dump and reload of collected trace-event data.
+
+The paper's evaluation methodology (Section V-B) uses POET's *dump*
+feature to save collected trace-event data to a file, then the *reload*
+feature to replay the saved events "via the same interface used to
+collect events from a running application" — so every matcher run sees
+an identical event stream.  The format here is a line of JSON per
+record: a header describing the computation, then one line per event in
+delivery order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.clocks.vector_clock import VectorClock
+from repro.events.event import Event, EventId, EventKind
+from repro.poet.server import POETServer
+
+_FORMAT = "ocep-poet-dump-v1"
+
+PathLike = Union[str, Path]
+
+
+def dump_events(
+    path: PathLike,
+    events: Iterable[Event],
+    num_traces: int,
+    trace_names: Sequence[str],
+) -> int:
+    """Write a dump file; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "format": _FORMAT,
+            "num_traces": num_traces,
+            "trace_names": list(trace_names),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for event in events:
+            fh.write(json.dumps(_event_to_record(event)) + "\n")
+            count += 1
+    return count
+
+
+def load_events(path: PathLike) -> Tuple[List[Event], int, List[str]]:
+    """Read a dump file; returns ``(events, num_traces, trace_names)``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line:
+            raise ValueError(f"{path}: empty dump file")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT:
+            raise ValueError(
+                f"{path}: unknown dump format {header.get('format')!r}"
+            )
+        num_traces = int(header["num_traces"])
+        trace_names = [str(n) for n in header["trace_names"]]
+        events = [_record_to_event(json.loads(line)) for line in fh if line.strip()]
+    return events, num_traces, trace_names
+
+
+def replay(path: PathLike, verify: bool = False) -> POETServer:
+    """Reload a dump into a fresh POET server, without clients.
+
+    Callers typically connect their monitor first and then feed the
+    events through :meth:`POETServer.collect`; this convenience loads
+    and collects in one step for store-oriented uses.
+    """
+    events, num_traces, trace_names = load_events(path)
+    server = POETServer(num_traces, trace_names, verify=verify)
+    for event in events:
+        server.collect(event)
+    return server
+
+
+def _event_to_record(event: Event) -> dict:
+    record = {
+        "t": event.trace,
+        "i": event.index,
+        "y": event.etype,
+        "x": event.text,
+        "c": list(event.clock.components),
+        "k": event.kind.value,
+        "l": event.lamport,
+    }
+    if event.partner is not None:
+        record["p"] = [event.partner.trace, event.partner.index]
+    return record
+
+
+def _record_to_event(record: dict) -> Event:
+    partner = None
+    if "p" in record:
+        partner = EventId(trace=record["p"][0], index=record["p"][1])
+    return Event(
+        trace=record["t"],
+        index=record["i"],
+        etype=record["y"],
+        text=record["x"],
+        clock=VectorClock(record["c"]),
+        kind=EventKind(record["k"]),
+        partner=partner,
+        lamport=record["l"],
+    )

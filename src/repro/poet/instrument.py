@@ -1,0 +1,29 @@
+"""Attaching POET to a target environment.
+
+In the paper, POET collects events from instrumented μC++/MPI binaries
+through environment-specific plugins.  Here the target environment is
+the simulation kernel; *instrumenting* it means wiring the kernel's
+event sink into a POET server, which then fans events out to any
+connected clients (the OCEP monitor, recorders, dump writers).
+"""
+
+from __future__ import annotations
+
+from repro.poet.server import POETServer
+from repro.simulation.kernel import Kernel
+
+
+def instrument(kernel: Kernel, verify: bool = False) -> POETServer:
+    """Create a POET server wired to a simulation kernel.
+
+    Every event the kernel emits flows into the server (and on to its
+    clients) in linearization order.  Connect clients *before* calling
+    :meth:`Kernel.run`, or they will miss the prefix.
+    """
+    server = POETServer(
+        num_traces=kernel.num_traces,
+        trace_names=kernel.trace_names(),
+        verify=verify,
+    )
+    kernel.add_sink(server.collect)
+    return server

@@ -1,0 +1,101 @@
+"""POET server: event collection and causally consistent delivery.
+
+The server owns the :class:`~repro.events.store.EventStore` ("a set of
+events grouped by traces", paper Section V-A) and fans every collected
+event out to connected clients.  The collection order produced by the
+simulation substrate is already a linearization; with ``verify=True``
+the server asserts this invariant on every event, which the test suite
+uses to guard the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.events.event import Event
+from repro.events.store import EventStore
+from repro.poet.client import POETClient
+
+
+class DeliveryOrderError(RuntimeError):
+    """The event source violated causal delivery order."""
+
+
+class POETServer:
+    """Collects instrumented events and streams them to clients.
+
+    Parameters
+    ----------
+    num_traces:
+        Number of traces in the monitored computation.
+    trace_names:
+        Optional human-readable trace names.
+    verify:
+        When true, check on every collected event that delivery remains
+        a linearization of the partial order (all causal predecessors
+        already delivered).  Costs O(num_traces) per event.
+    """
+
+    def __init__(
+        self,
+        num_traces: int,
+        trace_names: Optional[Sequence[str]] = None,
+        verify: bool = False,
+    ):
+        self.store = EventStore(num_traces, trace_names)
+        self._clients: List[POETClient] = []
+        self._verify = verify
+        self._delivered = [0] * num_traces
+
+    # ------------------------------------------------------------------
+    # Client management
+    # ------------------------------------------------------------------
+
+    def connect(self, client: POETClient) -> None:
+        """Attach a client; it will see every event from now on."""
+        self._clients.append(client)
+
+    def disconnect(self, client: POETClient) -> None:
+        """Detach a previously connected client."""
+        self._clients.remove(client)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+
+    def collect(self, event: Event) -> None:
+        """Ingest the next event: store it and deliver it to clients."""
+        if self._verify:
+            self._check_order(event)
+        self.store.add(event)
+        for client in self._clients:
+            client.on_event(event)
+
+    def _check_order(self, event: Event) -> None:
+        clock = event.clock
+        if self._delivered[event.trace] != clock[event.trace] - 1:
+            raise DeliveryOrderError(
+                f"event {event.event_id} delivered out of per-trace order"
+            )
+        for trace in range(len(self._delivered)):
+            if trace != event.trace and clock[trace] > self._delivered[trace]:
+                raise DeliveryOrderError(
+                    f"event {event.event_id} delivered before its predecessor "
+                    f"on trace {trace}"
+                )
+        self._delivered[event.trace] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_events(self) -> int:
+        """Total events collected so far."""
+        return self.store.num_events
+
+    def __repr__(self) -> str:
+        return (
+            f"POETServer({self.store.num_traces} traces, "
+            f"{self.store.num_events} events, {len(self._clients)} clients)"
+        )

@@ -1,0 +1,27 @@
+"""Simulation error types."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class SimulationError(Exception):
+    """Base class for simulation failures (misuse of the kernel API)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised (optionally) when the simulated system deadlocks.
+
+    A deadlock is declared when every live process is blocked on a
+    send or receive, no message delivery is in flight, and no timer is
+    pending — i.e. the simulation can make no further step.  Workloads
+    that *expect* deadlock (the random-walk case study) run the kernel
+    with ``stop_on_deadlock=True`` and treat this as a normal outcome
+    via :class:`repro.simulation.kernel.SimulationResult`.
+    """
+
+    def __init__(self, blocked: Sequence[int]):
+        self.blocked = tuple(blocked)
+        super().__init__(
+            f"simulated deadlock: processes {list(self.blocked)} are all blocked"
+        )

@@ -1,0 +1,107 @@
+"""MPI-flavoured veneer over the simulation kernel.
+
+The case studies of the paper are MPI programs (random walk, message
+race).  This module provides just enough MPI surface for workloads to
+read like their MPI originals: ``MPI_Send`` / ``MPI_Recv`` with
+``MPI_ANY_SOURCE``, blocking semantics governed by network buffering.
+
+Usage::
+
+    def rank_body(mpi: MPIContext):
+        yield mpi.send(dst=(mpi.rank + 1) % mpi.size, payload="walker")
+        msg = yield mpi.recv(source=ANY_SOURCE)
+
+    kernel = mpi_run(size=8, body=rank_body, buffer_capacity=0, seed=1)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.simulation.kernel import ANY_SOURCE, Kernel
+from repro.simulation.process import (
+    Action,
+    EmitAction,
+    Proc,
+    ReceiveAction,
+    SendAction,
+    SleepAction,
+)
+
+MPI_ANY_SOURCE = ANY_SOURCE
+
+
+class MPIContext:
+    """Per-rank handle mirroring a tiny slice of the MPI API."""
+
+    __slots__ = ("_proc", "size")
+
+    def __init__(self, proc: Proc, size: int):
+        self._proc = proc
+        self.size = size
+
+    @property
+    def rank(self) -> int:
+        """This process's rank (its process id)."""
+        return self._proc.pid
+
+    @property
+    def rng(self) -> Any:
+        """Per-rank seeded RNG."""
+        return self._proc.rng
+
+    def send(
+        self,
+        dst: int,
+        payload: Any = None,
+        text: str = "",
+        tag: Optional[str] = None,
+    ) -> SendAction:
+        """Blocking standard-mode send (blocks only when the network
+        cannot buffer the message — the MPI_Send subtlety)."""
+        return self._proc.send(dst, etype="Send", text=text, payload=payload, tag=tag)
+
+    def recv(
+        self,
+        source: int = MPI_ANY_SOURCE,
+        text: str = "",
+        tag: Optional[str] = None,
+    ) -> ReceiveAction:
+        """Blocking receive; ``source=MPI_ANY_SOURCE`` takes any sender."""
+        return self._proc.receive(source, etype="Receive", text=text, tag=tag)
+
+    def emit(self, etype: str, text: str = "") -> EmitAction:
+        """Record an instrumented unary event."""
+        return self._proc.emit(etype, text)
+
+    def sleep(self, duration: float) -> SleepAction:
+        """Model local computation time."""
+        return self._proc.sleep(duration)
+
+
+RankBody = Callable[[MPIContext], Generator[Action, Any, None]]
+
+
+def mpi_run(
+    size: int,
+    body: RankBody,
+    seed: int = 0,
+    buffer_capacity: Optional[int] = None,
+    mean_delay: float = 1.0,
+    action_delay: float = 0.1,
+) -> Kernel:
+    """Build a kernel with ``size`` ranks all running ``body``.
+
+    Returns the kernel *before* running so callers can attach event
+    sinks; call :meth:`Kernel.run` to execute.
+    """
+    kernel = Kernel(
+        num_processes=size,
+        seed=seed,
+        buffer_capacity=buffer_capacity,
+        mean_delay=mean_delay,
+        action_delay=action_delay,
+    )
+    for rank in range(size):
+        kernel.spawn(rank, lambda proc, _size=size: body(MPIContext(proc, _size)))
+    return kernel

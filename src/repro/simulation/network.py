@@ -1,0 +1,143 @@
+"""Message-passing network with bounded buffering.
+
+The network models the property the deadlock case study depends on
+(paper, Section V-C1): ``MPI_Send``, although a blocking operation,
+"only gets blocked when the network cannot buffer the message
+completely".  Each destination process owns a mailbox with a bounded
+*buffer capacity*; a send completes immediately while the mailbox (plus
+in-flight messages towards it) has room, and blocks the sender
+otherwise.  With generous capacity a send-cycle deadlock stays latent;
+with tight capacity it manifests — exactly the rarely-visible bug the
+paper injects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.events.event import EventId
+
+
+@dataclasses.dataclass
+class Message:
+    """A message in flight or buffered at the destination.
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and destination process ids.
+    payload:
+        Arbitrary application data.
+    send_event:
+        Identity of the send event (becomes the receive's partner).
+    send_clock:
+        The sender's vector clock at the send event; merged into the
+        receiver's clock at consumption.
+    send_lamport:
+        The sender's Lamport time at the send event.
+    tag:
+        Optional application tag, usable for selective receives.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    send_event: EventId
+    send_clock: Any
+    send_lamport: int
+    tag: Optional[str] = None
+
+
+class Network:
+    """Per-destination mailboxes with bounded capacity.
+
+    Parameters
+    ----------
+    num_processes:
+        Number of communicating processes.
+    capacity:
+        Buffer capacity per destination mailbox.  ``capacity=0`` gives
+        rendezvous semantics (a send blocks until the destination posts
+        a matching receive); larger values emulate eager buffering.
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, num_processes: int, capacity: Optional[int] = None):
+        if num_processes <= 0:
+            raise ValueError(f"need at least one process, got {num_processes}")
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._mailboxes: List[Deque[Message]] = [
+            deque() for _ in range(num_processes)
+        ]
+        self._in_flight: Dict[int, int] = {i: 0 for i in range(num_processes)}
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    def has_room(self, dst: int) -> bool:
+        """True when a new message towards ``dst`` can be buffered."""
+        if self.capacity is None:
+            return True
+        occupied = len(self._mailboxes[dst]) + self._in_flight[dst]
+        return occupied < self.capacity
+
+    def reserve(self, dst: int) -> None:
+        """Account for a message that has left the sender but not yet
+        arrived (in flight)."""
+        self._in_flight[dst] += 1
+
+    def arrive(self, message: Message) -> None:
+        """Move an in-flight message into the destination mailbox."""
+        if self._in_flight[message.dst] <= 0:
+            raise RuntimeError(
+                f"arrival at process {message.dst} without a reservation"
+            )
+        self._in_flight[message.dst] -= 1
+        self._mailboxes[message.dst].append(message)
+
+    # ------------------------------------------------------------------
+    # Consumption
+    # ------------------------------------------------------------------
+
+    def match(self, dst: int, source: int, tag: Optional[str] = None) -> Optional[Message]:
+        """Find (without removing) the first buffered message for ``dst``
+        matching the ``source`` filter (-1 for any) and optional tag."""
+        for message in self._mailboxes[dst]:
+            if source >= 0 and message.src != source:
+                continue
+            if tag is not None and message.tag != tag:
+                continue
+            return message
+        return None
+
+    def consume(self, dst: int, message: Message) -> None:
+        """Remove a previously matched message from the mailbox."""
+        try:
+            self._mailboxes[dst].remove(message)
+        except ValueError:
+            raise RuntimeError(
+                f"message {message.send_event} not buffered at process {dst}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def buffered(self, dst: int) -> int:
+        """Number of messages currently buffered for ``dst``."""
+        return len(self._mailboxes[dst])
+
+    def in_flight(self, dst: int) -> int:
+        """Number of messages travelling towards ``dst``."""
+        return self._in_flight[dst]
+
+    def idle(self) -> bool:
+        """True when nothing is buffered or in flight anywhere."""
+        return all(v == 0 for v in self._in_flight.values()) and all(
+            not box for box in self._mailboxes
+        )

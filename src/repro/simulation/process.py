@@ -1,0 +1,140 @@
+"""Process API for simulated programs.
+
+A simulated process is written as a Python generator: the body receives
+a :class:`Proc` handle, builds *actions* with its methods, and yields
+them to the kernel.  Blocking actions (receive, send on a full channel,
+semaphore acquire) suspend the generator until the kernel can satisfy
+them; the result of the action (e.g. the received message) is the value
+of the ``yield`` expression::
+
+    def worker(p: Proc):
+        yield p.emit("Start")
+        yield p.send(dst=1, etype="Send", text="to-1")
+        msg = yield p.receive()          # blocks until a message arrives
+        yield p.emit("Got", text=str(msg.payload))
+
+This mirrors how the paper's instrumented targets behave: every
+communication or instrumented activity of interest produces exactly one
+traced event.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+
+class Action:
+    """Base class for actions a process can yield to the kernel."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass
+class EmitAction(Action):
+    """Record a unary instrumented event on the process trace."""
+
+    etype: str
+    text: str = ""
+
+
+@dataclasses.dataclass
+class SendAction(Action):
+    """Blocking point-to-point send (blocks only when unbufferable)."""
+
+    dst: int
+    etype: str = "Send"
+    text: str = ""
+    payload: Any = None
+    tag: Optional[str] = None
+
+
+@dataclasses.dataclass
+class ReceiveAction(Action):
+    """Blocking receive; ``source=-1`` accepts any sender."""
+
+    source: int = -1
+    etype: str = "Receive"
+    text: str = ""
+    tag: Optional[str] = None
+
+
+@dataclasses.dataclass
+class AcquireAction(Action):
+    """Semaphore P operation.
+
+    With ``bypass=True`` the operation *pretends* to succeed without
+    actually interacting with the semaphore — the injected μC++ bug of
+    the atomicity case study ("the semaphore will not be acquired
+    properly with 1% probability").
+    """
+
+    sem: int
+    bypass: bool = False
+
+
+@dataclasses.dataclass
+class ReleaseAction(Action):
+    """Semaphore V operation (a bypassed acquire must not release)."""
+
+    sem: int
+
+
+@dataclasses.dataclass
+class SleepAction(Action):
+    """Advance local simulation time without emitting an event."""
+
+    duration: float
+
+
+class Proc:
+    """Handle given to a process body for building actions.
+
+    The handle also exposes the process id and a process-local seeded
+    RNG so workload code never reaches for global randomness.
+    """
+
+    __slots__ = ("pid", "rng")
+
+    def __init__(self, pid: int, rng: Any):
+        self.pid = pid
+        self.rng = rng
+
+    def emit(self, etype: str, text: str = "") -> EmitAction:
+        """Record a unary instrumented event of class ``etype``."""
+        return EmitAction(etype=etype, text=text)
+
+    def send(
+        self,
+        dst: int,
+        etype: str = "Send",
+        text: str = "",
+        payload: Any = None,
+        tag: Optional[str] = None,
+    ) -> SendAction:
+        """Blocking send to process ``dst``."""
+        return SendAction(dst=dst, etype=etype, text=text, payload=payload, tag=tag)
+
+    def receive(
+        self,
+        source: int = -1,
+        etype: str = "Receive",
+        text: str = "",
+        tag: Optional[str] = None,
+    ) -> ReceiveAction:
+        """Blocking receive; default source -1 means ANY_SOURCE."""
+        return ReceiveAction(source=source, etype=etype, text=text, tag=tag)
+
+    def acquire(self, sem: int, bypass: bool = False) -> AcquireAction:
+        """Semaphore P; ``bypass=True`` injects the broken-acquire bug."""
+        return AcquireAction(sem=sem, bypass=bypass)
+
+    def release(self, sem: int) -> ReleaseAction:
+        """Semaphore V."""
+        return ReleaseAction(sem=sem)
+
+    def sleep(self, duration: float) -> SleepAction:
+        """Let simulated time pass."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        return SleepAction(duration=duration)

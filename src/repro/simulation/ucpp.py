@@ -1,0 +1,53 @@
+"""μC++-flavoured veneer: tasks and semaphores-as-traces.
+
+μC++ [11] extends C++ with concurrency constructs; its POET plugin
+models semaphores as separate traces (paper, Section V-C3).  The
+:class:`Semaphore` helper wraps the kernel's semaphore actions so a
+workload reads like the μC++ program it stands in for::
+
+    sem = Semaphore(0)
+
+    def task(p: Proc):
+        yield from sem.acquire(p)            # P()
+        yield p.emit("CS", text="critical")  # protected method body
+        yield from sem.release(p)            # V()
+
+A *bypassed* acquire (``sem.acquire(p, bypass=True)``) models the
+injected bug in which "the semaphore will not be acquired properly
+with 1% probability": the task proceeds without creating any causal
+edge through the semaphore trace, so its critical-section events can
+be concurrent with another task's — the atomicity violation OCEP
+detects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.simulation.process import Action, Proc
+
+
+class Semaphore:
+    """Handle for one kernel semaphore (identified by its index).
+
+    The kernel must be built with ``num_semaphores`` covering every
+    index used, and the semaphore's trace id is
+    ``kernel.semaphore_trace(index)``.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int):
+        if index < 0:
+            raise ValueError(f"semaphore index must be >= 0, got {index}")
+        self.index = index
+
+    def acquire(
+        self, proc: Proc, bypass: bool = False
+    ) -> Generator[Action, Any, None]:
+        """P operation; with ``bypass`` the buggy no-op variant."""
+        yield proc.acquire(self.index, bypass=bypass)
+
+    def release(self, proc: Proc) -> Generator[Action, Any, None]:
+        """V operation."""
+        yield proc.release(self.index)

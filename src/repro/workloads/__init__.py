@@ -1,0 +1,53 @@
+"""The paper's four case-study workloads (Section V-C).
+
+Each module builds a simulated target application with a deliberately
+injected concurrency bug, returns the instrumented kernel + POET
+server, and records ground truth about the injected violations so the
+completeness benchmarks can verify OCEP's reports:
+
+* :mod:`~repro.workloads.random_walk` — MPI parallel random walk with
+  a send-cycle deadlock (Section V-C1);
+* :mod:`~repro.workloads.message_race` — all-to-one ``ANY_SOURCE``
+  benchmark with racing messages (Section V-C2);
+* :mod:`~repro.workloads.atomicity` — μC++ semaphore-protected method
+  with a 1 %-broken acquire (Section V-C3);
+* :mod:`~repro.workloads.ordering_bug` — ZooKeeper-bug-962-style
+  leader/follower replication with a 1 % stale-snapshot window
+  (Sections III-D and V-C4);
+* :mod:`~repro.workloads.patterns` — the corresponding detection
+  patterns in the pattern language.
+"""
+
+from repro.workloads.patterns import (
+    atomicity_pattern,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+from repro.workloads.random_walk import RandomWalkResult, build_random_walk
+from repro.workloads.message_race import MessageRaceResult, build_message_race
+from repro.workloads.atomicity import AtomicityResult, build_atomicity
+from repro.workloads.ordering_bug import OrderingBugResult, build_ordering_bug
+from repro.workloads.traffic_light import (
+    TrafficLightResult,
+    build_traffic_light,
+    traffic_light_pattern,
+)
+
+__all__ = [
+    "deadlock_pattern",
+    "message_race_pattern",
+    "atomicity_pattern",
+    "ordering_bug_pattern",
+    "build_random_walk",
+    "RandomWalkResult",
+    "build_message_race",
+    "MessageRaceResult",
+    "build_atomicity",
+    "AtomicityResult",
+    "build_ordering_bug",
+    "OrderingBugResult",
+    "build_traffic_light",
+    "TrafficLightResult",
+    "traffic_light_pattern",
+]

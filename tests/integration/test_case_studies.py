@@ -1,0 +1,217 @@
+"""Case-study completeness and false-positive checks (paper Section V-D).
+
+"Our OCEP algorithm is complete as it correctly reported all violations
+for the test cases.  OCEP also did not report any false positives for
+any of the test cases."  These tests verify both halves against each
+workload's injected-bug ground truth, and cross-check OCEP against the
+corresponding baseline detector.
+"""
+
+import pytest
+
+from repro import Monitor
+from repro.baselines import (
+    ConflictGraphDetector,
+    TimestampRaceDetector,
+    WaitForGraphDetector,
+)
+from repro.poet import RecordingClient
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_ordering_bug,
+    build_random_walk,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+
+
+class TestDeadlockCase:
+    def _run(self, skip_probability, seed=3, traces=5, buffer_capacity=2):
+        workload = build_random_walk(
+            num_traces=traces,
+            seed=seed,
+            skip_probability=skip_probability,
+            buffer_capacity=buffer_capacity,
+        )
+        monitor = Monitor.from_source(
+            deadlock_pattern(traces), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        result = workload.run(max_events=25_000)
+        return workload, monitor, recorder, result
+
+    @pytest.mark.parametrize("seed", [1, 3, 7])
+    def test_deadlock_is_detected(self, seed):
+        _, monitor, _, result = self._run(skip_probability=0.08, seed=seed)
+        assert result.deadlocked
+        assert monitor.reports, "deadlock occurred but no cycle reported"
+        final = monitor.reports[-1]
+        events = [e for _, e in final.assignment]
+        # the reported cycle is pairwise concurrent blocked sends
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                assert a.concurrent_with(b)
+        assert len({e.trace for e in events}) == len(events)
+
+    @pytest.mark.parametrize("seed", [1, 3, 7])
+    def test_no_false_positive_without_bug(self, seed):
+        _, monitor, _, result = self._run(
+            skip_probability=0.0, seed=seed, buffer_capacity=8
+        )
+        assert not result.deadlocked
+        assert not monitor.reports
+
+    def test_agrees_with_wait_for_graph(self):
+        workload, monitor, recorder, result = self._run(skip_probability=0.08)
+        assert result.deadlocked
+        detector = WaitForGraphDetector(workload.num_traces)
+        graph_reports = []
+        for event in recorder.events:
+            report = detector.on_event(event)
+            if report is not None:
+                graph_reports.append(report)
+        assert bool(graph_reports) == bool(monitor.reports)
+
+
+class TestMessageRaceCase:
+    def _run(self, traces=5, seed=2, messages=8):
+        workload = build_message_race(
+            num_traces=traces, seed=seed, messages_per_sender=messages
+        )
+        monitor = Monitor.from_source(
+            message_race_pattern(), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        workload.run()
+        return workload, monitor, recorder
+
+    def test_every_report_is_a_real_race(self):
+        _, monitor, _ = self._run()
+        for report in monitor.reports:
+            assignment = report.as_dict()
+            sends = [e for e in assignment.values() if e.etype == "Send"]
+            recvs = [e for e in assignment.values() if e.etype == "Receive"]
+            assert len(sends) == 2 and len(recvs) == 2
+            assert sends[0].concurrent_with(sends[1])
+            assert recvs[0].trace == recvs[1].trace
+
+    def test_racing_receives_are_detected(self):
+        """Every receive the timestamp baseline flags must also trigger
+        an OCEP report (detection completeness per violation event)."""
+        workload, monitor, recorder = self._run()
+        detector = TimestampRaceDetector(workload.num_traces)
+        race_triggering = set()
+        for event in recorder.events:
+            if detector.on_event(event):
+                race_triggering.add(event.event_id)
+        assert race_triggering, "workload produced no races?"
+        reported_triggers = {r.trigger_event.event_id for r in monitor.reports}
+        assert race_triggering <= reported_triggers
+
+    def test_single_sender_has_no_race(self):
+        workload = build_message_race(num_traces=3, seed=0, messages_per_sender=1)
+        monitor = Monitor.from_source(
+            message_race_pattern(), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        workload.run()
+        # two senders, one message each: those two messages may race;
+        # restrict to a truly race-free run: sequential sends
+        # (covered by the ordered-sends unit test of the baseline);
+        # here we only require no false "same-process" reports
+        for report in monitor.reports:
+            recvs = [
+                e for e in report.as_dict().values() if e.etype == "Receive"
+            ]
+            assert recvs[0].trace == recvs[1].trace == workload.collector
+
+
+class TestAtomicityCase:
+    def _run(self, bypass_probability, seed=4, processes=4, iterations=40):
+        workload = build_atomicity(
+            num_processes=processes,
+            seed=seed,
+            iterations=iterations,
+            bypass_probability=bypass_probability,
+        )
+        monitor = Monitor.from_source(
+            atomicity_pattern(), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        workload.run()
+        return workload, monitor, recorder
+
+    def test_violations_detected_with_bug(self):
+        workload, monitor, _ = self._run(bypass_probability=0.15)
+        assert workload.bypasses
+        assert monitor.reports
+        for report in monitor.reports:
+            x, y = report.as_dict().values()
+            assert x.concurrent_with(y)
+
+    def test_no_false_positives_without_bug(self):
+        workload, monitor, _ = self._run(bypass_probability=0.0)
+        assert not workload.bypasses
+        assert not monitor.reports
+
+    def test_agrees_with_conflict_graph_detector(self):
+        workload, monitor, recorder = self._run(bypass_probability=0.15)
+        detector = ConflictGraphDetector(workload.num_traces)
+        found = []
+        for event in recorder.events:
+            found.extend(detector.on_event(event))
+        assert bool(found) == bool(monitor.reports)
+
+
+class TestOrderingBugCase:
+    def _run(self, bug_probability, seed=6, traces=5, synchs=6):
+        workload = build_ordering_bug(
+            num_traces=traces,
+            seed=seed,
+            synchs_per_follower=synchs,
+            bug_probability=bug_probability,
+        )
+        monitor = Monitor.from_source(
+            ordering_bug_pattern(), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        workload.run()
+        return workload, monitor
+
+    @pytest.mark.parametrize("seed", [2, 6, 9])
+    def test_matched_requests_equal_injected_bugs(self, seed):
+        workload, monitor = self._run(bug_probability=0.3, seed=seed)
+        matched = {dict(r.bindings)["r"] for r in monitor.reports}
+        assert matched == set(workload.buggy_requests)
+
+    def test_clean_run_has_no_matches(self):
+        workload, monitor = self._run(bug_probability=0.0)
+        assert not workload.buggy_requests
+        assert not monitor.reports
+
+    def test_bindings_pair_snapshot_and_forward(self):
+        workload, monitor = self._run(bug_probability=0.5)
+        for report in monitor.reports:
+            assignment = report.as_dict()
+            req = dict(report.bindings)["r"]
+            by_type = {e.etype: e for e in assignment.values()}
+            assert by_type["Take_Snapshot"].text == req
+            assert by_type["Forward_Snapshot"].text == req
+            assert by_type["Synch_Request"].text == req
+            chain = [
+                by_type["Synch_Request"],
+                by_type["Take_Snapshot"],
+                by_type["Make_Update"],
+                by_type["Forward_Snapshot"],
+            ]
+            for earlier, later in zip(chain, chain[1:]):
+                assert earlier.happens_before(later)

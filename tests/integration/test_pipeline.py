@@ -1,0 +1,125 @@
+"""Integration tests: kernel -> POET -> monitor, dump/replay, baselines."""
+
+import pytest
+
+from repro import (
+    Kernel,
+    MatcherConfig,
+    Monitor,
+    SweepMode,
+    dump_events,
+    instrument,
+    load_events,
+)
+from repro.poet import RecordingClient, is_linearization
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def _producer_consumer(seed=0):
+    """Producer emits A's and messages; consumer emits B's after."""
+    kernel = Kernel(num_processes=2, seed=seed, buffer_capacity=4)
+    server = instrument(kernel, verify=True)
+
+    def producer(p):
+        for i in range(10):
+            yield p.emit("A", text=str(i))
+            yield p.send(1, payload=i)
+
+    def consumer(p):
+        for _ in range(10):
+            yield p.receive()
+            yield p.emit("B")
+
+    kernel.spawn(0, producer)
+    kernel.spawn(1, consumer)
+    return kernel, server
+
+
+class TestLivePipeline:
+    def test_online_monitoring_end_to_end(self):
+        kernel, server = _producer_consumer()
+        monitor = Monitor.from_source(AB, kernel.trace_names())
+        server.connect(monitor)
+        result = kernel.run()
+        assert not result.deadlocked
+        assert monitor.reports
+        for report in monitor.reports:
+            a, b = report.as_dict()[0], report.as_dict()[1]
+            assert a.happens_before(b)
+        assert monitor.subset.check_bound()
+
+    def test_multiple_clients_see_identical_stream(self):
+        kernel, server = _producer_consumer()
+        rec1, rec2 = RecordingClient(), RecordingClient()
+        server.connect(rec1)
+        server.connect(rec2)
+        kernel.run()
+        assert rec1.events == rec2.events
+        assert is_linearization(rec1.events, kernel.num_traces)
+
+
+class TestDumpReplayEquivalence:
+    def test_replayed_stream_gives_identical_matches(self, tmp_path):
+        """The paper's methodology: collect once, dump, reload, re-run."""
+        kernel, server = _producer_consumer(seed=5)
+        recorder = RecordingClient()
+        server.connect(recorder)
+        live_monitor = Monitor.from_source(AB, kernel.trace_names())
+        server.connect(live_monitor)
+        kernel.run()
+
+        path = tmp_path / "run.poet"
+        dump_events(path, recorder.events, kernel.num_traces, kernel.trace_names())
+        events, num_traces, names = load_events(path)
+
+        replay_monitor = Monitor.from_source(AB, names)
+        for event in events:
+            replay_monitor.on_event(event)
+
+        live = [r.assignment for r in live_monitor.reports]
+        replayed = [r.assignment for r in replay_monitor.reports]
+        assert [
+            tuple((lid, e.event_id) for lid, e in a) for a in live
+        ] == [tuple((lid, e.event_id) for lid, e in a) for a in replayed]
+
+    def test_replay_is_deterministic_across_repetitions(self, tmp_path):
+        kernel, server = _producer_consumer(seed=9)
+        recorder = RecordingClient()
+        server.connect(recorder)
+        kernel.run()
+
+        def run_once():
+            monitor = Monitor.from_source(AB, kernel.trace_names())
+            for event in recorder.events:
+                monitor.on_event(event)
+            return [
+                tuple((lid, e.event_id) for lid, e in r.assignment)
+                for r in monitor.reports
+            ]
+
+        assert run_once() == run_once() == run_once()
+
+
+class TestConfigurationMatrix:
+    """The same computation must yield the same detections under every
+    optimisation configuration — the optimisations change cost, not
+    answers."""
+
+    @pytest.mark.parametrize("restrict", [True, False])
+    @pytest.mark.parametrize("backjump", [True, False])
+    @pytest.mark.parametrize("prune", [True, False])
+    def test_detection_invariant_under_config(self, restrict, backjump, prune):
+        kernel, server = _producer_consumer(seed=11)
+        config = MatcherConfig(
+            sweep=SweepMode.FIRST,
+            restrict_domains=restrict,
+            backjump=backjump,
+            prune_history=prune,
+            paranoid=True,
+        )
+        monitor = Monitor.from_source(AB, kernel.trace_names(), config=config)
+        server.connect(monitor)
+        kernel.run()
+        # every B completes at least one match: 10 triggers, 10 reports
+        assert len(monitor.reports) == 10

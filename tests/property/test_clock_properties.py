@@ -1,0 +1,147 @@
+"""Property-based tests for vector clocks and causality.
+
+The generators build random-but-valid computations through the
+:class:`~repro.testing.Weaver`, so every generated clock is one a real
+execution could produce — the properties then assert the axioms the
+whole library rests on.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import VectorClock
+from repro.poet import is_linearization, linearize
+from repro.testing import Weaver
+
+
+@st.composite
+def computations(draw, max_traces=5, max_steps=40):
+    """A random computation as a Weaver with its events."""
+    num_traces = draw(st.integers(min_value=1, max_value=max_traces))
+    steps = draw(st.integers(min_value=1, max_value=max_steps))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    weaver = Weaver(num_traces)
+    pending = []
+    for _ in range(steps):
+        roll = rng.random()
+        trace = rng.randrange(num_traces)
+        if roll < 0.4 or num_traces == 1:
+            weaver.local(trace, rng.choice("ABC"))
+        elif roll < 0.7:
+            pending.append(weaver.send(trace))
+        elif pending:
+            send = pending.pop(rng.randrange(len(pending)))
+            choices = [t for t in range(num_traces) if t != send.trace]
+            weaver.recv(rng.choice(choices), send)
+        else:
+            weaver.local(trace)
+    return weaver
+
+
+class TestStrictPartialOrder:
+    @given(computations())
+    @settings(max_examples=60, deadline=None)
+    def test_irreflexive(self, weaver):
+        for event in weaver.events:
+            assert not event.happens_before(event)
+
+    @given(computations())
+    @settings(max_examples=40, deadline=None)
+    def test_antisymmetric(self, weaver):
+        events = weaver.events
+        for a in events:
+            for b in events:
+                if a != b and a.happens_before(b):
+                    assert not b.happens_before(a)
+
+    @given(computations(max_steps=25))
+    @settings(max_examples=30, deadline=None)
+    def test_transitive(self, weaver):
+        events = weaver.events
+        for a in events:
+            for b in events:
+                if not a.happens_before(b):
+                    continue
+                for c in events:
+                    if b.happens_before(c):
+                        assert a.happens_before(c)
+
+    @given(computations())
+    @settings(max_examples=40, deadline=None)
+    def test_trichotomy_with_concurrency(self, weaver):
+        """Every distinct pair is exactly one of: before, after,
+        concurrent."""
+        events = weaver.events
+        for i, a in enumerate(events):
+            for b in events[i + 1 :]:
+                relations = [
+                    a.happens_before(b),
+                    b.happens_before(a),
+                    a.concurrent_with(b),
+                ]
+                assert sum(relations) == 1
+
+
+class TestClockCharacterisation:
+    @given(computations())
+    @settings(max_examples=40, deadline=None)
+    def test_happens_before_iff_clock_less(self, weaver):
+        """a -> b <=> Va < Vb (the fundamental vector-clock theorem)."""
+        events = weaver.events
+        for a in events:
+            for b in events:
+                if a == b:
+                    continue
+                assert a.happens_before(b) == (a.clock < b.clock)
+
+    @given(computations())
+    @settings(max_examples=40, deadline=None)
+    def test_same_trace_events_totally_ordered(self, weaver):
+        events = weaver.events
+        for a in events:
+            for b in events:
+                if a != b and a.trace == b.trace:
+                    assert a.happens_before(b) or b.happens_before(a)
+
+
+class TestClockAlgebra:
+    clock_lists = st.lists(
+        st.integers(min_value=0, max_value=50), min_size=1, max_size=6
+    )
+
+    @given(clock_lists, clock_lists)
+    def test_merge_is_commutative_and_upper_bound(self, xs, ys):
+        if len(xs) != len(ys):
+            ys = (ys * len(xs))[: len(xs)]
+        a, b = VectorClock(xs), VectorClock(ys)
+        merged = a.merge(b)
+        assert merged == b.merge(a)
+        assert a <= merged and b <= merged
+
+    @given(clock_lists)
+    def test_merge_idempotent(self, xs):
+        clock = VectorClock(xs)
+        assert clock.merge(clock) == clock
+
+    @given(clock_lists, st.integers(min_value=0, max_value=5))
+    def test_tick_strictly_increases(self, xs, trace):
+        clock = VectorClock(xs)
+        trace = trace % len(xs)
+        assert clock < clock.tick(trace)
+
+
+class TestLinearization:
+    @given(computations())
+    @settings(max_examples=50, deadline=None)
+    def test_weaver_stream_is_linearization(self, weaver):
+        assert is_linearization(weaver.events, weaver.num_traces)
+
+    @given(computations(), st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_linearize_repairs_any_shuffle(self, weaver, rng):
+        shuffled = list(weaver.events)
+        rng.shuffle(shuffled)
+        assert is_linearization(linearize(shuffled), weaver.num_traces)

@@ -1,0 +1,115 @@
+"""Property-based tests for compound-event relations (Section III-B)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import (
+    CompoundEvent,
+    compound_concurrent,
+    compound_precedes,
+    crosses,
+    disjoint,
+    entangled,
+    overlaps,
+    strong_precedes,
+    weak_precedes,
+)
+from repro.testing import Weaver
+
+
+@st.composite
+def two_compounds(draw):
+    """A random computation plus two random disjoint-or-overlapping
+    compound events carved out of it."""
+    num_traces = draw(st.integers(min_value=2, max_value=4))
+    steps = draw(st.integers(min_value=4, max_value=25))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(seed)
+    weaver = Weaver(num_traces)
+    pending = []
+    for _ in range(steps):
+        roll = rng.random()
+        trace = rng.randrange(num_traces)
+        if roll < 0.4:
+            weaver.local(trace)
+        elif roll < 0.7:
+            pending.append(weaver.send(trace))
+        elif pending:
+            send = pending.pop(rng.randrange(len(pending)))
+            choices = [t for t in range(num_traces) if t != send.trace]
+            weaver.recv(rng.choice(choices), send)
+    if not weaver.events:
+        weaver.local(0)
+    events = weaver.events
+    size_a = draw(st.integers(min_value=1, max_value=min(3, len(events))))
+    size_b = draw(st.integers(min_value=1, max_value=min(3, len(events))))
+    a = frozenset(rng.sample(events, size_a))
+    b = frozenset(rng.sample(events, size_b))
+    return a, b
+
+
+class TestExclusiveClassification:
+    @given(two_compounds())
+    @settings(max_examples=150, deadline=None)
+    def test_exactly_one_of_four_relations(self, data):
+        """With entanglement included, any two compound events stand in
+        exactly one of A -> B, B -> A, A || B, A <-> B (Section III-B)."""
+        a, b = data
+        relations = [
+            compound_precedes(a, b),
+            compound_precedes(b, a),
+            compound_concurrent(a, b),
+            entangled(a, b),
+        ]
+        assert sum(relations) == 1, (a, b, relations)
+
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_classify_agrees_with_predicates(self, data):
+        a, b = data
+        ca, cb = CompoundEvent(a), CompoundEvent(b)
+        label = ca.classify(cb)
+        expected = {
+            "->": compound_precedes(a, b),
+            "<-": compound_precedes(b, a),
+            "||": compound_concurrent(a, b),
+            "<->": entangled(a, b),
+        }
+        assert expected[label]
+
+
+class TestDefinitionEquivalences:
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_entanglement_is_cross_or_overlap(self, data):
+        a, b = data
+        assert entangled(a, b) == (crosses(a, b) or overlaps(a, b))
+
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_strong_implies_weak_precedence(self, data):
+        a, b = data
+        if strong_precedes(a, b):
+            assert weak_precedes(a, b)
+
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_crossing_is_symmetric_and_disjoint(self, data):
+        a, b = data
+        assert crosses(a, b) == crosses(b, a)
+        if crosses(a, b):
+            assert disjoint(a, b)
+
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_precedence_antisymmetric(self, data):
+        a, b = data
+        assert not (compound_precedes(a, b) and compound_precedes(b, a))
+
+    @given(two_compounds())
+    @settings(max_examples=100, deadline=None)
+    def test_concurrency_symmetric(self, data):
+        a, b = data
+        assert compound_concurrent(a, b) == compound_concurrent(b, a)

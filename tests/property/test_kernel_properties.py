@@ -1,0 +1,115 @@
+"""Property-based tests for the simulation kernel.
+
+Invariants the whole evaluation rests on: mutual exclusion through
+semaphores, message conservation, per-channel FIFO, causal delivery.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events import EventKind
+from repro.poet import RecordingClient, instrument, is_linearization
+from repro.simulation import ANY_SOURCE, Kernel
+
+
+def run_random_kernel(num_processes, seed, with_semaphore):
+    kernel = Kernel(
+        num_processes=num_processes,
+        num_semaphores=1 if with_semaphore else 0,
+        seed=seed,
+        buffer_capacity=3,
+    )
+    server = instrument(kernel, verify=True)
+    recorder = RecordingClient()
+    server.connect(recorder)
+
+    def body(p):
+        rng = p.rng
+        for _ in range(8):
+            roll = rng.random()
+            if roll < 0.3:
+                yield p.emit("E")
+            elif roll < 0.6:
+                dst = rng.randrange(num_processes)
+                if dst != p.pid:
+                    yield p.send(dst, payload=(p.pid, rng.random()))
+            elif with_semaphore and roll < 0.8:
+                yield p.acquire(0)
+                yield p.emit("CS")
+                yield p.release(0)
+            else:
+                yield p.sleep(rng.random())
+
+    for pid in range(num_processes):
+        kernel.spawn(pid, body)
+    result = kernel.run(max_events=500)
+    return kernel, recorder.events, result
+
+
+class TestKernelInvariants:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_delivery_is_linearization(self, num_processes, seed):
+        kernel, events, _ = run_random_kernel(num_processes, seed, True)
+        assert is_linearization(events, kernel.num_traces)
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_receive_has_an_earlier_send(self, num_processes, seed):
+        _, events, _ = run_random_kernel(num_processes, seed, False)
+        seen = set()
+        for event in events:
+            seen.add(event.event_id)
+            if event.kind is EventKind.RECEIVE:
+                assert event.partner is not None
+                assert event.partner in seen
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_each_send_received_at_most_once(self, num_processes, seed):
+        _, events, _ = run_random_kernel(num_processes, seed, False)
+        partners = [
+            e.partner for e in events if e.kind is EventKind.RECEIVE
+        ]
+        assert len(partners) == len(set(partners))
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_semaphore_mutual_exclusion(self, num_processes, seed):
+        """Critical-section events guarded by the semaphore are never
+        pairwise concurrent — the causal-ordering guarantee the
+        atomicity case study rests on."""
+        _, events, _ = run_random_kernel(num_processes, seed, True)
+        sections = [e for e in events if e.etype == "CS"]
+        for i, a in enumerate(sections):
+            for b in sections[i + 1 :]:
+                assert not a.concurrent_with(b)
+
+    @given(
+        st.integers(min_value=3, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_per_channel_fifo(self, num_processes, seed):
+        """Receives from one sender arrive in that sender's send
+        order (MPI non-overtaking)."""
+        _, events, _ = run_random_kernel(num_processes, seed, False)
+        last_index = {}
+        for event in events:
+            if event.kind is EventKind.RECEIVE and event.partner is not None:
+                channel = (event.partner.trace, event.trace)
+                previous = last_index.get(channel, 0)
+                assert event.partner.index > previous
+                last_index[channel] = event.partner.index

@@ -1,0 +1,128 @@
+"""Property-based tests for the OCEP matcher against the oracle."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MatcherConfig, Monitor, OCEPMatcher, SweepMode
+from repro.core.oracle import covered_slots, enumerate_matches
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.testing import Weaver
+
+PATTERN_SOURCES = [
+    "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;",
+    "A := ['', A, '']; B := ['', B, '']; pattern := A || B;",
+    "A := ['', A, '']; B := ['', B, '']; pattern := A ~> B;",
+    "S := ['', Send, '']; R := ['', Receive, '']; pattern := S <> R;",
+    "A := ['', A, '']; B := ['', B, '']; C := ['', C, ''];"
+    "pattern := (A -> B) /\\ (B || C);",
+    "A := [$1, A, '']; B := [$1, B, '']; pattern := A -> B;",
+    "A := ['', A, '']; B := ['', B, '']; C := ['', C, '']; A $x;"
+    "pattern := ($x -> B) /\\ ($x -> C);",
+]
+
+
+@st.composite
+def scenario(draw):
+    num_traces = draw(st.integers(min_value=2, max_value=4))
+    steps = draw(st.integers(min_value=5, max_value=35))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    pattern_source = draw(st.sampled_from(PATTERN_SOURCES))
+    rng = random.Random(seed)
+    weaver = Weaver(num_traces)
+    pending = []
+    for _ in range(steps):
+        roll = rng.random()
+        trace = rng.randrange(num_traces)
+        if roll < 0.45:
+            weaver.local(trace, rng.choice("ABC"))
+        elif roll < 0.75:
+            pending.append(weaver.send(trace))
+        elif pending:
+            send = pending.pop(rng.randrange(len(pending)))
+            choices = [t for t in range(num_traces) if t != send.trace]
+            weaver.recv(rng.choice(choices), send)
+    names = [f"P{i}" for i in range(num_traces)]
+    compiled = compile_pattern(PatternTree(parse_pattern(pattern_source), names))
+    return weaver, compiled, names
+
+
+def canonical(items):
+    return tuple(sorted((lid, e.event_id) for lid, e in items))
+
+
+class TestExhaustiveEqualsOracle:
+    @given(scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_match_sets_identical(self, data):
+        weaver, compiled, names = data
+        matcher = OCEPMatcher(
+            compiled,
+            weaver.num_traces,
+            MatcherConfig(
+                sweep=SweepMode.EXHAUSTIVE, prune_history=False, paranoid=True
+            ),
+        )
+        got = set()
+        for event in weaver.events:
+            for report in matcher.on_event(event):
+                got.add(canonical(report.assignment))
+        want = {
+            canonical(m.items())
+            for m in enumerate_matches(compiled, weaver.events)
+        }
+        assert got == want
+
+
+class TestCoverageSoundness:
+    @given(scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_no_false_positives_and_detection(self, data):
+        weaver, compiled, names = data
+        matcher = OCEPMatcher(
+            compiled, weaver.num_traces, MatcherConfig(prune_history=False)
+        )
+        reports = []
+        for event in weaver.events:
+            reports.extend(matcher.on_event(event))
+        oracle = enumerate_matches(compiled, weaver.events)
+        oracle_set = {canonical(m.items()) for m in oracle}
+        for report in reports:
+            assert canonical(report.assignment) in oracle_set
+        if oracle_set:
+            assert reports
+        assert matcher.subset.covered_slots <= covered_slots(oracle)
+        assert matcher.subset.check_bound()
+
+
+class TestOnlineIncrementality:
+    @given(scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_trigger_event_is_in_every_report(self, data):
+        """Online reports always contain the event that triggered them —
+        matches are discovered as soon as they complete."""
+        weaver, compiled, names = data
+        matcher = OCEPMatcher(
+            compiled, weaver.num_traces, MatcherConfig(prune_history=False)
+        )
+        for event in weaver.events:
+            for report in matcher.on_event(event):
+                assigned = dict(report.assignment)
+                assert report.trigger_event == event
+                assert event in assigned.values()
+
+    @given(scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_histories_only_hold_class_matches(self, data):
+        weaver, compiled, names = data
+        matcher = OCEPMatcher(
+            compiled, weaver.num_traces, MatcherConfig(prune_history=False)
+        )
+        for event in weaver.events:
+            matcher.on_event(event)
+        for leaf in compiled.leaves:
+            history = matcher.history.leaf(leaf.leaf_id)
+            for trace in range(weaver.num_traces):
+                for event in history.on_trace(trace):
+                    assert leaf.event_class.could_match(event)

@@ -1,0 +1,131 @@
+"""Property-based round-trip tests for the pattern language.
+
+``parse(render(parse(src)))`` must equal ``parse(src)`` — the unparser
+produces canonical source preserving semantics.  Patterns are generated
+as random ASTs, rendered, and parsed; the resulting definitions must be
+identical, and compilation must yield the same constraint matrices.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns import (
+    Constraint,
+    PatternError,
+    PatternTree,
+    compile_pattern,
+    parse_pattern,
+    render_pattern,
+)
+from repro.patterns.ast import (
+    AndExpr,
+    AttrVar,
+    BinaryExpr,
+    ClassDef,
+    ClassRef,
+    Exact,
+    Operator,
+    PatternDef,
+    VarDecl,
+    VarRef,
+    Wildcard,
+)
+
+CLASS_NAMES = ["Alpha", "Beta", "Gamma"]
+VAR_NAMES = ["x", "y"]
+
+attr = st.one_of(
+    st.just(Wildcard()),
+    st.sampled_from([Exact("Send"), Exact("Take_Snapshot"), Exact("a b")]),
+    st.sampled_from([AttrVar("1"), AttrVar("2")]),
+)
+
+leaf = st.one_of(
+    st.sampled_from([ClassRef(n) for n in CLASS_NAMES]),
+    st.sampled_from([VarRef(n) for n in VAR_NAMES]),
+)
+
+operators = st.sampled_from(
+    [Operator.PRECEDES, Operator.CONCURRENT, Operator.LIMITED]
+)
+
+
+def exprs(depth):
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(
+            lambda op, l, r: BinaryExpr(op=op, left=l, right=r),
+            operators,
+            sub,
+            sub,
+        ),
+        st.builds(
+            lambda parts: AndExpr(parts=tuple(parts)),
+            st.lists(sub, min_size=2, max_size=3),
+        ),
+    )
+
+
+@st.composite
+def pattern_defs(draw):
+    classes = {
+        name: ClassDef(
+            name=name,
+            process=draw(attr),
+            etype=draw(attr),
+            text=draw(attr),
+        )
+        for name in CLASS_NAMES
+    }
+    variables = {
+        var: VarDecl(class_name=draw(st.sampled_from(CLASS_NAMES)), var_name=var)
+        for var in VAR_NAMES
+    }
+    expr = draw(exprs(2))
+    return PatternDef(classes=classes, variables=variables, expr=expr)
+
+
+class TestRoundTrip:
+    @given(pattern_defs())
+    @settings(max_examples=120, deadline=None)
+    def test_parse_render_parse_is_identity(self, definition):
+        source = render_pattern(definition)
+        reparsed = parse_pattern(source)
+        assert reparsed.classes == definition.classes
+        assert reparsed.variables == definition.variables
+        assert reparsed.expr == definition.expr
+        # and the fixpoint holds
+        assert render_pattern(reparsed) == source
+
+    @given(pattern_defs())
+    @settings(max_examples=80, deadline=None)
+    def test_compilation_agrees_after_round_trip(self, definition):
+        source = render_pattern(definition)
+        names = ["P0", "P1"]
+
+        def matrix(defn):
+            compiled = compile_pattern(PatternTree(defn, names))
+            return {
+                (i, j): compiled.constraint(i, j)
+                for i in range(compiled.num_leaves)
+                for j in range(compiled.num_leaves)
+                if i != j
+            }
+
+        try:
+            original = matrix(definition)
+        except PatternError:
+            # contradictory random pattern: the reparsed one must
+            # contradict identically
+            reparsed = parse_pattern(source)
+            try:
+                matrix(reparsed)
+                raise AssertionError("round trip lost a contradiction")
+            except PatternError:
+                return
+        assert matrix(parse_pattern(source)) == original

@@ -1,0 +1,102 @@
+"""Unit tests for boxplot statistics, rendering, and tables."""
+
+import pytest
+
+from repro.analysis import (
+    BoxplotStats,
+    compute_boxplot,
+    format_table,
+    quartile_table,
+    render_boxplots,
+)
+
+
+class TestComputeBoxplot:
+    def test_simple_quartiles(self):
+        stats = compute_boxplot([1, 2, 3, 4, 5])
+        assert stats.q1 == 2
+        assert stats.median == 3
+        assert stats.q3 == 4
+        assert stats.minimum == 1
+        assert stats.maximum == 5
+        assert stats.iqr == 2
+
+    def test_interpolated_quartiles(self):
+        stats = compute_boxplot([1, 2, 3, 4])
+        assert stats.q1 == pytest.approx(1.75)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.q3 == pytest.approx(3.25)
+
+    def test_single_sample(self):
+        stats = compute_boxplot([7.0])
+        assert stats.q1 == stats.median == stats.q3 == 7.0
+        assert stats.outliers == ()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_boxplot([])
+
+    def test_outliers_beyond_fences(self):
+        samples = [10, 11, 12, 13, 14, 100]
+        stats = compute_boxplot(samples)
+        assert 100 in stats.outliers
+        assert stats.top_whisker <= 14
+
+    def test_whiskers_clamped_to_data(self):
+        samples = [1, 2, 3, 4, 5]
+        stats = compute_boxplot(samples)
+        assert stats.low_whisker == 1
+        assert stats.top_whisker == 5
+
+    def test_order_invariance(self):
+        a = compute_boxplot([5, 1, 4, 2, 3])
+        b = compute_boxplot([1, 2, 3, 4, 5])
+        assert a == b
+
+    def test_mean(self):
+        assert compute_boxplot([1, 2, 3]).mean == pytest.approx(2.0)
+
+
+class TestRenderBoxplots:
+    def _groups(self):
+        return {
+            "10 traces": compute_boxplot([100, 150, 200, 250, 900]),
+            "20 traces": compute_boxplot([200, 260, 300, 380, 1500]),
+        }
+
+    def test_contains_labels_and_marks(self):
+        out = render_boxplots(self._groups(), title="Fig X")
+        assert "Fig X" in out
+        assert "10 traces" in out
+        assert "#" in out  # median mark
+        assert "[" in out and "]" in out  # IQR box
+        # outliers appear either in range ('x') or clipped at the edge ('>')
+        assert "x" in out or ">" in out
+
+    def test_respects_width(self):
+        out = render_boxplots(self._groups(), width=40)
+        for line in out.splitlines()[1:]:
+            assert len(line) <= 40 + len("10 traces") + 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_boxplots({})
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_quartile_table_shape(self):
+        out = quartile_table({"Deadlock": compute_boxplot([1712, 1805, 1888])})
+        assert "Test Case" in out
+        assert "Deadlock" in out
+        assert "Top Whisker" in out

@@ -1,0 +1,186 @@
+"""Unit tests for the baseline detectors and matchers."""
+
+import pytest
+
+from repro.baselines import (
+    ConflictGraphDetector,
+    SlidingWindowMatcher,
+    TimestampRaceDetector,
+    WaitForGraphDetector,
+    chronological_config,
+    chronological_monitor,
+)
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.testing import Weaver
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+class TestChronological:
+    def test_config_disables_optimisations(self):
+        config = chronological_config()
+        assert not config.restrict_domains
+        assert not config.backjump
+
+    def test_monitor_still_finds_matches(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        s, r = w.message(0, 1)
+        b = w.local(1, "B")
+        monitor = chronological_monitor(AB, ["P0", "P1"])
+        for e in w.events:
+            monitor.on_event(e)
+        assert len(monitor.reports) == 1
+
+
+class TestSlidingWindow:
+    def _pattern(self):
+        return compile_pattern(PatternTree(parse_pattern(AB), ["P0", "P1"]))
+
+    def test_match_inside_window(self):
+        w = Weaver(2)
+        w.local(0, "A")
+        s, r = w.message(0, 1)
+        w.local(1, "B")
+        matcher = SlidingWindowMatcher(self._pattern(), 2, window=10)
+        found = []
+        for e in w.events:
+            found.extend(matcher.on_event(e))
+        assert len(found) == 1
+
+    def test_omission_outside_window(self):
+        """The Figure 3 problem: a match spanning beyond the window is
+        silently missed."""
+        w = Weaver(2)
+        w.local(0, "A")
+        s, r = w.message(0, 1)
+        for _ in range(10):
+            w.local(1, "Noise")
+        w.local(1, "B")
+        matcher = SlidingWindowMatcher(self._pattern(), 2, window=4)
+        found = []
+        for e in w.events:
+            found.extend(matcher.on_event(e))
+        assert found == []  # the A fell out of the window
+
+    def test_default_window_is_n_squared(self):
+        matcher = SlidingWindowMatcher(self._pattern(), 2)
+        assert matcher.window == 4
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowMatcher(self._pattern(), 2, window=0)
+
+
+class TestWaitForGraph:
+    def test_detects_cycle(self):
+        w = Weaver(3)
+        s0 = w.send(0, text="to1")
+        s1 = w.send(1, text="to2")
+        s2 = w.send(2, text="to0")
+        detector = WaitForGraphDetector(3)
+        reports = [detector.on_event(e) for e in w.events]
+        assert reports[0] is None and reports[1] is None
+        assert reports[2] is not None
+        assert set(reports[2].cycle) == {0, 1, 2}
+
+    def test_receive_clears_edge(self):
+        w = Weaver(2)
+        s0 = w.send(0, text="to1")
+        r = w.recv(1, s0)
+        s1 = w.send(1, text="to0")
+        detector = WaitForGraphDetector(2)
+        for e in w.events:
+            report = detector.on_event(e)
+        assert report is None  # the consumed edge broke the would-be cycle
+        assert detector.num_edges == 1
+
+    def test_ignores_sends_without_destination_text(self):
+        w = Weaver(2)
+        w.send(0, text="not-a-destination")
+        detector = WaitForGraphDetector(2)
+        assert detector.on_event(w.events[0]) is None
+        assert detector.num_edges == 0
+
+    def test_timings_recorded(self):
+        w = Weaver(2)
+        w.send(0, text="to1")
+        detector = WaitForGraphDetector(2)
+        detector.on_event(w.events[0])
+        assert len(detector.timings) == 1
+
+
+class TestTimestampRace:
+    def test_detects_concurrent_sends_to_same_receiver(self):
+        w = Weaver(3)
+        s1 = w.send(0)
+        s2 = w.send(1)
+        r1 = w.recv(2, s1)
+        r2 = w.recv(2, s2)
+        detector = TimestampRaceDetector(3)
+        found = []
+        for e in w.events:
+            found.extend(detector.on_event(e))
+        assert len(found) == 1
+        assert {found[0].first_send, found[0].second_send} == {
+            s1.event_id,
+            s2.event_id,
+        }
+
+    def test_ordered_sends_do_not_race(self):
+        w = Weaver(3)
+        s1 = w.send(0)
+        r1 = w.recv(1, s1)
+        s2 = w.send(1)  # causally after s1
+        r2 = w.recv(2, s2)
+        s3 = w.send(0)
+        detector = TimestampRaceDetector(3)
+        found = []
+        for e in w.events:
+            found.extend(detector.on_event(e))
+        assert found == []
+
+    def test_history_size_grows(self):
+        w = Weaver(3)
+        pairs = [w.message(0, 2), w.message(1, 2)]
+        detector = TimestampRaceDetector(3)
+        for e in w.events:
+            detector.on_event(e)
+        assert detector.history_size == 2
+
+
+class TestConflictGraph:
+    def test_overlapping_sections_reported(self):
+        w = Weaver(2)
+        acq0 = w.local(0, "Acquire")
+        acq1 = w.local(1, "Acquire")  # concurrent with section 0
+        rel0 = w.local(0, "Release")
+        detector = ConflictGraphDetector(2)
+        found = []
+        for e in w.events:
+            found.extend(detector.on_event(e))
+        assert len(found) == 1
+
+    def test_serial_sections_not_reported(self):
+        w = Weaver(2)
+        acq0 = w.local(0, "Acquire")
+        rel0 = w.send(0, etype="Release")
+        handoff = w.recv(1, rel0, etype="Handoff")
+        acq1 = w.local(1, "Acquire")
+        detector = ConflictGraphDetector(2)
+        found = []
+        for e in w.events:
+            found.extend(detector.on_event(e))
+        assert found == []
+
+    def test_same_trace_sections_never_conflict(self):
+        w = Weaver(1)
+        w.local(0, "Acquire")
+        w.local(0, "Release")
+        w.local(0, "Acquire")
+        detector = ConflictGraphDetector(1)
+        found = []
+        for e in w.events:
+            found.extend(detector.on_event(e))
+        assert found == []
+        assert detector.section_count == 2

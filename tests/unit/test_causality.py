@@ -1,0 +1,87 @@
+"""Unit tests for causality predicates and Lamport clocks."""
+
+import pytest
+
+from repro.clocks import LamportClock, Ordering, compare, concurrent, happens_before
+from repro.testing import Weaver
+
+
+class TestLamportClock:
+    def test_starts_at_zero(self):
+        assert LamportClock().time == 0
+
+    def test_tick_increments(self):
+        clock = LamportClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+
+    def test_receive_jumps_past_sender(self):
+        clock = LamportClock(start=3)
+        assert clock.receive(10) == 11
+
+    def test_receive_from_past_still_advances(self):
+        clock = LamportClock(start=9)
+        assert clock.receive(2) == 10
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(start=-1)
+
+
+class TestHappensBefore:
+    def test_message_creates_order(self):
+        w = Weaver(2)
+        send, recv = w.message(0, 1)
+        assert happens_before(send.clock, 0, recv.clock, 1)
+        assert not happens_before(recv.clock, 1, send.clock, 0)
+
+    def test_same_trace_order_is_strict(self):
+        w = Weaver(1)
+        first = w.local(0)
+        second = w.local(0)
+        assert happens_before(first.clock, 0, second.clock, 0)
+        assert not happens_before(second.clock, 0, first.clock, 0)
+        # an event does not happen before itself
+        assert not happens_before(first.clock, 0, first.clock, 0)
+
+    def test_transitivity_through_intermediary(self):
+        w = Weaver(3)
+        a = w.local(0)
+        s1, r1 = w.message(0, 1)
+        s2, r2 = w.message(1, 2)
+        c = w.local(2)
+        assert happens_before(a.clock, 0, c.clock, 2)
+
+
+class TestCompare:
+    def test_equal_events(self):
+        w = Weaver(2)
+        a = w.local(0)
+        assert compare(a.clock, 0, a.clock, 0) is Ordering.EQUAL
+
+    def test_concurrent_events(self):
+        w = Weaver(2)
+        a = w.local(0)
+        b = w.local(1)
+        assert compare(a.clock, 0, b.clock, 1) is Ordering.CONCURRENT
+        assert concurrent(a.clock, 0, b.clock, 1)
+
+    def test_before_and_after_are_mirrors(self):
+        w = Weaver(2)
+        send, recv = w.message(0, 1)
+        assert compare(send.clock, 0, recv.clock, 1) is Ordering.BEFORE
+        assert compare(recv.clock, 1, send.clock, 0) is Ordering.AFTER
+
+    def test_ordering_inverse(self):
+        assert Ordering.BEFORE.inverse() is Ordering.AFTER
+        assert Ordering.AFTER.inverse() is Ordering.BEFORE
+        assert Ordering.CONCURRENT.inverse() is Ordering.CONCURRENT
+        assert Ordering.EQUAL.inverse() is Ordering.EQUAL
+
+    def test_paper_two_comparison_form(self):
+        """a -> b <=> Va[i] <= Vb[i] for distinct events (Section III-A)."""
+        w = Weaver(2)
+        send, recv = w.message(0, 1)
+        # the receive merges the send's own component without ticking it
+        assert send.clock[0] == recv.clock[0]
+        assert happens_before(send.clock, 0, recv.clock, 1)

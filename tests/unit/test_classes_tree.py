@@ -1,0 +1,107 @@
+"""Unit tests for runtime event classes and the pattern tree."""
+
+import pytest
+
+from repro.patterns import EventClass, PatternError, PatternTree, parse_pattern
+from repro.patterns.ast import AttrVar, ClassDef, Exact, Wildcard
+from repro.testing import Weaver
+
+
+def make_class(process, etype, text, names=("P0", "P1")):
+    return EventClass.from_def(
+        ClassDef(name="C", process=process, etype=etype, text=text),
+        trace_names=names,
+    )
+
+
+class TestEventClassMatching:
+    def test_wildcards_match_anything(self):
+        cls = make_class(Wildcard(), Wildcard(), Wildcard())
+        w = Weaver(2)
+        assert cls.matches(w.local(0, "Anything", "text")) == {}
+
+    def test_exact_type_match(self):
+        cls = make_class(Wildcard(), Exact("Send"), Wildcard())
+        w = Weaver(2)
+        assert cls.matches(w.send(0)) == {}
+        assert cls.matches(w.local(0, "Other")) is None
+
+    def test_exact_process_accepts_name_or_number(self):
+        w = Weaver(2)
+        event = w.local(1, "E")
+        by_name = make_class(Exact("P1"), Wildcard(), Wildcard())
+        by_number = make_class(Exact("1"), Wildcard(), Wildcard())
+        wrong = make_class(Exact("P0"), Wildcard(), Wildcard())
+        assert by_name.matches(event) == {}
+        assert by_number.matches(event) == {}
+        assert wrong.matches(event) is None
+
+    def test_attribute_variable_binds_then_constrains(self):
+        cls = make_class(AttrVar("p"), Wildcard(), Wildcard())
+        w = Weaver(2)
+        on_p0 = w.local(0)
+        on_p1 = w.local(1)
+        env = cls.matches(on_p0)
+        assert env == {"p": "P0"}
+        assert cls.matches(on_p1, env) is None
+        assert cls.matches(w.local(0), env) == {"p": "P0"}
+
+    def test_binding_environment_not_mutated(self):
+        cls = make_class(Wildcard(), Wildcard(), AttrVar("t"))
+        w = Weaver(1)
+        env = {}
+        out = cls.matches(w.local(0, "E", "hello"), env)
+        assert out == {"t": "hello"}
+        assert env == {}
+
+    def test_variable_shared_across_attributes(self):
+        # same variable in text of one class and process of another
+        source = """
+        Synch := [$1, Synch, $2];
+        Snap  := [$2, Snap, ''];
+        pattern := Synch -> Snap;
+        """
+        parsed = parse_pattern(source)
+        tree = PatternTree(parsed, ["P0", "P1"])
+        synch_cls = tree.leaf(0).event_class
+        snap_cls = tree.leaf(1).event_class
+        w = Weaver(2)
+        synch = w.local(0, "Synch", "P1")
+        snap_right = w.local(1, "Snap")
+        snap_wrong = w.local(0, "Snap")
+        env = synch_cls.matches(synch)
+        assert env == {"1": "P0", "2": "P1"}
+        assert snap_cls.matches(snap_right, env) is not None
+        assert snap_cls.matches(snap_wrong, env) is None
+
+
+class TestPatternTree:
+    def test_plain_class_occurrences_are_distinct_leaves(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; pattern := A -> A;"
+        )
+        tree = PatternTree(parsed, ["P0"])
+        assert len(tree.leaves) == 2
+        assert tree.leaves[0].var_name is None
+
+    def test_variable_occurrences_share_one_leaf(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, '']; A $x;"
+            "pattern := ($x -> B) /\\ (B || $x);"
+        )
+        tree = PatternTree(parsed, ["P0"])
+        labels = [leaf.label for leaf in tree.leaves]
+        # $x is one shared leaf; the two B occurrences stay distinct
+        assert labels == ["$x", "B#1", "B#2"]
+
+    def test_leaf_ids_under_subtrees(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];"
+            "pattern := (A -> B) || C;"
+        )
+        tree = PatternTree(parsed, ["P0"])
+        root = tree.root
+        left_ids = tree.leaf_ids_under(root.children[0])
+        right_ids = tree.leaf_ids_under(root.children[1])
+        assert left_ids == [0, 1]
+        assert right_ids == [2]

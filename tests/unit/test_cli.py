@@ -1,0 +1,131 @@
+"""Unit tests for the ``ocep`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["case", "not-a-case"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["case", "race"])
+        assert args.traces == 10
+        assert args.seed == 0
+        assert args.max_events == 50_000
+
+
+class TestSimulateAndMatch:
+    def test_round_trip(self, tmp_path, capsys):
+        dump = tmp_path / "run.poet"
+        rc = main(
+            [
+                "simulate",
+                "atomicity",
+                str(dump),
+                "--traces",
+                "4",
+                "--seed",
+                "2",
+                "--max-events",
+                "3000",
+            ]
+        )
+        assert rc == 0
+        assert dump.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        pattern = tmp_path / "pattern.ocep"
+        pattern.write_text(
+            "X := ['', Access, ''];\nY := ['', Access, ''];\n"
+            "pattern := X || Y;\n"
+        )
+        rc = main(["match", str(pattern), str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events" in out and "subset" in out
+
+
+class TestCaseCommand:
+    def test_ordering_case_reports(self, capsys):
+        rc = main(
+            ["case", "ordering", "--traces", "5", "--seed", "3",
+             "--max-events", "5000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "case=ordering" in out
+
+    def test_quiet_suppresses_matches(self, capsys):
+        rc = main(
+            ["case", "ordering", "--traces", "5", "--seed", "3",
+             "--quiet", "--max-events", "5000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "match:" not in out
+
+
+class TestBenchCommand:
+    def test_quartile_table_printed(self, capsys):
+        rc = main(
+            ["bench", "race", "--traces", "5", "--repetitions", "2",
+             "--max-events", "2000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Top Whisker" in out
+        assert "race" in out
+
+
+class TestDiagramCommand:
+    def _dump(self, tmp_path):
+        dump = tmp_path / "d.poet"
+        main(
+            ["simulate", "race", str(dump), "--traces", "4", "--seed", "1",
+             "--max-events", "2000"]
+        )
+        return dump
+
+    def test_ascii_diagram(self, tmp_path, capsys):
+        dump = self._dump(tmp_path)
+        capsys.readouterr()
+        rc = main(["diagram", str(dump), "--limit", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P0" in out and "P1" in out
+
+    def test_dot_output(self, tmp_path, capsys):
+        dump = self._dump(tmp_path)
+        capsys.readouterr()
+        rc = main(["diagram", str(dump), "--dot", "--limit", "10"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+
+class TestOfflineCommand:
+    def test_enumerates_dump(self, tmp_path, capsys):
+        dump = tmp_path / "d.poet"
+        main(
+            ["simulate", "race", str(dump), "--traces", "4", "--seed", "1",
+             "--max-events", "2000"]
+        )
+        pattern = tmp_path / "p.ocep"
+        pattern.write_text(
+            "S := ['', Send, ''];\nR := ['', Receive, ''];\n"
+            "pattern := S <> R;\n"
+        )
+        capsys.readouterr()
+        rc = main(["offline", str(pattern), str(dump), "--limit", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total matches" in out
+        assert "match:" in out

@@ -1,0 +1,197 @@
+"""Unit tests for pattern compilation to pairwise constraints."""
+
+import pytest
+
+from repro.patterns import (
+    Constraint,
+    PatternError,
+    PatternTree,
+    compile_pattern,
+    parse_pattern,
+)
+
+
+def compiled(source, names=("P0", "P1", "P2")):
+    return compile_pattern(PatternTree(parse_pattern(source), names))
+
+
+BASE = "A := ['', a, '']; B := ['', b, '']; C := ['', c, '']; D := ['', d, ''];"
+
+
+class TestPairwiseDerivation:
+    def test_simple_precedence(self):
+        p = compiled(BASE + "pattern := A -> B;")
+        assert p.constraint(0, 1) is Constraint.BEFORE
+        assert p.constraint(1, 0) is Constraint.AFTER
+
+    def test_concurrency(self):
+        p = compiled(BASE + "pattern := A || B;")
+        assert p.constraint(0, 1) is Constraint.CONCURRENT
+        assert p.constraint(1, 0) is Constraint.CONCURRENT
+
+    def test_partner_and_limited(self):
+        p = compiled(BASE + "pattern := (A <> B) /\\ (C ~> D);")
+        assert p.constraint(0, 1) is Constraint.PARTNER
+        assert p.constraint(2, 3) is Constraint.LIMITED
+        assert p.constraint(3, 2) is Constraint.LIMITED_REV
+
+    def test_and_leaves_unrelated(self):
+        p = compiled(BASE + "pattern := (A -> B) /\\ (C -> D);")
+        assert p.constraint(0, 2) is Constraint.NONE
+        assert p.constraint(1, 3) is Constraint.NONE
+
+    def test_compound_precedence_weakens_to_not_after(self):
+        p = compiled(BASE + "pattern := (A || B) -> C;")
+        assert p.constraint(0, 2) is Constraint.NOT_AFTER
+        assert p.constraint(1, 2) is Constraint.NOT_AFTER
+        assert p.constraint(2, 0) is Constraint.NOT_BEFORE
+        assert len(p.exist_checks) == 1
+        check = p.exist_checks[0]
+        assert set(check.left_leaves) == {0, 1}
+        assert check.right_leaves == (2,)
+
+    def test_compound_concurrency_is_pairwise(self):
+        p = compiled(BASE + "pattern := (A -> B) || (C -> D);")
+        for left in (0, 1):
+            for right in (2, 3):
+                assert p.constraint(left, right) is Constraint.CONCURRENT
+        assert p.constraint(0, 1) is Constraint.BEFORE
+        assert p.constraint(2, 3) is Constraint.BEFORE
+
+    def test_chained_concurrency_is_all_pairs(self):
+        p = compiled(BASE + "pattern := A || B || C;")
+        assert p.constraint(0, 1) is Constraint.CONCURRENT
+        assert p.constraint(0, 2) is Constraint.CONCURRENT
+        assert p.constraint(1, 2) is Constraint.CONCURRENT
+
+
+class TestConstraintConjunction:
+    def test_variable_accumulates_compatible_constraints(self):
+        p = compiled(
+            "A := ['', a, '']; B := ['', b, '']; A $x;"
+            "pattern := ($x -> B) /\\ ($x -> B);"
+        )
+        # both conjuncts give the same pair the same constraint
+        assert p.constraint(0, 1) is Constraint.BEFORE
+
+    def test_contradiction_detected(self):
+        with pytest.raises(PatternError):
+            compiled(
+                "A := ['', a, '']; B := ['', b, '']; A $x; B $y;"
+                "pattern := ($x -> $y) /\\ ($y -> $x);"
+            )
+
+    def test_before_and_concurrent_contradict(self):
+        with pytest.raises(PatternError):
+            compiled(
+                "A := ['', a, '']; B := ['', b, '']; A $x; B $y;"
+                "pattern := ($x -> $y) /\\ ($x || $y);"
+            )
+
+    def test_shared_leaf_on_both_sides_rejected(self):
+        with pytest.raises(PatternError):
+            compiled("A := ['', a, '']; A $x; pattern := $x -> $x;")
+
+    def test_partner_needs_single_leaves(self):
+        with pytest.raises(PatternError):
+            compiled(BASE + "pattern := (A -> B) <> C;")
+
+    def test_limited_needs_single_leaves(self):
+        with pytest.raises(PatternError):
+            compiled(BASE + "pattern := (A -> B) ~> C;")
+
+
+class TestTerminatingLeaves:
+    def test_precedence_only_sink_terminates(self):
+        p = compiled(BASE + "pattern := A -> B;")
+        assert p.terminating_leaves() == (1,)
+
+    def test_concurrency_both_terminate(self):
+        p = compiled(BASE + "pattern := A || B;")
+        assert p.terminating_leaves() == (0, 1)
+
+    def test_chain_is_compound_precedence(self):
+        # A -> B -> C parses as (A -> B) -> C: the left side is the
+        # compound {A, B}, so only the pair (A, B) is strict; C relates
+        # to the compound by equation (2).  B can therefore be the last
+        # event of a match.  Use explicit conjunctions for a pairwise
+        # strict chain.
+        p = compiled(BASE + "pattern := A -> B -> C;")
+        assert p.constraint(0, 1) is Constraint.BEFORE
+        assert p.constraint(0, 2) is Constraint.NOT_AFTER
+        assert p.constraint(1, 2) is Constraint.NOT_AFTER
+        assert p.terminating_leaves() == (1, 2)
+
+    def test_conjunctive_chain_has_single_terminator(self):
+        # a variable carries the middle event across the conjuncts
+        p = compiled(BASE + "B $b; pattern := (A -> $b) /\\ ($b -> C);")
+        labels = [leaf.label for leaf in p.leaves]
+        assert labels == ["A#0", "$b", "C#2"]
+        assert p.terminating_leaves() == (2,)
+
+    def test_partner_does_not_block_termination(self):
+        p = compiled(BASE + "pattern := A <> B;")
+        assert p.terminating_leaves() == (0, 1)
+
+
+class TestEvaluationOrder:
+    def test_starts_at_trigger_and_covers_all(self):
+        p = compiled(
+            BASE + "B $b; C $c;"
+            "pattern := (A -> $b) /\\ ($c -> $b) /\\ ($c -> D);"
+        )
+        order = p.evaluation_order(1)
+        assert order[0] == 1
+        assert sorted(order) == [0, 1, 2, 3]
+
+    def test_connected_leaves_come_first(self):
+        # from trigger $b, the directly constrained A and $c should come
+        # before the only-indirectly-connected D
+        p = compiled(
+            BASE + "B $b; C $c;"
+            "pattern := (A -> $b) /\\ ($c -> $b) /\\ ($c -> D);"
+        )
+        order = p.evaluation_order(1)
+        assert set(order[1:3]) == {0, 2}
+        assert order[3] == 3
+
+    def test_order_is_cached(self):
+        p = compiled(BASE + "pattern := A -> B;")
+        assert p.evaluation_order(1) is p.evaluation_order(1)
+
+
+class TestStaticSatisfiability:
+    VARS = "A $x; B $y; C $z;"
+
+    def test_precedence_cycle_rejected(self):
+        with pytest.raises(PatternError):
+            compiled(
+                BASE + self.VARS
+                + "pattern := ($x -> $y) /\\ ($y -> $z) /\\ ($z -> $x);"
+            )
+
+    def test_implied_precedence_vs_concurrency_rejected(self):
+        with pytest.raises(PatternError):
+            compiled(
+                BASE + self.VARS
+                + "pattern := ($x -> $y) /\\ ($y -> $z) /\\ ($x || $z);"
+            )
+
+    def test_consistent_chain_accepted(self):
+        compiled(
+            BASE + self.VARS
+            + "pattern := ($x -> $y) /\\ ($y -> $z) /\\ ($x -> $z);"
+        )
+
+    def test_limited_counts_as_strict(self):
+        with pytest.raises(PatternError):
+            compiled(
+                BASE + self.VARS
+                + "pattern := ($x ~> $y) /\\ ($y -> $z) /\\ ($z ~> $x);"
+            )
+
+    def test_weak_cycle_is_satisfiable(self):
+        # NOT_AFTER around a cycle allows all-concurrent assignments
+        compiled(
+            BASE + "pattern := ((A || B) -> C) /\\ (C || D);"
+        )

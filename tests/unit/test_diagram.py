@@ -1,0 +1,75 @@
+"""Unit tests for the process-time diagram renderer."""
+
+import pytest
+
+from repro.analysis import render_diagram
+from repro.testing import Weaver
+
+
+def sample():
+    w = Weaver(2)
+    a = w.local(0, "A")
+    s, r = w.message(0, 1)
+    b = w.local(1, "B")
+    return w, a, b
+
+
+class TestRenderDiagram:
+    def test_contains_trace_labels_and_type_letters(self):
+        w, a, b = sample()
+        out = render_diagram(w.events, 2)
+        assert "P0" in out and "P1" in out
+        assert "A" in out and "B" in out
+        assert "S" in out and "R" in out  # send/receive initials
+
+    def test_custom_trace_names(self):
+        w, _, _ = sample()
+        out = render_diagram(w.events, 2, trace_names=["leader", "worker"])
+        assert "leader" in out and "worker" in out
+        with pytest.raises(ValueError):
+            render_diagram(w.events, 2, trace_names=["only-one"])
+
+    def test_highlight_marks_events(self):
+        w, a, b = sample()
+        out = render_diagram(w.events, 2, highlight=[a, b])
+        diagram_rows = [l for l in out.splitlines() if l.startswith("P")]
+        assert sum(row.count("*") for row in diagram_rows) == 2
+        assert "match constituent" in out
+
+    def test_delivery_order_is_left_to_right(self):
+        w, a, b = sample()
+        out = render_diagram(w.events, 2)
+        p0_line = next(l for l in out.splitlines() if l.startswith("P0"))
+        p1_line = next(l for l in out.splitlines() if l.startswith("P1"))
+        assert p0_line.index("A") < p0_line.index("S")
+        assert p1_line.index("R") < p1_line.index("B")
+        # the receive column is to the right of the send column
+        assert p1_line.index("R") > p0_line.index("S")
+
+    def test_message_arrow_between_far_traces(self):
+        w = Weaver(3)
+        s = w.send(0)
+        r = w.recv(2, s)
+        out = render_diagram(w.events, 3)
+        assert "|" in out  # the vertical connector through trace 1
+
+    def test_truncation(self):
+        w = Weaver(1)
+        for _ in range(100):
+            w.local(0, "E")
+        out = render_diagram(w.events, 1, max_width=30)
+        assert "truncated" in out
+
+    def test_plain_markers(self):
+        w, _, _ = sample()
+        out = render_diagram(w.events, 2, label_types=False)
+        assert "o" in out
+        assert "A" not in out.replace("(", "")  # no type letters drawn
+
+    def test_rejects_bad_trace_count(self):
+        with pytest.raises(ValueError):
+            render_diagram([], 0)
+
+    def test_empty_stream(self):
+        out = render_diagram([], 2)
+        assert "P0" in out

@@ -1,0 +1,148 @@
+"""Unit tests for domain restriction (Figure 4)."""
+
+import pytest
+
+from repro.core import CausalIndex
+from repro.core.domain import Interval, restrict
+from repro.patterns.compile import Constraint
+from repro.testing import Weaver
+
+
+def build_scenario():
+    """Trace 1 has five events; trace 0's event e sits causally between
+    trace 1's positions 2 (GP) and 4 (LS)."""
+    w = Weaver(2)
+    w.local(1)  # pos 1
+    s = w.send(1)  # pos 2 -- becomes GP(e, 1)
+    e = w.recv(0, s)  # the anchor on trace 0
+    w.local(1)  # pos 3: concurrent with e
+    s_back = w.send(0)  # e's trace continues
+    ls = w.recv(1, s_back)  # pos 4 -- LS(e, 1)
+    w.local(1)  # pos 5: after e
+    index = CausalIndex(2)
+    for event in w.events:
+        index.observe(event)
+    return w, e, index
+
+
+class TestInterval:
+    def test_empty_detection(self):
+        assert Interval(lo=5, hi=4).empty
+        assert not Interval(lo=5, hi=5).empty
+        assert not Interval(lo=5, hi=None).empty
+
+    def test_intersect_narrows(self):
+        interval = Interval()
+        interval.intersect(3, 10)
+        interval.intersect(5, None)
+        interval.intersect(1, 8)
+        assert (interval.lo, interval.hi) == (5, 8)
+
+    def test_contains(self):
+        interval = Interval(lo=2, hi=4)
+        assert not interval.contains(1)
+        assert interval.contains(2)
+        assert interval.contains(4)
+        assert not interval.contains(5)
+        assert Interval(lo=2, hi=None).contains(10**9)
+
+
+class TestFigureFourRows:
+    def test_before_row(self):
+        """e -> e_i restricts to [LS(e, l), inf)."""
+        _, e, index = build_scenario()
+        interval = Interval()
+        assert restrict(interval, Constraint.BEFORE, e, 1, index)
+        assert (interval.lo, interval.hi) == (4, None)
+
+    def test_after_row(self):
+        """e_i -> e restricts to (-inf, GP(e, l)]."""
+        _, e, index = build_scenario()
+        interval = Interval()
+        assert restrict(interval, Constraint.AFTER, e, 1, index)
+        assert (interval.lo, interval.hi) == (1, 2)
+
+    def test_concurrent_row(self):
+        """e || e_i restricts to the open interval (GP, LS)."""
+        _, e, index = build_scenario()
+        interval = Interval()
+        assert restrict(interval, Constraint.CONCURRENT, e, 1, index)
+        assert (interval.lo, interval.hi) == (3, 3)
+
+    def test_not_after_and_not_before(self):
+        _, e, index = build_scenario()
+        interval = Interval()
+        assert restrict(interval, Constraint.NOT_AFTER, e, 1, index)
+        assert (interval.lo, interval.hi) == (3, None)
+        interval = Interval()
+        assert restrict(interval, Constraint.NOT_BEFORE, e, 1, index)
+        assert (interval.lo, interval.hi) == (1, 3)
+
+    def test_before_with_no_successor_is_conflict(self):
+        w = Weaver(2)
+        e = w.local(0)
+        w.local(1)
+        index = CausalIndex(2)
+        for event in w.events:
+            index.observe(event)
+        assert not restrict(Interval(), Constraint.BEFORE, e, 1, index)
+
+    def test_intervals_are_exact(self):
+        """Every position inside the interval satisfies the relation and
+        every position outside violates it."""
+        w, e, index = build_scenario()
+        trace1_events = [ev for ev in w.events if ev.trace == 1]
+        cases = {
+            Constraint.BEFORE: lambda x: e.happens_before(x),
+            Constraint.AFTER: lambda x: x.happens_before(e),
+            Constraint.CONCURRENT: lambda x: x.concurrent_with(e),
+            Constraint.NOT_AFTER: lambda x: not x.happens_before(e),
+            Constraint.NOT_BEFORE: lambda x: not e.happens_before(x),
+        }
+        for constraint, predicate in cases.items():
+            interval = Interval()
+            feasible = restrict(interval, constraint, e, 1, index)
+            for event in trace1_events:
+                inside = feasible and interval.contains(event.index)
+                assert inside == predicate(event), (constraint, event)
+
+
+class TestPartnerRestriction:
+    def test_receive_pins_exact_position(self):
+        w = Weaver(2)
+        s = w.send(0)
+        r = w.recv(1, s)
+        index = CausalIndex(2)
+        for event in w.events:
+            index.observe(event)
+        interval = Interval()
+        assert restrict(interval, Constraint.PARTNER, r, 0, index)
+        assert (interval.lo, interval.hi) == (s.index, s.index)
+
+    def test_receive_on_wrong_trace_is_conflict(self):
+        w = Weaver(3)
+        s = w.send(0)
+        r = w.recv(1, s)
+        index = CausalIndex(3)
+        for event in w.events:
+            index.observe(event)
+        assert not restrict(Interval(), Constraint.PARTNER, r, 2, index)
+
+    def test_send_bounds_receive_below_by_ls(self):
+        w = Weaver(2)
+        s = w.send(0)
+        r = w.recv(1, s)
+        w.local(1)
+        index = CausalIndex(2)
+        for event in w.events:
+            index.observe(event)
+        interval = Interval()
+        assert restrict(interval, Constraint.PARTNER, s, 1, index)
+        assert interval.lo == r.index
+
+    def test_unary_event_has_no_partner(self):
+        w = Weaver(2)
+        e = w.local(0)
+        index = CausalIndex(2)
+        index.observe(e)
+        assert not restrict(Interval(), Constraint.PARTNER, e, 1, index)

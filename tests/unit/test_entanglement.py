@@ -1,0 +1,139 @@
+"""Unit tests for the entanglement operator ``<->`` (equation (1))."""
+
+import pytest
+
+from repro.core import MatcherConfig, OCEPMatcher, SweepMode
+from repro.core.oracle import enumerate_matches
+from repro.patterns import (
+    Operator,
+    PatternError,
+    PatternTree,
+    TokenKind,
+    compile_pattern,
+    parse_pattern,
+    tokenize,
+)
+from repro.testing import Weaver
+
+SRC = (
+    "A := ['', A, '']; B := ['', B, ''];"
+    "pattern := (A || A) <-> (B || B);"
+)
+
+
+def crossing_weaver():
+    """a0 -> b0 on one message chain, b1 -> a1 on another; the two
+    chains are mutually concurrent — the sets cross."""
+    w = Weaver(4)
+    a0 = w.local(0, "A")
+    s1 = w.send(0)
+    b0 = w.recv(1, s1, etype="B")
+    b1 = w.local(2, "B")
+    s2 = w.send(2)
+    a1 = w.recv(3, s2, etype="A")
+    return w, (a0, a1), (b0, b1)
+
+
+class TestLexingParsing:
+    def test_three_char_token(self):
+        tokens = tokenize("A <-> B")
+        assert tokens[1].kind is TokenKind.ENTANGLED
+
+    def test_unicode_alias(self):
+        tokens = tokenize("A ↔ B")
+        assert tokens[1].kind is TokenKind.ENTANGLED
+
+    def test_not_confused_with_partner_and_precedes(self):
+        kinds = [t.kind for t in tokenize("<> <-> ->")]
+        assert kinds[:3] == [
+            TokenKind.PARTNER,
+            TokenKind.ENTANGLED,
+            TokenKind.PRECEDES,
+        ]
+
+    def test_parses_to_operator(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, ''];"
+            "pattern := (A || A) <-> B;"
+        )
+        assert parsed.expr.op is Operator.ENTANGLED
+
+
+class TestCompilation:
+    def test_single_vs_single_rejected(self):
+        with pytest.raises(PatternError):
+            compile_pattern(
+                PatternTree(
+                    parse_pattern(
+                        "A := ['', a, '']; B := ['', b, ''];"
+                        "pattern := A <-> B;"
+                    ),
+                    ["P0"],
+                )
+            )
+
+    def test_compound_sides_generate_check(self):
+        compiled = compile_pattern(
+            PatternTree(parse_pattern(SRC), ["P0", "P1", "P2", "P3"])
+        )
+        assert len(compiled.entangle_checks) == 1
+        check = compiled.entangle_checks[0]
+        assert set(check.left_leaves) == {0, 1}
+        assert set(check.right_leaves) == {2, 3}
+
+
+class TestMatching:
+    def _matcher(self, names):
+        compiled = compile_pattern(PatternTree(parse_pattern(SRC), names))
+        return compiled, OCEPMatcher(
+            compiled,
+            len(names),
+            MatcherConfig(sweep=SweepMode.EXHAUSTIVE, prune_history=False),
+        )
+
+    def test_crossing_sets_match(self):
+        w, a_events, b_events = crossing_weaver()
+        names = [f"P{i}" for i in range(4)]
+        compiled, matcher = self._matcher(names)
+        got = []
+        for event in w.events:
+            got.extend(matcher.on_event(event))
+        oracle = enumerate_matches(compiled, w.events)
+        assert len(oracle) == 4  # 2 A-orderings x 2 B-orderings
+        assert {
+            tuple(sorted(str(e.event_id) for e in r.as_dict().values()))
+            for r in got
+        } == {
+            tuple(sorted(str(e.event_id) for e in m.values()))
+            for m in oracle
+        }
+
+    def test_one_directional_sets_do_not_match(self):
+        """a's strictly precede b's: weak precedence, not entanglement."""
+        w = Weaver(4)
+        a0 = w.local(0, "A")
+        a1 = w.local(2, "A")
+        s1 = w.send(0)
+        b0 = w.recv(1, s1, etype="B")
+        s2 = w.send(2)
+        b1 = w.recv(3, s2, etype="B")
+        names = [f"P{i}" for i in range(4)]
+        compiled, matcher = self._matcher(names)
+        got = []
+        for event in w.events:
+            got.extend(matcher.on_event(event))
+        assert got == []
+        assert enumerate_matches(compiled, w.events) == []
+
+    def test_fully_concurrent_sets_do_not_match(self):
+        w = Weaver(4)
+        w.local(0, "A")
+        w.local(1, "B")
+        w.local(2, "A")
+        w.local(3, "B")
+        names = [f"P{i}" for i in range(4)]
+        compiled, matcher = self._matcher(names)
+        got = []
+        for event in w.events:
+            got.extend(matcher.on_event(event))
+        assert got == []

@@ -1,0 +1,309 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.events import EventKind
+from repro.poet import RecordingClient, instrument, is_linearization
+from repro.simulation import ANY_SOURCE, Kernel
+from repro.simulation.errors import DeadlockError, SimulationError
+
+
+def _run(kernel, **kwargs):
+    recorder = RecordingClient()
+    server = instrument(kernel, verify=True)
+    server.connect(recorder)
+    result = kernel.run(**kwargs)
+    return result, recorder.events
+
+
+class TestBasics:
+    def test_single_process_emits_in_order(self):
+        kernel = Kernel(num_processes=1, seed=0)
+
+        def body(p):
+            for i in range(3):
+                yield p.emit("E", text=str(i))
+
+        kernel.spawn(0, body)
+        result, events = _run(kernel)
+        assert [e.text for e in events] == ["0", "1", "2"]
+        assert [e.index for e in events] == [1, 2, 3]
+        assert not result.deadlocked
+
+    def test_spawn_rejects_duplicate_and_out_of_range(self):
+        kernel = Kernel(num_processes=1, seed=0)
+
+        def body(p):
+            yield p.emit("E")
+
+        kernel.spawn(0, body)
+        with pytest.raises(SimulationError):
+            kernel.spawn(0, body)
+        with pytest.raises(ValueError):
+            kernel.spawn(5, body)
+
+    def test_deterministic_given_seed(self):
+        def build():
+            kernel = Kernel(num_processes=3, seed=42, buffer_capacity=2)
+
+            def body(p):
+                for _ in range(5):
+                    dst = (p.pid + 1) % 3
+                    yield p.send(dst, text=f"to{dst}")
+                    yield p.receive()
+
+            for pid in range(3):
+                kernel.spawn(pid, body)
+            return _run(kernel)
+
+        _, events_a = build()
+        _, events_b = build()
+        assert [(e.trace, e.index, e.etype) for e in events_a] == [
+            (e.trace, e.index, e.etype) for e in events_b
+        ]
+
+    def test_max_events_truncates(self):
+        kernel = Kernel(num_processes=1, seed=0)
+
+        def body(p):
+            while True:
+                yield p.emit("E")
+
+        kernel.spawn(0, body)
+        result, events = _run(kernel, max_events=10)
+        assert result.truncated
+        assert result.num_events == 10
+
+
+class TestMessaging:
+    def test_payload_and_partner_round_trip(self):
+        kernel = Kernel(num_processes=2, seed=1)
+        received = []
+
+        def sender(p):
+            yield p.send(1, payload={"x": 1})
+
+        def receiver(p):
+            msg = yield p.receive()
+            received.append(msg.payload)
+
+        kernel.spawn(0, sender)
+        kernel.spawn(1, receiver)
+        _, events = _run(kernel)
+        assert received == [{"x": 1}]
+        send = next(e for e in events if e.kind is EventKind.SEND)
+        recv = next(e for e in events if e.kind is EventKind.RECEIVE)
+        assert recv.partner == send.event_id
+        assert send.happens_before(recv)
+
+    def test_send_to_self_rejected(self):
+        kernel = Kernel(num_processes=1, seed=0)
+
+        def body(p):
+            yield p.send(0)
+
+        kernel.spawn(0, body)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_source_filtered_receive(self):
+        kernel = Kernel(num_processes=3, seed=2)
+        order = []
+
+        def s0(p):
+            yield p.send(2, payload="from0")
+
+        def s1(p):
+            yield p.send(2, payload="from1")
+
+        def r(p):
+            msg = yield p.receive(source=1)
+            order.append(msg.payload)
+            msg = yield p.receive(source=0)
+            order.append(msg.payload)
+
+        kernel.spawn(0, s0)
+        kernel.spawn(1, s1)
+        kernel.spawn(2, r)
+        result, _ = _run(kernel)
+        assert not result.deadlocked
+        assert order == ["from1", "from0"]
+
+    def test_fifo_per_channel(self):
+        kernel = Kernel(num_processes=2, seed=3, buffer_capacity=3)
+
+        def sender(p):
+            for i in range(20):
+                yield p.send(1, payload=i)
+
+        def receiver(p):
+            last = -1
+            for _ in range(20):
+                msg = yield p.receive(ANY_SOURCE)
+                assert msg.payload == last + 1
+                last = msg.payload
+
+        kernel.spawn(0, sender)
+        kernel.spawn(1, receiver)
+        result, _ = _run(kernel)
+        assert not result.deadlocked
+
+
+class TestBlockingAndDeadlock:
+    def test_rendezvous_ring_deadlocks(self):
+        kernel = Kernel(num_processes=3, seed=0, buffer_capacity=0)
+
+        def body(p):
+            dst = (p.pid + 1) % 3
+            yield p.send(dst, text=f"to{dst}")
+            yield p.receive()
+
+        for pid in range(3):
+            kernel.spawn(pid, body)
+        result, events = _run(kernel)
+        assert result.deadlocked
+        assert set(result.blocked) == {0, 1, 2}
+        blocks = [e for e in events if e.etype == "SendBlock"]
+        assert len(blocks) == 3
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert a.concurrent_with(b)
+
+    def test_deadlock_raises_when_configured(self):
+        kernel = Kernel(num_processes=2, seed=0, buffer_capacity=0)
+
+        def body(p):
+            dst = 1 - p.pid
+            yield p.send(dst)
+            yield p.receive()
+
+        kernel.spawn(0, body)
+        kernel.spawn(1, body)
+        with pytest.raises(DeadlockError):
+            kernel.run(stop_on_deadlock=False)
+
+    def test_rendezvous_transfers_when_receive_posted(self):
+        kernel = Kernel(num_processes=2, seed=0, buffer_capacity=0)
+        got = []
+
+        def sender(p):
+            yield p.send(1, payload="v")
+
+        def receiver(p):
+            msg = yield p.receive(0)
+            got.append(msg.payload)
+
+        kernel.spawn(0, sender)
+        kernel.spawn(1, receiver)
+        result, _ = _run(kernel)
+        assert not result.deadlocked
+        assert got == ["v"]
+
+    def test_blocked_send_emits_sendblock_event(self):
+        kernel = Kernel(num_processes=2, seed=0, buffer_capacity=0)
+
+        def sender(p):
+            yield p.send(1, text="to1")
+            yield p.emit("AfterSend")
+
+        def receiver(p):
+            yield p.sleep(50.0)
+            yield p.receive(0)
+
+        kernel.spawn(0, sender)
+        kernel.spawn(1, receiver)
+        result, events = _run(kernel)
+        assert not result.deadlocked
+        kinds = [e.etype for e in events if e.trace == 0]
+        assert kinds == ["Send", "SendBlock", "AfterSend"]
+
+
+class TestSemaphores:
+    def test_mutual_exclusion_orders_sections(self):
+        kernel = Kernel(num_processes=3, num_semaphores=1, seed=4)
+
+        def body(p):
+            for _ in range(3):
+                yield p.acquire(0)
+                yield p.emit("CS")
+                yield p.release(0)
+
+        for pid in range(3):
+            kernel.spawn(pid, body)
+        result, events = _run(kernel)
+        assert not result.deadlocked
+        sections = [e for e in events if e.etype == "CS"]
+        assert len(sections) == 9
+        for i, a in enumerate(sections):
+            for b in sections[i + 1 :]:
+                assert not a.concurrent_with(b)
+
+    def test_bypassed_acquire_breaks_ordering(self):
+        kernel = Kernel(num_processes=2, num_semaphores=1, seed=5)
+
+        def locked(p):
+            yield p.acquire(0)
+            yield p.emit("CS")
+            yield p.sleep(10.0)
+            yield p.release(0)
+
+        def buggy(p):
+            yield p.sleep(1.0)
+            yield p.acquire(0, bypass=True)
+            yield p.emit("CS")
+
+        kernel.spawn(0, locked)
+        kernel.spawn(1, buggy)
+        result, events = _run(kernel)
+        sections = [e for e in events if e.etype == "CS"]
+        assert len(sections) == 2
+        assert sections[0].concurrent_with(sections[1])
+
+    def test_semaphore_traces_are_separate(self):
+        kernel = Kernel(num_processes=2, num_semaphores=2, seed=0)
+        assert kernel.num_traces == 4
+        assert kernel.trace_names() == ["P0", "P1", "sem0", "sem1"]
+        assert kernel.semaphore_trace(1) == 3
+        with pytest.raises(ValueError):
+            kernel.semaphore_trace(2)
+
+    def test_counting_semaphore_admits_that_many(self):
+        kernel = Kernel(
+            num_processes=3, num_semaphores=1, seed=6, semaphore_counts=[2]
+        )
+        def body(p):
+            yield p.acquire(0)
+            yield p.emit("CS")
+            yield p.sleep(20.0)
+            yield p.release(0)
+
+        for pid in range(3):
+            kernel.spawn(pid, body)
+        result, events = _run(kernel)
+        sections = [e for e in events if e.etype == "CS"]
+        concurrent_pairs = sum(
+            1
+            for i, a in enumerate(sections)
+            for b in sections[i + 1 :]
+            if a.concurrent_with(b)
+        )
+        # with count 2, at least one pair overlaps; never all three
+        assert concurrent_pairs >= 1
+
+
+class TestDelivery:
+    def test_stream_is_linearization(self):
+        kernel = Kernel(num_processes=4, seed=7, buffer_capacity=2, num_semaphores=1)
+
+        def body(p):
+            for _ in range(4):
+                dst = (p.pid + 1) % 4
+                yield p.send(dst, text=f"to{dst}")
+                yield p.receive()
+                yield p.acquire(0)
+                yield p.release(0)
+
+        for pid in range(4):
+            kernel.spawn(pid, body)
+        _, events = _run(kernel)
+        assert is_linearization(events, kernel.num_traces)

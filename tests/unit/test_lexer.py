@@ -1,0 +1,98 @@
+"""Unit tests for the pattern-language tokenizer."""
+
+import pytest
+
+from repro.patterns import PatternParseError, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_class_definition_tokens(self):
+        tokens = tokenize("Synch := [$1, Synch_Leader, $2];")
+        assert [t.kind for t in tokens] == [
+            TokenKind.IDENT,
+            TokenKind.ASSIGN,
+            TokenKind.LBRACKET,
+            TokenKind.DOLLAR,
+            TokenKind.COMMA,
+            TokenKind.IDENT,
+            TokenKind.COMMA,
+            TokenKind.DOLLAR,
+            TokenKind.RBRACKET,
+            TokenKind.SEMI,
+            TokenKind.EOF,
+        ]
+        assert tokens[3].value == "1"
+        assert tokens[5].value == "Synch_Leader"
+
+    def test_all_operators(self):
+        assert kinds("-> || <> ~> /\\") == [
+            TokenKind.PRECEDES,
+            TokenKind.CONCURRENT,
+            TokenKind.PARTNER,
+            TokenKind.LIMITED,
+            TokenKind.AND,
+            TokenKind.EOF,
+        ]
+
+    def test_unicode_aliases(self):
+        assert kinds("A → B ∧ C ∥ D") == [
+            TokenKind.IDENT,
+            TokenKind.PRECEDES,
+            TokenKind.IDENT,
+            TokenKind.AND,
+            TokenKind.IDENT,
+            TokenKind.CONCURRENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_strings_and_empty_string(self):
+        tokens = tokenize("'hello world' ''")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello world"
+        assert tokens[1].value == ""
+
+    def test_comments_skipped(self):
+        assert kinds("A # comment -> ||\nB") == [
+            TokenKind.IDENT,
+            TokenKind.IDENT,
+            TokenKind.EOF,
+        ]
+
+    def test_identifier_charset(self):
+        tokens = tokenize("Take_Snapshot class-A r2.d2")
+        assert [t.value for t in tokens[:3]] == [
+            "Take_Snapshot",
+            "class-A",
+            "r2.d2",
+        ]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("A\n  B")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(PatternParseError):
+            tokenize("'abc")
+
+    def test_string_across_newline(self):
+        with pytest.raises(PatternParseError):
+            tokenize("'abc\ndef'")
+
+    def test_bare_dollar(self):
+        with pytest.raises(PatternParseError):
+            tokenize("$ ;")
+
+    def test_unknown_character(self):
+        with pytest.raises(PatternParseError) as excinfo:
+            tokenize("A @ B")
+        assert "(line 1, column 3)" in str(excinfo.value)

@@ -1,0 +1,78 @@
+"""Unit tests for computation metrics over the happens-before DAG."""
+
+import math
+
+import pytest
+
+from repro.analysis import compute_metrics, happens_before_graph
+from repro.testing import Weaver, random_computation
+
+
+class TestHappensBeforeGraph:
+    def test_nodes_carry_attributes(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        s, r = w.message(0, 1)
+        graph = happens_before_graph(w.events)
+        assert graph.nodes[a.event_id]["etype"] == "A"
+        assert graph.nodes[a.event_id]["trace"] == 0
+        assert graph.has_edge(s.event_id, r.event_id)
+
+    def test_reachability_equals_happens_before(self):
+        import networkx as nx
+
+        w = random_computation(11, num_traces=3, steps=30)
+        graph = happens_before_graph(w.events)
+        for a in w.events:
+            descendants = nx.descendants(graph, a.event_id)
+            for b in w.events:
+                if a == b:
+                    continue
+                assert (b.event_id in descendants) == a.happens_before(b)
+
+
+class TestMetrics:
+    def test_sequential_computation(self):
+        w = Weaver(1)
+        for _ in range(10):
+            w.local(0)
+        metrics = compute_metrics(w.events, 1)
+        assert metrics.critical_path == 10
+        assert metrics.width == pytest.approx(1.0)
+        assert metrics.concurrency_ratio == 0.0
+        assert metrics.num_messages == 0
+
+    def test_fully_concurrent_computation(self):
+        w = Weaver(4)
+        for trace in range(4):
+            w.local(trace)
+        metrics = compute_metrics(w.events, 4)
+        assert metrics.critical_path == 1
+        assert metrics.width == pytest.approx(4.0)
+        assert metrics.concurrency_ratio == 1.0
+
+    def test_message_counted_and_chains(self):
+        w = Weaver(2)
+        w.local(0)
+        s, r = w.message(0, 1)
+        w.local(1)
+        metrics = compute_metrics(w.events, 2)
+        assert metrics.num_messages == 1
+        assert metrics.critical_path == 4  # the full chain
+        assert metrics.events_per_trace == {0: 2, 1: 2}
+
+    def test_empty_stream(self):
+        metrics = compute_metrics([], 3)
+        assert metrics.num_events == 0
+        assert metrics.critical_path == 0
+        assert metrics.width == 0.0
+
+    def test_concurrency_limit_yields_nan(self):
+        w = Weaver(2)
+        for _ in range(5):
+            w.local(0)
+            w.local(1)
+        metrics = compute_metrics(w.events, 2, exact_concurrency_limit=3)
+        assert math.isnan(metrics.concurrency_ratio)
+        exact = compute_metrics(w.events, 2, exact_concurrency_limit=None)
+        assert 0.0 < exact.concurrency_ratio < 1.0

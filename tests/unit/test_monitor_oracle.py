@@ -1,0 +1,126 @@
+"""Unit tests for the monitor front-end and the brute-force oracle."""
+
+import pytest
+
+from repro.core import Monitor, enumerate_matches
+from repro.core.oracle import covered_slots
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.testing import Weaver
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def simple_stream():
+    w = Weaver(2)
+    a = w.local(0, "A")
+    s, r = w.message(0, 1)
+    b = w.local(1, "B")
+    return w, a, b
+
+
+class TestMonitor:
+    def test_from_source_and_reports(self):
+        w, a, b = simple_stream()
+        monitor = Monitor.from_source(AB, ["P0", "P1"])
+        for e in w.events:
+            monitor.on_event(e)
+        assert len(monitor.reports) == 1
+        assert monitor.reports[0].as_dict() == {0: a, 1: b}
+
+    def test_callback_invoked_per_match(self):
+        w, a, b = simple_stream()
+        seen = []
+        monitor = Monitor.from_source(AB, ["P0", "P1"], on_match=seen.append)
+        for e in w.events:
+            monitor.on_event(e)
+        assert len(seen) == 1
+        assert seen[0].trigger_event == b
+
+    def test_timings_recorded(self):
+        w, _, _ = simple_stream()
+        monitor = Monitor.from_source(AB, ["P0", "P1"])
+        for e in w.events:
+            monitor.on_event(e)
+        assert len(monitor.timings) == len(w.events)
+        assert len(monitor.terminating_timings) == 1  # only b triggers
+        assert all(t >= 0 for t in monitor.timings)
+
+    def test_timings_disabled(self):
+        w, _, _ = simple_stream()
+        monitor = Monitor.from_source(AB, ["P0", "P1"], record_timings=False)
+        for e in w.events:
+            monitor.on_event(e)
+        assert monitor.timings == []
+        assert len(monitor.reports) == 1
+
+    def test_stats(self):
+        w, _, _ = simple_stream()
+        monitor = Monitor.from_source(AB, ["P0", "P1"])
+        for e in w.events:
+            monitor.on_event(e)
+        stats = monitor.stats()
+        assert stats.events_seen == len(w.events)
+        assert stats.matches_reported == 1
+        assert stats.subset_size == 1
+        assert stats.searches_run == 1
+        assert stats.history_size == 2
+
+
+class TestOracle:
+    def _compile(self, source, names):
+        return compile_pattern(PatternTree(parse_pattern(source), names))
+
+    def test_finds_same_simple_match(self):
+        w, a, b = simple_stream()
+        pattern = self._compile(AB, ["P0", "P1"])
+        matches = enumerate_matches(pattern, w.events)
+        assert matches == [{0: a, 1: b}]
+
+    def test_event_order_does_not_matter(self):
+        w, a, b = simple_stream()
+        pattern = self._compile(AB, ["P0", "P1"])
+        assert enumerate_matches(pattern, reversed(w.events)) == [{0: a, 1: b}]
+
+    def test_distinctness_enforced(self):
+        source = "A := ['', A, '']; pattern := A || A;"
+        w = Weaver(2)
+        a = w.local(0, "A")
+        pattern = self._compile(source, ["P0", "P1"])
+        assert enumerate_matches(pattern, [a]) == []
+
+    def test_limited_semantics(self):
+        source = "A := ['', A, '']; B := ['', B, '']; pattern := A ~> B;"
+        w = Weaver(1)
+        a1 = w.local(0, "A")
+        a2 = w.local(0, "A")
+        b = w.local(0, "B")
+        pattern = self._compile(source, ["P0"])
+        matches = enumerate_matches(pattern, w.events)
+        assert matches == [{0: a2, 1: b}]
+
+    def test_exist_check_filters_compound_precedence(self):
+        source = (
+            "A := ['', A, '']; B := ['', B, '']; C := ['', C, ''];"
+            "pattern := (A || B) -> C;"
+        )
+        w = Weaver(3)
+        a = w.local(0, "A")
+        b = w.local(1, "B")
+        c = w.local(2, "C")  # concurrent with both: no exists-pair
+        pattern = self._compile(source, ["P0", "P1", "P2"])
+        assert enumerate_matches(pattern, w.events) == []
+
+        w2 = Weaver(3)
+        a2 = w2.local(0, "A")
+        b2 = w2.local(1, "B")
+        s, r = w2.message(0, 2)
+        c2 = w2.local(2, "C")  # a2 -> c2 now holds, b2 stays unordered
+        pattern2 = self._compile(source, ["P0", "P1", "P2"])
+        matches = enumerate_matches(pattern2, w2.events)
+        assert matches == [{0: a2, 1: b2, 2: c2}]
+
+    def test_covered_slots(self):
+        w, a, b = simple_stream()
+        pattern = self._compile(AB, ["P0", "P1"])
+        matches = enumerate_matches(pattern, w.events)
+        assert covered_slots(matches) == {(0, 0), (1, 1)}

@@ -1,0 +1,105 @@
+"""Unit tests for the MPI and μC++ veneers and tagged messaging."""
+
+import pytest
+
+from repro.poet import RecordingClient, instrument
+from repro.simulation import ANY_SOURCE, Kernel, Semaphore, mpi_run
+from repro.simulation.mpi import MPI_ANY_SOURCE, MPIContext
+
+
+class TestMPIRun:
+    def test_all_ranks_run_the_body(self):
+        seen = []
+
+        def body(mpi):
+            seen.append((mpi.rank, mpi.size))
+            yield mpi.emit("Hello", text=str(mpi.rank))
+
+        kernel = mpi_run(size=4, body=body, seed=1)
+        server = instrument(kernel)
+        recorder = RecordingClient()
+        server.connect(recorder)
+        result = kernel.run()
+        assert not result.deadlocked
+        assert sorted(seen) == [(0, 4), (1, 4), (2, 4), (3, 4)]
+        assert sorted(e.text for e in recorder.events) == ["0", "1", "2", "3"]
+
+    def test_send_recv_round(self):
+        def body(mpi):
+            if mpi.rank == 0:
+                yield mpi.send(1, payload="ping", text="to1")
+                msg = yield mpi.recv(source=1)
+                assert msg.payload == "pong"
+            else:
+                msg = yield mpi.recv(source=MPI_ANY_SOURCE)
+                assert msg.payload == "ping"
+                yield mpi.send(0, payload="pong", text="to0")
+
+        kernel = mpi_run(size=2, body=body, seed=2)
+        result = kernel.run()
+        assert not result.deadlocked
+
+    def test_rank_rng_is_seeded(self):
+        def collect(run_seed):
+            values = {}
+
+            def body(mpi):
+                values[mpi.rank] = mpi.rng.random()
+                yield mpi.emit("E")
+
+            kernel = mpi_run(size=3, body=body, seed=run_seed)
+            kernel.run()
+            return values
+
+        assert collect(5) == collect(5)
+        assert collect(5) != collect(6)
+
+
+class TestSemaphoreHelper:
+    def test_acquire_release_generators(self):
+        kernel = Kernel(num_processes=2, num_semaphores=1, seed=3)
+        sem = Semaphore(0)
+        order = []
+
+        def body(p):
+            yield from sem.acquire(p)
+            order.append(("in", p.pid))
+            yield p.sleep(5.0)
+            order.append(("out", p.pid))
+            yield from sem.release(p)
+
+        kernel.spawn(0, body)
+        kernel.spawn(1, body)
+        result = kernel.run()
+        assert not result.deadlocked
+        # sections never interleave
+        assert [kind for kind, _ in order] == ["in", "out", "in", "out"]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)
+
+
+class TestTaggedMessaging:
+    def test_receive_by_tag(self):
+        kernel = Kernel(num_processes=2, seed=4)
+        got = []
+
+        def sender(p):
+            yield p.send(1, payload="noise", tag="data")
+            yield p.send(1, payload="important", tag="control")
+
+        def receiver(p):
+            msg = yield p.receive(tag="control")
+            got.append(msg.payload)
+            msg = yield p.receive(tag="data")
+            got.append(msg.payload)
+
+        kernel.spawn(0, sender)
+        kernel.spawn(1, receiver)
+        result = kernel.run()
+        assert not result.deadlocked
+        assert got == ["important", "noise"]
+
+    def test_any_source_constant_is_negative_one(self):
+        assert ANY_SOURCE == -1 == MPI_ANY_SOURCE

@@ -1,0 +1,110 @@
+"""Unit tests for the buffered network model."""
+
+import pytest
+
+from repro.clocks import VectorClock
+from repro.events import EventId
+from repro.simulation import Message, Network
+
+
+def _msg(src=0, dst=1, tag=None, index=1):
+    return Message(
+        src=src,
+        dst=dst,
+        payload=None,
+        send_event=EventId(src, index),
+        send_clock=VectorClock.zero(2),
+        send_lamport=1,
+        tag=tag,
+    )
+
+
+class TestCapacity:
+    def test_unbounded_always_has_room(self):
+        net = Network(2, capacity=None)
+        for _ in range(100):
+            net.reserve(1)
+        assert net.has_room(1)
+
+    def test_zero_capacity_never_has_room(self):
+        net = Network(2, capacity=0)
+        assert not net.has_room(1)
+
+    def test_in_flight_counts_against_capacity(self):
+        net = Network(2, capacity=2)
+        assert net.has_room(1)
+        net.reserve(1)
+        net.reserve(1)
+        assert not net.has_room(1)
+
+    def test_buffered_counts_against_capacity(self):
+        net = Network(2, capacity=1)
+        m = _msg()
+        net.reserve(1)
+        net.arrive(m)
+        assert not net.has_room(1)
+        net.consume(1, m)
+        assert net.has_room(1)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Network(2, capacity=-1)
+
+
+class TestMatching:
+    def test_any_source_matches_first(self):
+        net = Network(3, capacity=None)
+        m0, m2 = _msg(src=0, dst=1), _msg(src=2, dst=1)
+        for m in (m0, m2):
+            net.reserve(1)
+            net.arrive(m)
+        assert net.match(1, source=-1) is m0
+
+    def test_source_filter(self):
+        net = Network(3, capacity=None)
+        m0, m2 = _msg(src=0, dst=1), _msg(src=2, dst=1)
+        for m in (m0, m2):
+            net.reserve(1)
+            net.arrive(m)
+        assert net.match(1, source=2) is m2
+        assert net.match(1, source=1) is None
+
+    def test_tag_filter(self):
+        net = Network(2, capacity=None)
+        tagged = _msg(tag="sync")
+        net.reserve(1)
+        net.arrive(tagged)
+        assert net.match(1, source=-1, tag="other") is None
+        assert net.match(1, source=-1, tag="sync") is tagged
+
+    def test_consume_unknown_message_fails(self):
+        net = Network(2, capacity=None)
+        with pytest.raises(RuntimeError):
+            net.consume(1, _msg())
+
+    def test_arrival_without_reservation_fails(self):
+        net = Network(2, capacity=None)
+        with pytest.raises(RuntimeError):
+            net.arrive(_msg())
+
+
+class TestIdle:
+    def test_idle_reflects_traffic(self):
+        net = Network(2, capacity=None)
+        assert net.idle()
+        m = _msg()
+        net.reserve(1)
+        assert not net.idle()
+        net.arrive(m)
+        assert not net.idle()
+        net.consume(1, m)
+        assert net.idle()
+
+    def test_counters(self):
+        net = Network(2, capacity=None)
+        m = _msg()
+        net.reserve(1)
+        assert net.in_flight(1) == 1
+        net.arrive(m)
+        assert net.in_flight(1) == 0
+        assert net.buffered(1) == 1

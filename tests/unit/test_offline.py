@@ -1,0 +1,56 @@
+"""Unit tests for the offline (post-mortem) analyzer."""
+
+import pytest
+
+from repro.baselines import OfflineAnalyzer
+from repro.core import MatcherConfig, Monitor, SweepMode
+from repro.poet import dump_events
+from repro.testing import Weaver
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def sample_stream():
+    w = Weaver(3)
+    w.local(0, "A")
+    w.local(0, "A")
+    s, r = w.message(0, 2)
+    w.local(1, "A")
+    s2, r2 = w.message(1, 2)
+    w.local(2, "B")
+    return w
+
+
+class TestOfflineAnalyzer:
+    def test_enumerates_all_matches(self):
+        w = sample_stream()
+        analyzer = OfflineAnalyzer.from_source(AB, ["P0", "P1", "P2"])
+        result = analyzer.analyze(w.events)
+        assert result.num_matches == 3  # two A's on P0 + one on P1
+        assert result.covered == {(0, 0), (0, 1), (1, 2)}
+        assert result.analysis_seconds >= 0
+
+    def test_online_subset_covers_offline_slots(self):
+        """OCEP's online subset covers exactly what the post-mortem
+        pass can achieve on this stream (unpruned)."""
+        w = sample_stream()
+        analyzer = OfflineAnalyzer.from_source(AB, ["P0", "P1", "P2"])
+        offline = analyzer.analyze(w.events)
+        monitor = Monitor.from_source(
+            AB, ["P0", "P1", "P2"], config=MatcherConfig(prune_history=False)
+        )
+        for event in w.events:
+            monitor.on_event(event)
+        assert monitor.subset.covered_slots == offline.covered
+        # but stores fewer matches than the full enumeration
+        assert len(monitor.subset) <= offline.num_matches
+
+    def test_analyze_dump_round_trip(self, tmp_path):
+        w = sample_stream()
+        path = tmp_path / "run.poet"
+        dump_events(path, w.events, 3, ["P0", "P1", "P2"])
+        analyzer = OfflineAnalyzer.from_source(AB, ["P0", "P1", "P2"])
+        from_dump = analyzer.analyze_dump(path)
+        direct = analyzer.analyze(w.events)
+        assert from_dump.num_matches == direct.num_matches
+        assert from_dump.covered == direct.covered

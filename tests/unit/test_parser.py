@@ -1,0 +1,135 @@
+"""Unit tests for the pattern-language parser."""
+
+import pytest
+
+from repro.patterns import (
+    AndExpr,
+    AttrVar,
+    BinaryExpr,
+    ClassRef,
+    Exact,
+    Operator,
+    PatternParseError,
+    VarRef,
+    Wildcard,
+    parse_pattern,
+)
+
+
+class TestClassDefs:
+    def test_attribute_kinds(self):
+        parsed = parse_pattern(
+            "C := [$1, Take_Snapshot, '']; D := ['x', 'y z', $2];"
+            "pattern := C -> D;"
+        )
+        c = parsed.classes["C"]
+        assert c.process == AttrVar("1")
+        assert c.etype == Exact("Take_Snapshot")
+        assert c.text == Wildcard()
+        d = parsed.classes["D"]
+        assert d.process == Exact("x")
+        assert d.etype == Exact("y z")
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','',''];A := ['','',''];pattern := A -> A;")
+
+    def test_malformed_class_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['', ''];pattern := A;")
+
+
+class TestVarDecls:
+    def test_variable_declared_with_class(self):
+        parsed = parse_pattern(
+            "Snap := ['', S, '']; Snap $Diff; pattern := $Diff -> $Diff;"
+        )
+        assert parsed.variables["Diff"].class_name == "Snap"
+        assert parsed.class_of_var("Diff").name == "Snap"
+
+    def test_numeric_variable_name_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','','']; A $1; pattern := A;")
+
+    def test_duplicate_variable_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern(
+                "A := ['','','']; A $x; A $x; pattern := $x -> $x;"
+            )
+
+    def test_variable_of_unknown_class_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("Nope $x; pattern := $x;")
+
+
+class TestExpressions:
+    def test_operator_precedence_and_binds_loosest(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];"
+            "pattern := A -> B /\\ B -> C;"
+        )
+        assert isinstance(parsed.expr, AndExpr)
+        left, right = parsed.expr.parts
+        assert isinstance(left, BinaryExpr) and left.op is Operator.PRECEDES
+        assert isinstance(right, BinaryExpr)
+
+    def test_causal_chain_is_left_associative(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];"
+            "pattern := A -> B -> C;"
+        )
+        expr = parsed.expr
+        assert isinstance(expr, BinaryExpr)
+        assert isinstance(expr.left, BinaryExpr)
+        assert expr.left.left == ClassRef("A")
+        assert expr.right == ClassRef("C")
+
+    def test_parentheses_override(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];"
+            "pattern := A -> (B || C);"
+        )
+        expr = parsed.expr
+        assert expr.op is Operator.PRECEDES
+        assert isinstance(expr.right, BinaryExpr)
+        assert expr.right.op is Operator.CONCURRENT
+
+    def test_variables_in_expression(self):
+        parsed = parse_pattern(
+            "A := ['', a, '']; A $x; B := ['', b, ''];"
+            "pattern := ($x -> B) /\\ (B || $x);"
+        )
+        left, right = parsed.expr.parts
+        assert left.left == VarRef("x")
+
+    def test_unknown_class_in_pattern_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','',''];pattern := A -> Missing;")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','',''];pattern := A -> $ghost;")
+
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','',''];")
+
+    def test_duplicate_pattern_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_pattern("A := ['','',''];pattern := A;pattern := A;")
+
+    def test_paper_zookeeper_pattern_parses(self):
+        source = """
+        Synch    := [$1, Synch_Leader, $2];
+        Snapshot := [$2, Take_Snapshot, ''];
+        Update   := [$2, Make_Update, ''];
+        Forward  := [$2, Take_Snapshot, $1];
+        Snapshot $Diff;
+        Update $Write;
+        pattern := (Synch -> $Diff) /\\ ($Diff -> $Write) /\\ ($Write -> Forward);
+        """
+        parsed = parse_pattern(source)
+        assert set(parsed.classes) == {"Synch", "Snapshot", "Update", "Forward"}
+        assert set(parsed.variables) == {"Diff", "Write"}
+        assert isinstance(parsed.expr, AndExpr)
+        assert len(parsed.expr.parts) == 3

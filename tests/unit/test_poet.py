@@ -1,0 +1,140 @@
+"""Unit tests for the POET substrate: server, linearization, dump/reload."""
+
+import pytest
+
+from repro.poet import (
+    CallbackClient,
+    POETServer,
+    RecordingClient,
+    dump_events,
+    is_linearization,
+    linearize,
+    load_events,
+    replay,
+)
+from repro.poet.server import DeliveryOrderError
+from repro.testing import Weaver
+
+
+def _sample_stream():
+    w = Weaver(3)
+    a = w.local(0, "A")
+    s1, r1 = w.message(0, 1)
+    b = w.local(1, "B")
+    s2, r2 = w.message(1, 2)
+    c = w.local(2, "C")
+    return w, w.events
+
+
+class TestServer:
+    def test_collect_stores_and_forwards(self):
+        _, events = _sample_stream()
+        server = POETServer(3, verify=True)
+        recorder = RecordingClient()
+        server.connect(recorder)
+        for e in events:
+            server.collect(e)
+        assert server.num_events == len(events)
+        assert recorder.events == events
+
+    def test_late_client_misses_prefix(self):
+        _, events = _sample_stream()
+        server = POETServer(3)
+        server.collect(events[0])
+        recorder = RecordingClient()
+        server.connect(recorder)
+        for e in events[1:]:
+            server.collect(e)
+        assert len(recorder) == len(events) - 1
+
+    def test_disconnect_stops_delivery(self):
+        _, events = _sample_stream()
+        server = POETServer(3)
+        recorder = RecordingClient()
+        server.connect(recorder)
+        server.collect(events[0])
+        server.disconnect(recorder)
+        server.collect(events[1])
+        assert len(recorder) == 1
+
+    def test_verify_rejects_out_of_order_delivery(self):
+        _, events = _sample_stream()
+        server = POETServer(3, verify=True)
+        receive = next(e for e in events if e.partner is not None)
+        with pytest.raises(DeliveryOrderError):
+            server.collect(receive)  # its send was never delivered
+
+    def test_callback_client(self):
+        _, events = _sample_stream()
+        seen = []
+        server = POETServer(3)
+        server.connect(CallbackClient(seen.append))
+        server.collect(events[0])
+        assert seen == [events[0]]
+
+
+class TestLinearize:
+    def test_weaver_stream_is_linearization(self):
+        _, events = _sample_stream()
+        assert is_linearization(events, 3)
+
+    def test_swapping_message_endpoints_is_detected(self):
+        _, events = _sample_stream()
+        send_pos = next(
+            i for i, e in enumerate(events) if e.partner is not None
+        )
+        swapped = list(events)
+        swapped[send_pos - 1], swapped[send_pos] = (
+            swapped[send_pos],
+            swapped[send_pos - 1],
+        )
+        assert not is_linearization(swapped, 3)
+
+    def test_linearize_shuffled_events(self):
+        _, events = _sample_stream()
+        shuffled = list(reversed(events))
+        ordered = linearize(shuffled)
+        assert is_linearization(ordered, 3)
+        assert sorted(ordered, key=id) == sorted(events, key=id)
+
+    def test_wrong_width_rejected(self):
+        _, events = _sample_stream()
+        assert not is_linearization(events, 2)
+
+
+class TestDumpReload:
+    def test_round_trip(self, tmp_path):
+        _, events = _sample_stream()
+        path = tmp_path / "trace.poet"
+        written = dump_events(path, events, 3, ["P0", "P1", "P2"])
+        assert written == len(events)
+        loaded, num_traces, names = load_events(path)
+        assert num_traces == 3
+        assert names == ["P0", "P1", "P2"]
+        assert len(loaded) == len(events)
+        for original, restored in zip(events, loaded):
+            assert original.event_id == restored.event_id
+            assert original.etype == restored.etype
+            assert original.clock == restored.clock
+            assert original.kind == restored.kind
+            assert original.partner == restored.partner
+            assert original.lamport == restored.lamport
+
+    def test_replay_builds_server(self, tmp_path):
+        _, events = _sample_stream()
+        path = tmp_path / "trace.poet"
+        dump_events(path, events, 3, ["P0", "P1", "P2"])
+        server = replay(path, verify=True)
+        assert server.num_events == len(events)
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.poet"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_events(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.poet"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_events(path)

@@ -1,0 +1,97 @@
+"""Unit tests for pattern rendering (the unparser)."""
+
+import pytest
+
+from repro.patterns import parse_pattern, render_pattern
+from repro.patterns.ast import AttrVar, Exact, Wildcard
+from repro.patterns.render import render_attr, render_expr
+
+
+class TestRenderAttr:
+    def test_wildcard(self):
+        assert render_attr(Wildcard()) == "''"
+
+    def test_variable(self):
+        assert render_attr(AttrVar("1")) == "$1"
+        assert render_attr(AttrVar("p")) == "$p"
+
+    def test_bare_identifier(self):
+        assert render_attr(Exact("Take_Snapshot")) == "Take_Snapshot"
+
+    def test_quoting_when_needed(self):
+        assert render_attr(Exact("a b")) == "'a b'"
+        assert render_attr(Exact("")) == "''"
+        assert render_attr(Exact("1abc")) == "'1abc'"
+        assert render_attr(Exact("x;y")) == "'x;y'"
+
+
+class TestRenderExpr:
+    def _expr(self, source):
+        full = (
+            "A := ['', a, '']; B := ['', b, '']; C := ['', c, ''];"
+            "A $x;"
+            f"pattern := {source};"
+        )
+        return parse_pattern(full).expr
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "A -> B",
+            "A || B",
+            "A <> B",
+            "A ~> B",
+            "A -> B -> C",
+            "A -> (B || C)",
+            "(A || B) -> C",
+            "(A -> B) /\\ (B -> C)",
+            "$x -> B",
+            "(A || A) <-> (B || B)",
+        ],
+    )
+    def test_round_trip_expressions(self, source):
+        expr = self._expr(source)
+        rendered = render_expr(expr)
+        assert self._expr(rendered) == expr
+
+
+class TestRenderPattern:
+    def test_full_definition_round_trip(self):
+        source = """
+        Synch    := [$1, Synch_Leader, $2];
+        Snapshot := [$2, Take_Snapshot, ''];
+        Update   := [$2, Make_Update, ''];
+        Forward  := [$2, Take_Snapshot, $1];
+        Snapshot $Diff;
+        Update $Write;
+        pattern := (Synch -> $Diff) /\\ ($Diff -> $Write) /\\ ($Write -> Forward);
+        """
+        parsed = parse_pattern(source)
+        rendered = render_pattern(parsed)
+        reparsed = parse_pattern(rendered)
+        assert reparsed == parsed
+
+    def test_rendered_source_is_stable(self):
+        source = "A := ['', a, '']; pattern := A;"
+        once = render_pattern(parse_pattern(source))
+        twice = render_pattern(parse_pattern(once))
+        assert once == twice
+
+    def test_workload_patterns_round_trip(self):
+        from repro.workloads import (
+            atomicity_pattern,
+            deadlock_pattern,
+            message_race_pattern,
+            ordering_bug_pattern,
+            traffic_light_pattern,
+        )
+
+        for source in (
+            deadlock_pattern(4),
+            message_race_pattern(),
+            atomicity_pattern(),
+            ordering_bug_pattern(),
+            traffic_light_pattern(),
+        ):
+            parsed = parse_pattern(source)
+            assert parse_pattern(render_pattern(parsed)) == parsed

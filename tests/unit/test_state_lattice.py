@@ -1,0 +1,115 @@
+"""Unit tests for the consistent-global-state lattice detector."""
+
+import pytest
+
+from repro.baselines import (
+    LatticeExplosion,
+    StateLatticeDetector,
+    concurrent_types,
+)
+from repro.testing import Weaver
+
+
+class TestConsistency:
+    def test_fully_concurrent_traces_form_a_grid(self):
+        """Two independent traces of lengths m and n have (m+1)(n+1)
+        consistent cuts — the full grid lattice."""
+        w = Weaver(2)
+        for _ in range(3):
+            w.local(0)
+        for _ in range(2):
+            w.local(1)
+        detector = StateLatticeDetector(2)
+        assert detector.count_states(w.events) == 4 * 3
+
+    def test_message_prunes_inconsistent_cuts(self):
+        """A receive cannot enter a cut before its send: the grid loses
+        the cuts where it would."""
+        w = Weaver(2)
+        s = w.send(0)
+        r = w.recv(1, s)
+        detector = StateLatticeDetector(2)
+        # cuts: (0,0) (1,0) (1,1) — (0,1) is inconsistent
+        assert detector.count_states(w.events) == 3
+
+    def test_totally_ordered_chain_is_linear(self):
+        w = Weaver(2)
+        s1 = w.send(0)
+        r1 = w.recv(1, s1)
+        s2 = w.send(1)
+        r2 = w.recv(0, s2)
+        detector = StateLatticeDetector(2)
+        # a chain of 4 events: 5 cuts
+        assert detector.count_states(w.events) == 5
+
+
+class TestDetection:
+    def test_possibly_detects_concurrent_critical_sections(self):
+        w = Weaver(2)
+        w.local(0, "CS")
+        w.local(1, "CS")  # concurrent with the other CS
+        detector = StateLatticeDetector(2)
+        result = detector.detect(w.events, concurrent_types("CS"))
+        assert result.satisfied
+        assert result.witness == (1, 1)
+
+    def test_serialized_sections_not_detected(self):
+        w = Weaver(2)
+        w.local(0, "CS")
+        s = w.send(0, etype="Release")
+        r = w.recv(1, s, etype="Grant")
+        w.local(1, "CS")
+        detector = StateLatticeDetector(2)
+        result = detector.detect(w.events, concurrent_types("CS"))
+        # by the time trace 1 is in CS, trace 0's frontier moved past it
+        assert not result.satisfied
+
+    def test_detection_agrees_with_vector_clock_concurrency(self):
+        import random
+
+        for seed in range(10):
+            rng = random.Random(seed)
+            w = Weaver(3)
+            pending = []
+            for _ in range(12):
+                roll = rng.random()
+                trace = rng.randrange(3)
+                if roll < 0.4:
+                    w.local(trace, rng.choice(["CS", "X"]))
+                elif roll < 0.7:
+                    pending.append(w.send(trace))
+                elif pending:
+                    send = pending.pop()
+                    choices = [t for t in range(3) if t != send.trace]
+                    w.recv(rng.choice(choices), send)
+            cs_events = [e for e in w.events if e.etype == "CS"]
+            expected = any(
+                a.concurrent_with(b)
+                for i, a in enumerate(cs_events)
+                for b in cs_events[i + 1 :]
+            )
+            detector = StateLatticeDetector(3)
+            result = detector.detect(w.events, concurrent_types("CS"))
+            assert result.satisfied == expected, seed
+
+
+class TestExplosion:
+    def test_budget_raises(self):
+        w = Weaver(3)
+        for _ in range(8):
+            for trace in range(3):
+                w.local(trace)
+        detector = StateLatticeDetector(3, max_states=10)
+        with pytest.raises(LatticeExplosion):
+            detector.count_states(w.events)
+
+    def test_state_count_grows_exponentially_with_concurrency(self):
+        counts = []
+        for traces in (2, 3, 4):
+            w = Weaver(traces)
+            for _ in range(4):
+                for trace in range(traces):
+                    w.local(trace)
+            detector = StateLatticeDetector(traces, max_states=None)
+            counts.append(detector.count_states(w.events))
+        assert counts == [25, 125, 625]  # 5^n for 4 events per trace

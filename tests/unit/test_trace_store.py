@@ -1,0 +1,111 @@
+"""Unit tests for per-trace sequences and the event store."""
+
+import pytest
+
+from repro.events import EventId, EventStore, Trace
+from repro.testing import Weaver
+
+
+def _two_trace_events():
+    w = Weaver(2)
+    a = w.local(0, "A")
+    send, recv = w.message(0, 1)
+    b = w.local(1, "B")
+    return w, [a, send, recv, b]
+
+
+class TestTrace:
+    def test_append_validates_trace_ownership(self):
+        w = Weaver(2)
+        event = w.local(1)
+        trace = Trace(0)
+        with pytest.raises(ValueError):
+            trace.append(event)
+
+    def test_append_validates_contiguous_indices(self):
+        w = Weaver(1)
+        first = w.local(0)
+        second = w.local(0)
+        trace = Trace(0)
+        with pytest.raises(ValueError):
+            trace.append(second)  # skipped index 1
+        trace.append(first)
+        trace.append(second)
+        assert len(trace) == 2
+
+    def test_at_is_one_based(self):
+        w = Weaver(1)
+        first = w.local(0)
+        trace = Trace(0)
+        trace.append(first)
+        assert trace.at(1) is first
+        with pytest.raises(IndexError):
+            trace.at(2)
+        with pytest.raises(IndexError):
+            trace.at(0)
+
+    def test_last_on_empty_trace(self):
+        assert Trace(0).last() is None
+
+    def test_binary_search_on_clock_column(self):
+        w = Weaver(2)
+        s1, r1 = w.message(0, 1)
+        w.local(1)
+        s2, r2 = w.message(0, 1)
+        trace = Trace(1)
+        for e in (r1, w.events[2], r2):
+            pass
+        trace1_events = [e for e in w.events if e.trace == 1]
+        t = Trace(1)
+        for e in trace1_events:
+            t.append(e)
+        # first event on trace 1 whose column-0 reaches s2's index
+        pos = t.first_index_with_column_at_least(0, s2.index)
+        assert t.at(pos).partner == s2.event_id
+        # a value beyond everything returns None
+        assert t.first_index_with_column_at_least(0, 999) is None
+
+
+class TestEventStore:
+    def test_round_trip_lookup(self):
+        _, events = _two_trace_events()
+        store = EventStore(2)
+        for e in events:
+            store.add(e)
+        assert store.num_events == 4
+        assert store.get(EventId(1, 1)) == events[2]
+
+    def test_partner_resolution(self):
+        _, events = _two_trace_events()
+        store = EventStore(2)
+        for e in events:
+            store.add(e)
+        recv = events[2]
+        assert store.partner_of(recv) == events[1]
+        assert store.partner_of(events[0]) is None
+
+    def test_trace_count_validation(self):
+        with pytest.raises(ValueError):
+            EventStore(0)
+        with pytest.raises(ValueError):
+            EventStore(2, trace_names=["only-one"])
+
+    def test_out_of_range_trace_rejected(self):
+        w = Weaver(3)
+        event = w.local(2)
+        store = EventStore(2)
+        with pytest.raises(ValueError):
+            store.add(event)
+
+    def test_iteration_groups_by_trace(self):
+        _, events = _two_trace_events()
+        store = EventStore(2)
+        for e in events:
+            store.add(e)
+        seen = list(store)
+        assert [e.trace for e in seen] == [0, 0, 1, 1]
+
+    def test_trace_names(self):
+        store = EventStore(2, trace_names=["leader", "follower"])
+        assert store.trace(0).name == "leader"
+        assert store.trace(1).name == "follower"

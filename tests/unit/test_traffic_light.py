@@ -1,0 +1,66 @@
+"""Unit tests for the traffic-light workload (the paper's §I example)."""
+
+import pytest
+
+from repro import Monitor
+from repro.workloads import build_traffic_light, traffic_light_pattern
+
+
+class TestBuild:
+    def test_controller_plus_lights(self):
+        workload = build_traffic_light(num_lights=3, seed=0)
+        assert workload.num_traces == 4
+        assert workload.controller == 0
+
+    def test_needs_two_lights(self):
+        with pytest.raises(ValueError):
+            build_traffic_light(num_lights=1)
+
+    def test_clean_run_records_no_faults(self):
+        workload = build_traffic_light(
+            num_lights=3, seed=0, fault_probability=0.0
+        )
+        workload.run()
+        assert workload.faults == []
+
+
+class TestDetection:
+    def _monitored(self, seed, fault_probability):
+        workload = build_traffic_light(
+            num_lights=4,
+            seed=seed,
+            cycles=40,
+            fault_probability=fault_probability,
+            verify_delivery=True,
+        )
+        monitor = Monitor.from_source(
+            traffic_light_pattern(), workload.kernel.trace_names()
+        )
+        workload.server.connect(monitor)
+        result = workload.run()
+        assert not result.deadlocked
+        return workload, monitor
+
+    def test_correct_sequencing_is_never_concurrent(self):
+        workload, monitor = self._monitored(seed=3, fault_probability=0.0)
+        assert not monitor.reports
+
+    @pytest.mark.parametrize("seed", [0, 2, 5])
+    def test_stuck_relay_detected(self, seed):
+        workload, monitor = self._monitored(seed=seed, fault_probability=0.2)
+        assert workload.faults
+        assert monitor.reports
+        for report in monitor.reports:
+            g1, g2 = report.as_dict().values()
+            assert g1.etype == g2.etype == "Green"
+            assert g1.concurrent_with(g2)
+
+    def test_reported_greens_include_a_fault(self):
+        workload, monitor = self._monitored(seed=2, fault_probability=0.2)
+        fault_texts = {f"fault@{cycle}" for _, cycle in workload.faults}
+        reported_texts = {
+            event.text
+            for report in monitor.reports
+            for event in report.as_dict().values()
+        }
+        assert fault_texts & reported_texts

@@ -1,0 +1,90 @@
+"""Unit tests for Fidge/Mattern vector clocks."""
+
+import pytest
+
+from repro.clocks import VectorClock
+
+
+class TestConstruction:
+    def test_zero_clock_has_all_zero_components(self):
+        clock = VectorClock.zero(4)
+        assert clock.components == (0, 0, 0, 0)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock.zero(0)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([1, -1])
+
+    def test_components_coerced_to_int(self):
+        clock = VectorClock([1.0, 2.0])
+        assert clock.components == (1, 2)
+
+
+class TestTickAndMerge:
+    def test_tick_advances_only_own_component(self):
+        clock = VectorClock([1, 2, 3]).tick(1)
+        assert clock.components == (1, 3, 3)
+
+    def test_tick_returns_new_instance(self):
+        original = VectorClock([0, 0])
+        ticked = original.tick(0)
+        assert original.components == (0, 0)
+        assert ticked.components == (1, 0)
+
+    def test_merge_is_componentwise_max(self):
+        merged = VectorClock([1, 5, 0]).merge(VectorClock([3, 2, 0]))
+        assert merged.components == (3, 5, 0)
+
+    def test_merge_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([1]).merge(VectorClock([1, 2]))
+
+
+class TestPartialOrder:
+    def test_dominated_clock_is_less(self):
+        assert VectorClock([1, 2]) < VectorClock([2, 2])
+
+    def test_equal_clocks_not_strictly_less(self):
+        assert not VectorClock([1, 2]) < VectorClock([1, 2])
+        assert VectorClock([1, 2]) <= VectorClock([1, 2])
+
+    def test_incomparable_clocks_are_concurrent(self):
+        a, b = VectorClock([2, 0]), VectorClock([0, 2])
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+        assert not a < b and not b < a
+
+    def test_concurrent_with_is_false_for_ordered_pair(self):
+        assert not VectorClock([1, 1]).concurrent_with(VectorClock([2, 1]))
+
+    def test_ge_gt_mirror_le_lt(self):
+        lo, hi = VectorClock([1, 1]), VectorClock([1, 2])
+        assert hi > lo and hi >= lo
+        assert not lo > hi
+
+    def test_comparison_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock([1]) <= VectorClock([1, 2])
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2])
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+        assert VectorClock([1, 2]) != VectorClock([2, 1])
+
+    def test_usable_as_dict_key(self):
+        table = {VectorClock([1, 0]): "a"}
+        assert table[VectorClock([1, 0])] == "a"
+
+    def test_indexing_and_iteration(self):
+        clock = VectorClock([4, 5, 6])
+        assert clock[1] == 5
+        assert list(clock) == [4, 5, 6]
+        assert len(clock) == 3
+
+    def test_repr_lists_components(self):
+        assert repr(VectorClock([1, 2])) == "VectorClock(1, 2)"

@@ -1,0 +1,114 @@
+"""Unit tests for the testing Weaver and the experiment runner."""
+
+import pytest
+
+from repro.analysis.runner import replay_through_monitor, run_case, scaled
+from repro.events import EventKind
+from repro.poet import is_linearization
+from repro.testing import Weaver
+from repro.workloads import build_message_race, message_race_pattern
+
+
+class TestWeaver:
+    def test_local_event_shape(self):
+        w = Weaver(2)
+        event = w.local(1, "Etype", "text")
+        assert event.trace == 1
+        assert event.index == 1
+        assert event.etype == "Etype"
+        assert event.text == "text"
+        assert event.kind is EventKind.UNARY
+
+    def test_message_links_partner_and_clock(self):
+        w = Weaver(2)
+        send, recv = w.message(0, 1, text="hi")
+        assert recv.partner == send.event_id
+        assert send.happens_before(recv)
+        assert recv.clock[0] == send.index
+
+    def test_recv_requires_send(self):
+        w = Weaver(2)
+        event = w.local(0)
+        with pytest.raises(ValueError):
+            w.recv(1, event)
+
+    def test_trace_bounds_checked(self):
+        w = Weaver(1)
+        with pytest.raises(ValueError):
+            w.local(1)
+        with pytest.raises(ValueError):
+            Weaver(0)
+
+    def test_stream_is_always_a_linearization(self):
+        w = Weaver(3)
+        w.local(0)
+        s1, r1 = w.message(0, 1)
+        s2, r2 = w.message(1, 2)
+        w.local(2)
+        assert is_linearization(w.events, 3)
+
+    def test_lamport_clocks_monotone_per_trace(self):
+        w = Weaver(2)
+        a = w.local(0)
+        s, r = w.message(0, 1)
+        b = w.local(1)
+        assert a.lamport < s.lamport
+        assert s.lamport < r.lamport < b.lamport
+
+
+class TestScaled:
+    def test_default_passthrough(self, monkeypatch):
+        monkeypatch.delenv("OCEP_EVENTS", raising=False)
+        monkeypatch.delenv("OCEP_FULL_SCALE", raising=False)
+        assert scaled(1234) == 1234
+
+    def test_full_scale(self, monkeypatch):
+        monkeypatch.delenv("OCEP_EVENTS", raising=False)
+        monkeypatch.setenv("OCEP_FULL_SCALE", "1")
+        assert scaled(1234) == 1_000_000
+
+    def test_explicit_budget_wins(self, monkeypatch):
+        monkeypatch.setenv("OCEP_EVENTS", "777")
+        monkeypatch.setenv("OCEP_FULL_SCALE", "1")
+        assert scaled(1234) == 777
+
+
+class TestReplayThroughMonitor:
+    def _events(self):
+        from repro.poet import RecordingClient
+
+        workload = build_message_race(num_traces=4, seed=3, messages_per_sender=4)
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        workload.run()
+        return recorder.events, workload.kernel.trace_names()
+
+    def test_averages_across_repetitions(self):
+        events, names = self._events()
+        timings, monitor = replay_through_monitor(
+            events, message_race_pattern(), names, repetitions=3
+        )
+        assert len(timings) == len(monitor.terminating_timings)
+        assert all(t >= 0 for t in timings)
+
+    def test_rejects_zero_repetitions(self):
+        events, names = self._events()
+        with pytest.raises(ValueError):
+            replay_through_monitor(
+                events, message_race_pattern(), names, repetitions=0
+            )
+
+
+class TestRunCase:
+    def test_produces_stats_and_counts(self):
+        result = run_case(
+            "race-4",
+            lambda: build_message_race(num_traces=4, seed=3, messages_per_sender=4),
+            message_race_pattern(),
+            repetitions=2,
+        )
+        assert result.label == "race-4"
+        assert result.num_events > 0
+        assert result.matches_reported > 0
+        stats = result.stats()
+        assert stats.q1 <= stats.median <= stats.q3

@@ -1,0 +1,138 @@
+"""Unit tests for the four case-study workload builders."""
+
+import pytest
+
+from repro.poet import RecordingClient
+from repro.workloads import (
+    atomicity_pattern,
+    build_atomicity,
+    build_message_race,
+    build_ordering_bug,
+    build_random_walk,
+    deadlock_pattern,
+    message_race_pattern,
+    ordering_bug_pattern,
+)
+
+
+class TestPatternSources:
+    def test_deadlock_pattern_scales_with_traces(self):
+        source = deadlock_pattern(4)
+        assert source.count(":=") == 5  # four classes plus the pattern
+        assert "B0 || B1 || B2 || B3" in source
+        with pytest.raises(ValueError):
+            deadlock_pattern(1)
+
+    def test_other_patterns_parse(self):
+        from repro.patterns import parse_pattern
+
+        for source in (
+            message_race_pattern(),
+            atomicity_pattern(),
+            ordering_bug_pattern(),
+            deadlock_pattern(5),
+        ):
+            parse_pattern(source)  # must not raise
+
+
+class TestRandomWalk:
+    def test_buggy_run_deadlocks(self):
+        workload = build_random_walk(
+            num_traces=4, seed=1, skip_probability=0.1, verify_delivery=True
+        )
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        result = workload.run(max_events=20_000)
+        assert result.deadlocked
+        assert len(result.blocked) == 4
+        blocks = [e for e in recorder.events if e.etype == "SendBlock"]
+        assert blocks  # the instrumentation recorded blocked sends
+
+    def test_clean_run_does_not_deadlock(self):
+        workload = build_random_walk(
+            num_traces=4, seed=1, skip_probability=0.0, buffer_capacity=8
+        )
+        result = workload.run(max_events=3_000)
+        assert not result.deadlocked
+        assert result.truncated
+
+    def test_too_few_traces_rejected(self):
+        with pytest.raises(ValueError):
+            build_random_walk(num_traces=1)
+
+
+class TestMessageRace:
+    def test_all_messages_collected(self):
+        workload = build_message_race(
+            num_traces=4, seed=0, messages_per_sender=5, verify_delivery=True
+        )
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        result = workload.run()
+        assert not result.deadlocked
+        handles = [e for e in recorder.events if e.etype == "Handle"]
+        assert len(handles) == 15  # 3 senders x 5 messages
+
+    def test_needs_two_senders(self):
+        with pytest.raises(ValueError):
+            build_message_race(num_traces=2)
+
+
+class TestAtomicity:
+    def test_bypasses_recorded_as_ground_truth(self):
+        workload = build_atomicity(
+            num_processes=3, seed=2, iterations=30, bypass_probability=0.2
+        )
+        result = workload.run()
+        assert not result.deadlocked
+        assert workload.bypasses  # with p=0.2 over 90 attempts
+        assert all(0 <= pid < 3 for pid, _ in workload.bypasses)
+
+    def test_semaphore_is_extra_trace(self):
+        workload = build_atomicity(num_processes=3, seed=0)
+        assert workload.num_traces == 4
+        assert workload.kernel.trace_names()[-1] == "sem0"
+
+    def test_clean_run_has_no_bypasses(self):
+        workload = build_atomicity(
+            num_processes=3, seed=2, iterations=10, bypass_probability=0.0
+        )
+        workload.run()
+        assert workload.bypasses == []
+
+    def test_needs_two_tasks(self):
+        with pytest.raises(ValueError):
+            build_atomicity(num_processes=1)
+
+
+class TestOrderingBug:
+    def test_buggy_requests_recorded(self):
+        workload = build_ordering_bug(
+            num_traces=4,
+            seed=3,
+            synchs_per_follower=5,
+            bug_probability=0.5,
+            verify_delivery=True,
+        )
+        result = workload.run()
+        assert not result.deadlocked
+        assert workload.buggy_requests
+        assert all(r.startswith("r") for r in workload.buggy_requests)
+
+    def test_all_requests_served(self):
+        workload = build_ordering_bug(
+            num_traces=3, seed=0, synchs_per_follower=4, bug_probability=0.0
+        )
+        recorder = RecordingClient()
+        workload.server.connect(recorder)
+        workload.run()
+        forwards = [
+            e for e in recorder.events if e.etype == "Forward_Snapshot"
+        ]
+        assert len(forwards) == 8  # 2 followers x 4 synchs
+        applies = [e for e in recorder.events if e.etype == "Apply_Snapshot"]
+        assert len(applies) == 8
+
+    def test_needs_followers(self):
+        with pytest.raises(ValueError):
+            build_ordering_bug(num_traces=1)
