@@ -12,7 +12,7 @@ import pytest
 
 from common import REPETITIONS, emit_text, replay
 from repro.baselines import SlidingWindowMatcher
-from repro.core import MatcherConfig, Monitor
+from repro.core import MatcherConfig
 from repro.core.oracle import covered_slots, enumerate_matches
 from repro.testing import Weaver
 

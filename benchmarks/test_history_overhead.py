@@ -16,12 +16,7 @@ import pytest
 
 from common import REPETITIONS, emit_text, record_stream, replay, scaled
 from repro.core.config import MatcherConfig
-from repro.workloads import (
-    atomicity_pattern,
-    build_atomicity,
-    build_ordering_bug,
-    ordering_bug_pattern,
-)
+from repro.workloads import build_ordering_bug, ordering_bug_pattern
 
 _ROWS = []
 

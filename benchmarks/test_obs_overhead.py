@@ -1,0 +1,107 @@
+"""Observability overhead: the no-op instrumentation path must be free.
+
+The metrics layer is wired through the matcher's hot path (plain-int
+counters, an ``is None`` search-trace guard per decision point) and the
+monitor (a shared no-op registry by default).  This benchmark verifies
+the bargain on the Figure-3 subset workload's methodology: replaying a
+recorded stream through
+
+* ``off``   — timings and registry both disabled (the leanest path),
+* ``noop``  — the **default** configuration: per-event timings into
+  the shared no-op registry (what ``test_fig3_subset`` measures),
+* ``full``  — a live registry plus a search-trace ring buffer,
+
+and requiring the ``noop`` path to stay within 5% of ``off``
+(min-of-repetitions; tolerance overridable via
+``OCEP_OVERHEAD_TOLERANCE`` for noisy shared runners).  The measured
+ratios land in ``BENCH_obs_overhead.json`` for the cross-PR perf
+trajectory.
+"""
+
+import os
+import time
+
+from common import emit_json, emit_text, scaled
+from repro.core import MatcherConfig, Monitor
+from repro.obs import MetricsRegistry
+from repro.poet.client import RecordingClient
+from repro.workloads import build_message_race, message_race_pattern
+
+#: Relative overhead allowed for the default (no-op registry) path.
+TOLERANCE = float(os.environ.get("OCEP_OVERHEAD_TOLERANCE", "0.05"))
+
+#: Re-measurements before declaring a tolerance breach real.
+MAX_ATTEMPTS = 4
+
+MIN_OF = 5
+
+
+def _record_stream():
+    workload = build_message_race(num_traces=6, seed=3, messages_per_sender=25)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    workload.run(max_events=scaled(4000))
+    return recorder.events, list(workload.kernel.trace_names())
+
+
+def _best_replay_seconds(events, names, **monitor_kwargs) -> float:
+    """Min-of-N total replay wall time (min filters scheduler noise
+    out of CPU-bound identical work)."""
+    best = float("inf")
+    pattern = message_race_pattern()
+    for _ in range(MIN_OF):
+        started = time.perf_counter()
+        monitor = Monitor.from_source(pattern, names, **monitor_kwargs)
+        for event in events:
+            monitor.on_event(event)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_noop_instrumentation_overhead():
+    events, names = _record_stream()
+
+    measurements = {}
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        off = _best_replay_seconds(events, names, record_timings=False)
+        noop = _best_replay_seconds(events, names)  # the default path
+        full = _best_replay_seconds(
+            events,
+            names,
+            registry=MetricsRegistry(),
+            config=MatcherConfig(search_trace_size=4096),
+        )
+        noop_overhead = noop / off - 1.0
+        full_overhead = full / off - 1.0
+        measurements = {
+            "events": len(events),
+            "attempt": attempt,
+            "off_seconds": off,
+            "noop_seconds": noop,
+            "full_seconds": full,
+            "noop_overhead": noop_overhead,
+            "full_overhead": full_overhead,
+            "tolerance": TOLERANCE,
+        }
+        if noop_overhead < TOLERANCE:
+            break
+
+    emit_json("obs_overhead", measurements)
+    emit_text(
+        "obs_overhead",
+        "Observability overhead (message-race stream, "
+        f"{len(events)} events, min of {MIN_OF} replays):\n"
+        f"  off  (no timings, no registry): {measurements['off_seconds'] * 1e3:8.2f} ms\n"
+        f"  noop (default: no-op registry): {measurements['noop_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['noop_overhead'] * 100:+.2f}%)\n"
+        f"  full (live registry + trace):   {measurements['full_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['full_overhead'] * 100:+.2f}%)",
+    )
+
+    assert measurements["noop_overhead"] < TOLERANCE, (
+        f"default (no-op registry) path is "
+        f"{measurements['noop_overhead']:.1%} slower than the disabled "
+        f"path (tolerance {TOLERANCE:.0%}) after {MAX_ATTEMPTS} attempts"
+    )

@@ -79,7 +79,7 @@ def test_characterize(benchmark, case):
     events, names, workload, outcome = record_stream(
         ("characterize", case, 31), build, max_events=max_events
     )
-    monitor = benchmark.pedantic(
+    benchmark.pedantic(
         lambda: replay(events, pattern(), names),
         rounds=REPETITIONS,
         iterations=1,

@@ -33,6 +33,13 @@ from repro.core import (
     enumerate_matches,
 )
 from repro.events import CompoundEvent, Event, EventId, EventKind, EventStore, Trace
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    SearchTrace,
+    to_json,
+    to_prometheus,
+)
 from repro.patterns import (
     CompiledPattern,
     PatternError,
@@ -107,5 +114,10 @@ __all__ = [
     "RepresentativeSubset",
     "CausalIndex",
     "enumerate_matches",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "SearchTrace",
+    "to_json",
+    "to_prometheus",
     "__version__",
 ]

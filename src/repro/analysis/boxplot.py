@@ -9,7 +9,7 @@ and whisker marks are clearly shown."
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 from repro.analysis.stats import BoxplotStats
 

@@ -16,7 +16,7 @@ ablation isolates exactly the paper's Figure 4/5 contributions.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.core.config import MatcherConfig, SweepMode
 from repro.core.monitor import Monitor

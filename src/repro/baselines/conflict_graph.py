@@ -23,7 +23,7 @@ import dataclasses
 import time
 from typing import Dict, List, Optional
 
-from repro.events.event import Event, EventId, EventKind
+from repro.events.event import Event, EventId
 
 
 @dataclasses.dataclass

@@ -18,7 +18,6 @@ import time
 from typing import Dict, List, Sequence
 
 from repro.core.oracle import covered_slots, enumerate_matches
-from repro.core.subset import Slot
 from repro.events.event import Event
 from repro.patterns.compile import CompiledPattern, compile_pattern
 from repro.patterns.parser import parse_pattern

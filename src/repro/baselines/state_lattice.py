@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.events.event import Event
 

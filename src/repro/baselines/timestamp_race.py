@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.events.event import Event, EventId, EventKind
 

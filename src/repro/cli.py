@@ -27,6 +27,12 @@ would run:
     Post-mortem analysis: enumerate *every* match in a complete log
     (the offline comparison point to the online monitor).
 
+``ocep stats <case>``
+    Run a case study with full observability on and emit the metrics
+    registry (matcher counters, latency histograms, subset/history
+    gauges, POET delivery counts) as a table, JSON, or Prometheus
+    text, plus an optional tail of the search trace.
+
 Installed as the ``ocep`` console script; also runnable as
 ``python -m repro.cli``.
 """
@@ -39,7 +45,9 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis import compute_boxplot, quartile_table
 from repro.analysis.runner import replay_through_monitor
+from repro.core.config import MatcherConfig
 from repro.core.monitor import Monitor
+from repro.obs import MetricsRegistry, to_json, to_prometheus
 from repro.poet.client import RecordingClient
 from repro.poet.dumpfile import dump_events, load_events
 from repro.workloads import (
@@ -176,6 +184,72 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_table(registry: MetricsRegistry) -> str:
+    """Plain-text rendering of a registry snapshot."""
+    lines = []
+    for metric in registry.metrics():
+        labels = ""
+        if metric.labels:
+            labels = "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+        if metric.kind == "histogram":
+            lines.append(
+                f"{metric.name}{labels}  count={metric.count} "
+                f"mean={metric.mean * 1e6:.1f}us "
+                f"p50={metric.quantile(0.5) * 1e6:.1f}us "
+                f"p99={metric.quantile(0.99) * 1e6:.1f}us"
+            )
+        else:
+            value = metric.value
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            lines.append(f"{metric.name}{labels}  {value}")
+    return "\n".join(lines)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
+    names = workload.kernel.trace_names()
+    registry = MetricsRegistry()
+    workload.server.use_registry(registry)
+    monitor = Monitor.from_source(
+        pattern_source,
+        names,
+        config=MatcherConfig(search_trace_size=args.trace_size),
+        registry=registry,
+    )
+    workload.server.connect(monitor)
+    workload.run(max_events=args.max_events)
+    monitor.publish_metrics()
+
+    if args.format == "json":
+        text = to_json(registry)
+    elif args.format == "prometheus":
+        text = to_prometheus(registry)
+    else:
+        text = _metrics_table(registry)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.format} metrics to {args.output}")
+    else:
+        print(text)
+
+    if args.show_trace and monitor.search_trace is not None:
+        records = monitor.search_trace.records()[-args.show_trace:]
+        print(f"\nsearch trace (last {len(records)} of "
+              f"{monitor.search_trace.recorded_total} recorded):",
+              file=sys.stderr)
+        for record in records:
+            where = f"@{names[record.trace]}" if record.trace is not None else ""
+            print(
+                f"  search {record.search} level {record.level} "
+                f"leaf {record.leaf_id}{where}: {record.kind} {record.detail}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def cmd_diagram(args: argparse.Namespace) -> int:
     from repro.analysis.diagram import render_diagram
     from repro.analysis.export import to_dot
@@ -218,6 +292,20 @@ def cmd_offline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ocep",
@@ -254,6 +342,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repetitions", type=int, default=3)
     add_common(p, 10)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "stats", help="run a case with observability on and emit metrics"
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("--format", choices=["table", "json", "prometheus"],
+                   default="table", help="output format")
+    p.add_argument("--output", help="write metrics to a file instead of stdout")
+    p.add_argument("--trace-size", type=_positive_int, default=4096,
+                   help="search-trace ring buffer capacity")
+    p.add_argument("--show-trace", type=_nonnegative_int, default=0,
+                   metavar="K",
+                   help="also print the last K search-trace records")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("diagram", help="render a dump as a diagram")
     p.add_argument("dump", help="POET dump file")

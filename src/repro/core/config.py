@@ -78,6 +78,14 @@ class MatcherConfig:
         candidates from a per-trace text index when the text attribute
         is resolved.  Pure optimisations — results are identical either
         way (ablated in the benchmark suite).
+    search_trace_size:
+        When set, the matcher records its individual goForward /
+        goBackward decisions (candidate scanned, domain emptied,
+        back-jump vs. plain backtrack, budget truncation) into a
+        bounded ring buffer of this capacity, exposed as
+        ``OCEPMatcher.search_trace`` — see :mod:`repro.obs.trace`.
+        ``None`` (default) disables recording; the hot path then pays
+        one pointer comparison per decision point.
     """
 
     sweep: SweepMode = SweepMode.COVERAGE
@@ -87,3 +95,4 @@ class MatcherConfig:
     paranoid: bool = False
     max_forward_steps: Optional[int] = 100_000
     indexed_histories: bool = True
+    search_trace_size: Optional[int] = None

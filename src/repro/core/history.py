@@ -21,7 +21,7 @@ on the trace in between, which keeps same-trace pattern constraints
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence
 
 from repro.events.event import Event
 

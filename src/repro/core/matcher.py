@@ -35,14 +35,18 @@ partner identity, and limited-precedence immediacy.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import MatcherConfig, SweepMode
 from repro.core.domain import Interval, restrict
 from repro.core.gpls import CausalIndex
 from repro.core.history import HistorySet, LeafHistory
 from repro.core.subset import RepresentativeSubset
-from repro.events.event import Event, EventKind
+from repro.events.event import Event
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SearchTrace
 from repro.patterns.classes import Bindings
 from repro.patterns.compile import CompiledPattern, Constraint
 
@@ -162,6 +166,26 @@ class OCEPMatcher:
         self.events_processed = 0
         self.searches_run = 0
         self.searches_truncated = 0
+        # Hot-path accounting: plain integers (not metric objects) so
+        # the inner candidate loop costs one integer add per decision;
+        # publish_metrics() mirrors them into a registry on demand.
+        self.forward_steps = 0
+        self.candidates_scanned = 0
+        self.empty_slice_conflicts = 0
+        self.domain_conflicts = 0
+        self.back_jumps = 0
+        self.backtracks = 0
+        self.matches_found = 0
+        #: Per-search wall times (seconds); populated only while
+        #: ``time_searches`` is on (the Monitor enables it), one entry
+        #: per entry of ``searches_run``.
+        self.search_timings: List[float] = []
+        self.time_searches = False
+        self.search_trace: Optional[SearchTrace] = (
+            SearchTrace(self.config.search_trace_size)
+            if self.config.search_trace_size is not None
+            else None
+        )
         self._steps_left: Optional[int] = None
 
     # ------------------------------------------------------------------
@@ -189,8 +213,95 @@ class OCEPMatcher:
         reports: List[MatchReport] = []
         for leaf_id, env in triggered:
             self.searches_run += 1
-            reports.extend(self._search(leaf_id, event, env))
+            if self.search_trace is not None:
+                self.search_trace.record(
+                    obs_trace.SEARCH_START,
+                    self.searches_run,
+                    0,
+                    leaf_id,
+                    event.trace,
+                    detail=str(event.event_id),
+                )
+            if self.time_searches:
+                started = time.perf_counter()
+                reports.extend(self._search(leaf_id, event, env))
+                self.search_timings.append(time.perf_counter() - started)
+            else:
+                reports.extend(self._search(leaf_id, event, env))
         return reports
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """The hot-path accounting counters as a plain dict."""
+        return {
+            "events_processed": self.events_processed,
+            "searches_run": self.searches_run,
+            "searches_truncated": self.searches_truncated,
+            "forward_steps": self.forward_steps,
+            "candidates_scanned": self.candidates_scanned,
+            "empty_slice_conflicts": self.empty_slice_conflicts,
+            "domain_conflicts": self.domain_conflicts,
+            "back_jumps": self.back_jumps,
+            "backtracks": self.backtracks,
+            "matches_found": self.matches_found,
+        }
+
+    def publish_metrics(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        """Mirror the plain-int hot-path counters (and size gauges)
+        into ``registry``.  Idempotent — call it whenever a snapshot
+        is about to be exported."""
+        help_text = {
+            "events_processed": "events fed to the matcher",
+            "searches_run": "searches triggered by terminating events",
+            "searches_truncated": "searches abandoned by the step budget",
+            "forward_steps": "goForward level instantiations",
+            "candidates_scanned": "candidate events examined",
+            "empty_slice_conflicts": "satisfiable intervals with no stored candidate",
+            "domain_conflicts": "restrictions that emptied a domain interval",
+            "back_jumps": "goBackward conflict-directed jumps",
+            "backtracks": "goBackward single-level steps",
+            "matches_found": "complete matches reported",
+        }
+        for name, value in self.counters().items():
+            registry.counter(
+                f"ocep_matcher_{name}_total", help_text[name], labels=labels
+            ).set_total(value)
+        registry.gauge(
+            "ocep_subset_matches",
+            "matches stored in the representative subset",
+            labels=labels,
+        ).set(len(self.subset))
+        registry.gauge(
+            "ocep_subset_covered_slots",
+            "(leaf, trace) slots covered by the subset",
+            labels=labels,
+        ).set(len(self.subset.covered_slots))
+        registry.gauge(
+            "ocep_history_events",
+            "events stored across all leaf histories",
+            labels=labels,
+        ).set(self.history.total_size())
+        for leaf in self.history.histories:
+            leaf_labels = dict(labels or {})
+            leaf_labels["leaf"] = str(leaf.leaf_id)
+            registry.gauge(
+                "ocep_leaf_history_events",
+                "events stored for one pattern leaf",
+                labels=leaf_labels,
+            ).set(leaf.size)
+        if self.search_trace is not None:
+            registry.gauge(
+                "ocep_search_trace_records",
+                "search-trace records currently buffered",
+                labels=labels,
+            ).set(len(self.search_trace))
 
     # ------------------------------------------------------------------
     # Backtracking search (Algorithms 1-3)
@@ -221,12 +332,19 @@ class OCEPMatcher:
         budget = self.config.max_forward_steps
         self._steps_left = budget if budget is not None else None
 
-        found_any = False
-        i = 1
         try:
-            self._run_levels(levels, i, k, trigger_leaf, trigger_event, reports)
+            self._run_levels(levels, 1, k, trigger_leaf, trigger_event, reports)
         except _BudgetExhausted:
             self.searches_truncated += 1
+            if self.search_trace is not None:
+                self.search_trace.record(
+                    obs_trace.TRUNCATED,
+                    self.searches_run,
+                    0,
+                    trigger_leaf,
+                    trigger_event.trace,
+                    detail=f"budget={budget}",
+                )
         return reports
 
     def _run_levels(
@@ -269,6 +387,23 @@ class OCEPMatcher:
     ) -> None:
         assignment = {level.leaf_id: level.event for level in levels}
         new_slots = self.subset.update(assignment)
+        if self.config.paranoid and not self.subset.check_bound():
+            raise AssertionError(
+                f"representative subset holds {len(self.subset)} matches, "
+                f"exceeding the k*n bound "
+                f"{self.subset.num_leaves * self.subset.num_traces} "
+                "(paper, Section IV-B)"
+            )
+        self.matches_found += 1
+        if self.search_trace is not None:
+            self.search_trace.record(
+                obs_trace.MATCH,
+                self.searches_run,
+                len(levels) - 1,
+                trigger_leaf,
+                trigger_event.trace,
+                detail=f"new_slots={len(new_slots)}",
+            )
         env = levels[-1].env or {}
         reports.append(
             MatchReport(
@@ -341,6 +476,16 @@ class OCEPMatcher:
                     # candidate — the Figure 5 conflict proper.  Record
                     # a resolution for every binding contributor so the
                     # back-jump hull never excludes a real resolver.
+                    self.empty_slice_conflicts += 1
+                    if self.search_trace is not None:
+                        self.search_trace.record(
+                            obs_trace.EMPTY_SLICE,
+                            self.searches_run,
+                            i,
+                            level.leaf_id,
+                            trace,
+                            detail=f"[{interval.lo}, {interval.hi}]",
+                        )
                     if self.config.backjump:
                         self._record_slice_conflicts(
                             levels, level, leaf_history, trace,
@@ -354,6 +499,7 @@ class OCEPMatcher:
                     self._steps_left -= 1
                     if self._steps_left < 0:
                         raise _BudgetExhausted()
+                self.candidates_scanned += 1
                 candidate = level.candidates[level.pos]
                 level.pos -= 1
                 if level.extra_lo is not None and candidate.index < level.extra_lo:
@@ -362,11 +508,30 @@ class OCEPMatcher:
                     continue
                 env = self._acceptable(levels, i, candidate)
                 if env is None:
+                    if self.search_trace is not None:
+                        self.search_trace.record(
+                            obs_trace.CANDIDATE,
+                            self.searches_run,
+                            i,
+                            level.leaf_id,
+                            candidate.trace,
+                            detail=f"rejected {candidate.event_id}",
+                        )
                     continue
                 level.event = candidate
                 level.env = env
                 level.accepted_any = True
                 level.match_since_assign = False
+                self.forward_steps += 1
+                if self.search_trace is not None:
+                    self.search_trace.record(
+                        obs_trace.FORWARD,
+                        self.searches_run,
+                        i,
+                        level.leaf_id,
+                        candidate.trace,
+                        detail=f"accepted {candidate.event_id}",
+                    )
                 return True
 
             level.advance_trace()
@@ -401,6 +566,16 @@ class OCEPMatcher:
                 continue
             before_lo, before_hi = interval.lo, interval.hi
             if not restrict(interval, constraint, assigned, trace, self.index):
+                self.domain_conflicts += 1
+                if self.search_trace is not None:
+                    self.search_trace.record(
+                        obs_trace.DOMAIN_CONFLICT,
+                        self.searches_run,
+                        i,
+                        level.leaf_id,
+                        trace,
+                        detail=f"{constraint.value} vs level {j}",
+                    )
                 if self.config.backjump:
                     level.conflicts.append(
                         self._make_conflict(j, constraint, assigned, level.leaf_id, trace)
@@ -427,8 +602,6 @@ class OCEPMatcher:
         binding contributor could admit one.  For the lower bound the
         nearest admissible candidate is the latest event below it; for
         the upper bound, the earliest event above it."""
-        events = leaf_history.on_trace(trace)
-
         if lo_level is not None and lo_level >= 1:
             below = leaf_history.slice(trace, 1, interval.lo - 1)
             if below:
@@ -646,6 +819,15 @@ class OCEPMatcher:
                     jump_level.extra_hi is None or hi < jump_level.extra_hi
                 ):
                     jump_level.extra_hi = hi
+                self.back_jumps += 1
+                if self.search_trace is not None:
+                    self.search_trace.record(
+                        obs_trace.BACKJUMP,
+                        self.searches_run,
+                        i,
+                        level.leaf_id,
+                        detail=f"to level {target}, bounds [{lo}, {hi}]",
+                    )
                 return target
 
         level.reset()
@@ -656,6 +838,15 @@ class OCEPMatcher:
             and levels[target].match_since_assign
         ):
             levels[target].advance_trace()
+        self.backtracks += 1
+        if self.search_trace is not None:
+            self.search_trace.record(
+                obs_trace.BACKTRACK,
+                self.searches_run,
+                i,
+                level.leaf_id,
+                detail=f"to level {target}",
+            )
         return target
 
 

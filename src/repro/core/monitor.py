@@ -23,6 +23,7 @@ from typing import Callable, List, Optional, Sequence
 from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport, OCEPMatcher
 from repro.events.event import Event
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.patterns.compile import CompiledPattern, compile_pattern
 from repro.patterns.parser import parse_pattern
 from repro.patterns.tree import PatternTree
@@ -40,6 +41,11 @@ class MonitorStats:
     subset_size: int = 0
     history_size: int = 0
     searches_run: int = 0
+    searches_truncated: int = 0
+    forward_steps: int = 0
+    candidates_scanned: int = 0
+    empty_slice_conflicts: int = 0
+    back_jumps: int = 0
 
 
 class Monitor(POETClient):
@@ -59,8 +65,16 @@ class Monitor(POETClient):
     record_timings:
         When true (default), record per-event matching wall time in
         seconds; :attr:`timings` aligns with delivery order and
-        :attr:`terminating_timings` keeps only events that triggered a
-        search (the paper's "terminating events").
+        :attr:`terminating_timings` holds one entry **per search** (an
+        event matching several terminating leaves runs several
+        searches and contributes several entries, keeping
+        ``len(terminating_timings) == matcher.searches_run``).
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        per-event/per-search latency histograms and event/match
+        counters online; matcher counters and size gauges are mirrored
+        in by :meth:`publish_metrics`.  Defaults to the shared no-op
+        registry (near-zero overhead).
     """
 
     def __init__(
@@ -70,14 +84,39 @@ class Monitor(POETClient):
         config: Optional[MatcherConfig] = None,
         on_match: Optional[MatchCallback] = None,
         record_timings: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[dict] = None,
     ):
         self.matcher = OCEPMatcher(pattern, num_traces, config)
         self.pattern = pattern
         self._on_match = on_match
         self._record_timings = record_timings
+        self.matcher.time_searches = record_timings
         self.reports: List[MatchReport] = []
         self.timings: List[float] = []
         self.terminating_timings: List[float] = []
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._metric_labels = dict(metric_labels) if metric_labels else None
+        self._events_counter = self.registry.counter(
+            "ocep_monitor_events_total",
+            "events delivered to the monitor",
+            labels=self._metric_labels,
+        )
+        self._matches_counter = self.registry.counter(
+            "ocep_monitor_matches_total",
+            "match reports emitted by the monitor",
+            labels=self._metric_labels,
+        )
+        self._event_latency = self.registry.histogram(
+            "ocep_monitor_event_seconds",
+            "per-event matching wall time (the paper's headline metric)",
+            labels=self._metric_labels,
+        )
+        self._search_latency = self.registry.histogram(
+            "ocep_monitor_search_seconds",
+            "per-search wall time on terminating events",
+            labels=self._metric_labels,
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -91,6 +130,8 @@ class Monitor(POETClient):
         config: Optional[MatcherConfig] = None,
         on_match: Optional[MatchCallback] = None,
         record_timings: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        metric_labels: Optional[dict] = None,
     ) -> "Monitor":
         """Parse, build, and compile a pattern, then wrap it in a
         monitor for a computation with the given trace names."""
@@ -103,6 +144,8 @@ class Monitor(POETClient):
             config=config,
             on_match=on_match,
             record_timings=record_timings,
+            registry=registry,
+            metric_labels=metric_labels,
         )
 
     # ------------------------------------------------------------------
@@ -111,19 +154,27 @@ class Monitor(POETClient):
 
     def on_event(self, event: Event) -> None:
         """Process one delivered event (the POET client hook)."""
-        searches_before = self.matcher.searches_run
+        self._events_counter.inc()
         if self._record_timings:
+            searches_before = len(self.matcher.search_timings)
             start = time.perf_counter()
             reports = self.matcher.on_event(event)
             elapsed = time.perf_counter() - start
             self.timings.append(elapsed)
-            if self.matcher.searches_run > searches_before:
-                self.terminating_timings.append(elapsed)
+            # One entry per *search*, not per event: an event matching
+            # several terminating leaves runs several searches, and
+            # len(terminating_timings) must track searches_run.
+            per_search = self.matcher.search_timings[searches_before:]
+            self.terminating_timings.extend(per_search)
+            self._event_latency.observe(elapsed)
+            for search_time in per_search:
+                self._search_latency.observe(search_time)
         else:
             reports = self.matcher.on_event(event)
 
         if reports:
             self.reports.extend(reports)
+            self._matches_counter.inc(len(reports))
             if self._on_match is not None:
                 for report in reports:
                     self._on_match(report)
@@ -137,6 +188,12 @@ class Monitor(POETClient):
         """The matcher's representative subset."""
         return self.matcher.subset
 
+    @property
+    def search_trace(self):
+        """The matcher's search-trace ring buffer (None unless
+        ``MatcherConfig.search_trace_size`` was set)."""
+        return self.matcher.search_trace
+
     def stats(self) -> MonitorStats:
         """Aggregate counters for reporting."""
         return MonitorStats(
@@ -145,4 +202,16 @@ class Monitor(POETClient):
             subset_size=len(self.matcher.subset),
             history_size=self.matcher.history.total_size(),
             searches_run=self.matcher.searches_run,
+            searches_truncated=self.matcher.searches_truncated,
+            forward_steps=self.matcher.forward_steps,
+            candidates_scanned=self.matcher.candidates_scanned,
+            empty_slice_conflicts=self.matcher.empty_slice_conflicts,
+            back_jumps=self.matcher.back_jumps,
         )
+
+    def publish_metrics(self) -> MetricsRegistry:
+        """Mirror the matcher's hot-path counters and size gauges into
+        this monitor's registry; returns the registry (snapshot-ready
+        for the :mod:`repro.obs.export` exporters)."""
+        self.matcher.publish_metrics(self.registry, labels=self._metric_labels)
+        return self.registry

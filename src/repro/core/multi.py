@@ -23,6 +23,7 @@ from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport
 from repro.core.monitor import Monitor, MonitorStats
 from repro.events.event import Event
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.poet.client import POETClient
 
 #: Callback receiving (pattern name, report).
@@ -40,16 +41,23 @@ class MultiMonitor(POETClient):
     on_match:
         Optional callback invoked as ``on_match(name, report)`` for
         every match of every watched pattern.
+    registry:
+        Optional shared :class:`~repro.obs.metrics.MetricsRegistry`;
+        each watched pattern's monitor publishes into it under a
+        ``pattern=<name>`` label, so one scrape covers the whole
+        deployment.  Defaults to the no-op registry.
     """
 
     def __init__(
         self,
         trace_names: Sequence[str],
         on_match: Optional[NamedMatchCallback] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.trace_names = tuple(trace_names)
         self._monitors: Dict[str, Monitor] = {}
         self._on_match = on_match
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.events_seen = 0
 
     # ------------------------------------------------------------------
@@ -83,6 +91,8 @@ class MultiMonitor(POETClient):
             config=config,
             on_match=callback,
             record_timings=record_timings,
+            registry=self.registry,
+            metric_labels={"pattern": name},
         )
         self._monitors[name] = monitor
         return monitor
@@ -119,3 +129,10 @@ class MultiMonitor(POETClient):
     def total_reports(self) -> int:
         """Matches reported across all patterns."""
         return sum(len(mon.reports) for mon in self._monitors.values())
+
+    def publish_metrics(self) -> MetricsRegistry:
+        """Publish every watched pattern's matcher counters into the
+        shared registry (labelled ``pattern=<name>``); returns it."""
+        for monitor in self._monitors.values():
+            monitor.publish_metrics()
+        return self.registry

@@ -9,7 +9,7 @@ OCEP engine's online results against ground truth on small traces.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.events.event import Event
 from repro.patterns.classes import Bindings

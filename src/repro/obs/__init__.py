@@ -1,0 +1,44 @@
+"""Observability: metrics, search traces, and exporters.
+
+A dependency-free instrumentation layer for the OCEP stack:
+
+* :mod:`~repro.obs.metrics` — counters, gauges, log-scale-bucket
+  latency histograms, and the :class:`MetricsRegistry` that owns them
+  (plus the shared no-op :data:`NULL_REGISTRY` making disabled
+  observability nearly free);
+* :mod:`~repro.obs.trace` — the bounded ring-buffer **search trace**
+  recording individual goForward/goBackward decisions for post-mortem
+  debugging;
+* :mod:`~repro.obs.export` — JSON and Prometheus-text exporters over
+  a registry snapshot.
+
+See ``docs/observability.md`` for the metric inventory and usage.
+"""
+
+from repro.obs.export import parse_json, to_json, to_prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import KINDS, SearchTrace, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_LATENCY_BUCKETS",
+    "SearchTrace",
+    "TraceRecord",
+    "KINDS",
+    "to_json",
+    "to_prometheus",
+    "parse_json",
+]

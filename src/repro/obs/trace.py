@@ -1,0 +1,161 @@
+"""Bounded search trace: a ring buffer of goForward/goBackward decisions.
+
+Aggregate counters say *how much* pruning happened; they cannot say
+*why* a particular search exploded or which level a back-jump landed
+on.  The search trace records the matcher's individual decisions —
+candidate scanned, domain emptied, back-jump taken versus plain
+backtrack, budget truncation — into a fixed-capacity ring buffer
+(:class:`collections.deque` with ``maxlen``), so post-mortem debugging
+of a slow trigger costs O(capacity) memory regardless of how long the
+monitor has been running.
+
+Enable it with ``MatcherConfig(search_trace_size=N)``; the matcher
+then exposes the buffer as ``OCEPMatcher.search_trace``.  Recording is
+guarded by a single ``is None`` test in the hot path, so the disabled
+default costs one pointer comparison per decision point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter as _TallyCounter
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+#: Decision kinds recorded by the matcher, in hot-path order.
+SEARCH_START = "search_start"      #: a terminating event triggered a search
+FORWARD = "forward"                #: goForward instantiated a level
+CANDIDATE = "candidate"            #: a candidate was scanned (and rejected)
+EMPTY_SLICE = "empty_slice"        #: satisfiable interval, no stored candidate
+DOMAIN_CONFLICT = "domain_conflict"  #: restriction emptied the interval
+BACKJUMP = "backjump"              #: goBackward jumped to a conflict level
+BACKTRACK = "backtrack"            #: goBackward stepped one level
+MATCH = "match"                    #: a complete match was reported
+TRUNCATED = "truncated"            #: the per-trigger budget ran out
+
+KINDS = (
+    SEARCH_START,
+    FORWARD,
+    CANDIDATE,
+    EMPTY_SLICE,
+    DOMAIN_CONFLICT,
+    BACKJUMP,
+    BACKTRACK,
+    MATCH,
+    TRUNCATED,
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One recorded search decision.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`.
+    search:
+        The 1-based search ordinal (``OCEPMatcher.searches_run`` at
+        the time), correlating records of one trigger.
+    level:
+        Backtracking level the decision happened at (level 0 is the
+        trigger event).
+    leaf_id:
+        Pattern leaf being instantiated at that level.
+    trace:
+        Trace being swept, when the decision is trace-specific.
+    detail:
+        Free-form annotation (event id, jump target, bounds...).
+    """
+
+    kind: str
+    search: int
+    level: int
+    leaf_id: int
+    trace: Optional[int] = None
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "search": self.search,
+            "level": self.level,
+            "leaf_id": self.leaf_id,
+            "trace": self.trace,
+            "detail": self.detail,
+        }
+
+
+class SearchTrace:
+    """Fixed-capacity ring buffer of :class:`TraceRecord`.
+
+    Appending past capacity silently evicts the oldest record — the
+    buffer always holds the most recent ``capacity`` decisions, which
+    is what a post-mortem of "why was the *last* event slow" needs.
+    """
+
+    __slots__ = ("_records", "recorded_total")
+
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"trace capacity must be positive, got {capacity}")
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
+        #: Total records ever appended (evicted ones included).
+        self.recorded_total = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._records.maxlen or 0
+
+    def record(
+        self,
+        kind: str,
+        search: int,
+        level: int,
+        leaf_id: int,
+        trace: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        self._records.append(
+            TraceRecord(kind, search, level, leaf_id, trace, detail)
+        )
+        self.recorded_total += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[TraceRecord]:
+        """Buffered records, oldest first."""
+        return list(self._records)
+
+    def last_search(self) -> List[TraceRecord]:
+        """Records belonging to the most recent search in the buffer."""
+        if not self._records:
+            return []
+        target = self._records[-1].search
+        return [r for r in self._records if r.search == target]
+
+    def tally(self) -> dict:
+        """Buffered record counts by kind (post-mortem summary)."""
+        return dict(_TallyCounter(r.kind for r in self._records))
+
+    def as_dicts(self) -> List[dict]:
+        return [r.as_dict() for r in self._records]
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchTrace({len(self)}/{self.capacity} records, "
+            f"{self.recorded_total} recorded)"
+        )

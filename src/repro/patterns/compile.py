@@ -36,7 +36,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.patterns.ast import AttrVar, Exact, Operator
 from repro.patterns.errors import PatternError
-from repro.patterns.tree import LeafNode, PatternTree, TreeExpr, TreeLeaf, TreeNode
+from repro.patterns.tree import LeafNode, PatternTree, TreeExpr, TreeLeaf
 
 
 class Constraint(enum.Enum):

@@ -16,7 +16,6 @@ from repro.patterns.ast import (
     ClassRef,
     Exact,
     Expr,
-    Operator,
     PatternDef,
     VarRef,
     Wildcard,

@@ -9,21 +9,30 @@ connected clients (the OCEP monitor, recorders, dump writers).
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
 from repro.poet.server import POETServer
 from repro.simulation.kernel import Kernel
 
 
-def instrument(kernel: Kernel, verify: bool = False) -> POETServer:
+def instrument(
+    kernel: Kernel,
+    verify: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+) -> POETServer:
     """Create a POET server wired to a simulation kernel.
 
     Every event the kernel emits flows into the server (and on to its
     clients) in linearization order.  Connect clients *before* calling
-    :meth:`Kernel.run`, or they will miss the prefix.
+    :meth:`Kernel.run`, or they will miss the prefix.  ``registry``
+    forwards to :class:`POETServer` for delivery accounting.
     """
     server = POETServer(
         num_traces=kernel.num_traces,
         trace_names=kernel.trace_names(),
         verify=verify,
+        registry=registry,
     )
     kernel.add_sink(server.collect)
     return server

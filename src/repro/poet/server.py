@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro.events.event import Event
 from repro.events.store import EventStore
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.poet.client import POETClient
 
 
@@ -34,6 +35,10 @@ class POETServer:
         When true, check on every collected event that delivery remains
         a linearization of the partial order (all causal predecessors
         already delivered).  Costs O(num_traces) per event.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        collection/delivery counters and a connected-clients gauge.
+        Defaults to the no-op registry.
     """
 
     def __init__(
@@ -41,11 +46,40 @@ class POETServer:
         num_traces: int,
         trace_names: Optional[Sequence[str]] = None,
         verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.store = EventStore(num_traces, trace_names)
         self._clients: List[POETClient] = []
         self._verify = verify
         self._delivered = [0] * num_traces
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._collected_counter = self.registry.counter(
+            "poet_events_collected_total", "events ingested by the server"
+        )
+        self._deliveries_counter = self.registry.counter(
+            "poet_deliveries_total",
+            "event deliveries fanned out (events x clients)",
+        )
+        self._clients_gauge = self.registry.gauge(
+            "poet_clients", "currently connected clients"
+        )
+
+    def use_registry(self, registry: MetricsRegistry) -> None:
+        """Rebind delivery accounting to ``registry`` (e.g. when the
+        server was built before observability was requested).  Counts
+        start from zero in the new registry."""
+        self.registry = registry
+        self._collected_counter = registry.counter(
+            "poet_events_collected_total", "events ingested by the server"
+        )
+        self._deliveries_counter = registry.counter(
+            "poet_deliveries_total",
+            "event deliveries fanned out (events x clients)",
+        )
+        self._clients_gauge = registry.gauge(
+            "poet_clients", "currently connected clients"
+        )
+        self._clients_gauge.set(len(self._clients))
 
     # ------------------------------------------------------------------
     # Client management
@@ -54,10 +88,12 @@ class POETServer:
     def connect(self, client: POETClient) -> None:
         """Attach a client; it will see every event from now on."""
         self._clients.append(client)
+        self._clients_gauge.set(len(self._clients))
 
     def disconnect(self, client: POETClient) -> None:
         """Detach a previously connected client."""
         self._clients.remove(client)
+        self._clients_gauge.set(len(self._clients))
 
     # ------------------------------------------------------------------
     # Collection
@@ -68,8 +104,10 @@ class POETServer:
         if self._verify:
             self._check_order(event)
         self.store.add(event)
+        self._collected_counter.inc()
         for client in self._clients:
             client.on_event(event)
+        self._deliveries_counter.inc(len(self._clients))
 
     def _check_order(self, event: Event) -> None:
         clock = event.clock

@@ -24,7 +24,7 @@ from typing import List, Optional, Tuple
 
 from repro.poet.instrument import instrument
 from repro.poet.server import POETServer
-from repro.simulation.kernel import ANY_SOURCE, Kernel, SimulationResult
+from repro.simulation.kernel import Kernel, SimulationResult
 from repro.simulation.process import Proc
 
 
@@ -82,7 +82,7 @@ def build_traffic_light(
         for cycle in range(cycles):
             light = 1 + (cycle % num_lights)
             yield proc.send(light, payload=("go", cycle), text=f"to{light}")
-            done = yield proc.receive(light)
+            yield proc.receive(light)
             yield proc.sleep(rng.random() * 0.5)
 
     def light_body(proc: Proc):

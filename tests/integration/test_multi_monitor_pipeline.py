@@ -1,7 +1,5 @@
 """Integration: MultiMonitor over live workloads, with tooling round trips."""
 
-import pytest
-
 from repro import MultiMonitor
 from repro.analysis import compute_metrics, render_diagram, to_dot
 from repro.poet import RecordingClient

@@ -11,7 +11,6 @@ computations and a battery of patterns covering every operator,
 * the k*n subset bound must hold throughout.
 """
 
-import random
 
 import pytest
 

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.events import EventKind
 from repro.poet import RecordingClient, instrument, is_linearization
-from repro.simulation import ANY_SOURCE, Kernel
+from repro.simulation import Kernel
 
 
 def run_random_kernel(num_processes, seed, with_semaphore):

@@ -5,7 +5,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MatcherConfig, Monitor, OCEPMatcher, SweepMode
+from repro.core import MatcherConfig, OCEPMatcher, SweepMode
 from repro.core.oracle import covered_slots, enumerate_matches
 from repro.patterns import PatternTree, compile_pattern, parse_pattern
 from repro.testing import Weaver

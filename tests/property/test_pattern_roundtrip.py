@@ -6,13 +6,11 @@ as random ASTs, rendered, and parsed; the resulting definitions must be
 identical, and compilation must yield the same constraint matrices.
 """
 
-import dataclasses
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.patterns import (
-    Constraint,
     PatternError,
     PatternTree,
     compile_pattern,

@@ -1,0 +1,94 @@
+"""Property tests for the representative subset's paper invariants.
+
+Section IV-B: the subset stores at most ``k * n`` matches (each stored
+match covers at least one previously uncovered ``(pattern event,
+trace)`` slot), and every covered slot is *occupied* — some event of
+that leaf was stored on that trace.  Random workloads are driven
+through the matcher with ``paranoid`` set, which additionally asserts
+the bound inside ``updateSubset`` itself.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MatcherConfig, OCEPMatcher, SweepMode
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.testing import random_computation
+
+PATTERN_SOURCES = [
+    "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;",
+    "A := ['', A, '']; B := ['', B, '']; pattern := A || B;",
+    "A := ['', A, '']; B := ['', B, '']; pattern := A ~> B;",
+    "A := ['', A, '']; B := ['', B, '']; C := ['', C, ''];"
+    "pattern := (A -> B) /\\ (B || C);",
+    "A := [$1, A, '']; B := [$1, B, '']; pattern := A -> B;",
+]
+
+
+@st.composite
+def workload(draw):
+    num_traces = draw(st.integers(min_value=2, max_value=4))
+    steps = draw(st.integers(min_value=5, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    pattern_source = draw(st.sampled_from(PATTERN_SOURCES))
+    prune = draw(st.booleans())
+    weaver = random_computation(seed, num_traces=num_traces, steps=steps)
+    names = [f"P{i}" for i in range(num_traces)]
+    compiled = compile_pattern(PatternTree(parse_pattern(pattern_source), names))
+    return weaver, compiled, prune
+
+
+class TestSubsetInvariants:
+    @given(workload())
+    @settings(max_examples=80, deadline=None)
+    def test_bound_and_covered_slots_occupied(self, data):
+        weaver, compiled, prune = data
+        matcher = OCEPMatcher(
+            compiled,
+            weaver.num_traces,
+            MatcherConfig(prune_history=prune, paranoid=True),
+        )
+        for event in weaver.events:
+            matcher.on_event(event)
+            # k*n bound (paper, Section IV-B) holds at every prefix,
+            # not just at the end of the run.
+            assert matcher.subset.check_bound(), (
+                f"subset holds {len(matcher.subset)} matches, bound is "
+                f"{compiled.num_leaves * weaver.num_traces}"
+            )
+
+        # Every covered slot is occupied: the covering match stored an
+        # event of that leaf on that trace, and pruning only ever
+        # replaces same-(leaf, trace) entries, never empties them.
+        occupied = {
+            (leaf.leaf_id, trace)
+            for leaf in matcher.history.histories
+            for trace in leaf.traces_with_events()
+        }
+        assert matcher.subset.covered_slots <= occupied
+
+        # Each stored match covered a then-new slot, and the recorded
+        # new_slots partition the covered set.
+        seen = set()
+        for stored in matcher.subset.matches:
+            assert stored.new_slots, "stored match covered nothing new"
+            assert not (set(stored.new_slots) & seen)
+            seen.update(stored.new_slots)
+        assert seen == matcher.subset.covered_slots
+
+    @given(workload())
+    @settings(max_examples=30, deadline=None)
+    def test_exhaustive_sweep_respects_bound_too(self, data):
+        weaver, compiled, prune = data
+        matcher = OCEPMatcher(
+            compiled,
+            weaver.num_traces,
+            MatcherConfig(
+                sweep=SweepMode.EXHAUSTIVE,
+                prune_history=prune,
+                paranoid=True,
+            ),
+        )
+        for event in weaver.events:
+            matcher.on_event(event)
+        assert matcher.subset.check_bound()

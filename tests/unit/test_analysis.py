@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    BoxplotStats,
     compute_boxplot,
     format_table,
     quartile_table,

@@ -1,8 +1,6 @@
 """Unit tests for runtime event classes and the pattern tree."""
 
-import pytest
-
-from repro.patterns import EventClass, PatternError, PatternTree, parse_pattern
+from repro.patterns import EventClass, PatternTree, parse_pattern
 from repro.patterns.ast import AttrVar, ClassDef, Exact, Wildcard
 from repro.testing import Weaver
 

@@ -111,6 +111,47 @@ class TestDiagramCommand:
         assert out.startswith("digraph")
 
 
+class TestStatsCommand:
+    ARGS = ["stats", "race", "--traces", "3", "--seed", "1",
+            "--max-events", "500"]
+
+    def test_table_output(self, capsys):
+        rc = main(self.ARGS + ["--show-trace", "3"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "ocep_matcher_searches_run_total" in captured.out
+        assert "ocep_monitor_event_seconds" in captured.out
+        assert "poet_events_collected_total" in captured.out
+        assert "search trace" in captured.err
+
+    def test_json_round_trips_counters(self, capsys):
+        import json
+
+        rc = main(self.ARGS + ["--format", "json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        metrics = {m["name"]: m for m in document["metrics"]}
+        searches = metrics["ocep_matcher_searches_run_total"]["value"]
+        assert searches > 0
+        # per-search latency histogram stays in lockstep with searches
+        assert metrics["ocep_monitor_search_seconds"]["count"] == searches
+        assert (
+            metrics["poet_events_collected_total"]["value"]
+            == metrics["ocep_monitor_events_total"]["value"]
+            > 0
+        )
+
+    def test_prometheus_output_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "metrics.prom"
+        rc = main(self.ARGS + ["--format", "prometheus",
+                               "--output", str(out_file)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        text = out_file.read_text()
+        assert "# TYPE ocep_matcher_searches_run_total counter" in text
+        assert "ocep_monitor_event_seconds_bucket" in text
+
+
 class TestOfflineCommand:
     def test_enumerates_dump(self, tmp_path, capsys):
         dump = tmp_path / "d.poet"

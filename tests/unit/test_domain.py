@@ -1,7 +1,5 @@
 """Unit tests for domain restriction (Figure 4)."""
 
-import pytest
-
 from repro.core import CausalIndex
 from repro.core.domain import Interval, restrict
 from repro.patterns.compile import Constraint

@@ -1,7 +1,5 @@
 """Unit tests for leaf histories (with pruning) and the representative subset."""
 
-import pytest
-
 from repro.core import HistorySet, RepresentativeSubset
 from repro.core.history import LeafHistory
 from repro.testing import Weaver

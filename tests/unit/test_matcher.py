@@ -1,7 +1,5 @@
 """Unit tests for the OCEP matching engine on hand-built scenarios."""
 
-import pytest
-
 from repro.core import MatcherConfig, OCEPMatcher, SweepMode
 from repro.patterns import PatternTree, compile_pattern, parse_pattern
 from repro.testing import Weaver

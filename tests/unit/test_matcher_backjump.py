@@ -7,8 +7,6 @@ recorded for every binding contributor — recording only interval
 conflicts lets the back-jump hull prune a real match.
 """
 
-import pytest
-
 from repro.core import MatcherConfig, OCEPMatcher, SweepMode
 from repro.core.oracle import enumerate_matches
 from repro.patterns import PatternTree, compile_pattern, parse_pattern

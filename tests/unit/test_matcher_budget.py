@@ -1,0 +1,138 @@
+"""Budget truncation: the ``max_forward_steps`` per-trigger bound.
+
+An online monitor must bound per-event latency; a search that exhausts
+its ``goForward`` budget is abandoned (``_BudgetExhausted``), counted
+in ``searches_truncated``, and — crucially — whatever matches it found
+*before* running out are still reported, and the next trigger starts
+with a completely fresh budget.
+"""
+
+import pytest
+
+from repro.core import MatcherConfig, OCEPMatcher
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.testing import Weaver
+
+PATTERN = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def _compiled(num_traces):
+    names = [f"P{i}" for i in range(num_traces)]
+    return compile_pattern(PatternTree(parse_pattern(PATTERN), names))
+
+
+def _stream(num_as=8, num_triggers=2):
+    """A's on traces 0-2 (all happening before the B's on trace 3), so
+    a triggered search sweeps three traces' worth of candidates."""
+    w = Weaver(4)
+    sends = []
+    for trace in range(3):
+        for _ in range(num_as):
+            w.local(trace, "A")
+        sends.append(w.send(trace))
+    for send in sends:
+        w.recv(3, send)
+    for _ in range(num_triggers):
+        w.local(3, "B")
+    return w
+
+
+def _run(events, budget, config_kwargs=None, trace_size=None):
+    matcher = OCEPMatcher(
+        _compiled(4),
+        4,
+        MatcherConfig(
+            max_forward_steps=budget,
+            search_trace_size=trace_size,
+            **(config_kwargs or {}),
+        ),
+    )
+    reports = []
+    for event in events:
+        reports.extend(matcher.on_event(event))
+    return matcher, reports
+
+
+def _truncating_budget(events, full_reports):
+    """Smallest budget that still finds a match yet truncates the
+    sweep — exists because the full search needs more steps than the
+    first match does."""
+    for budget in range(1, 400):
+        matcher, reports = _run(events, budget)
+        if matcher.searches_truncated and reports:
+            return budget, matcher, reports
+    pytest.fail("no budget both truncates and reports on this stream")
+
+
+class TestBudgetTruncation:
+    def test_unbudgeted_run_never_truncates(self):
+        weaver = _stream(num_triggers=1)
+        matcher, reports = _run(weaver.events, None)
+        assert matcher.searches_truncated == 0
+        assert len(reports) == 3  # one match per covered A-trace
+
+    def test_partial_reports_still_returned(self):
+        weaver = _stream(num_triggers=1)
+        _, full_reports = _run(weaver.events, None)
+        budget, matcher, reports = _truncating_budget(
+            weaver.events, full_reports
+        )
+        assert matcher.searches_truncated == 1
+        assert 0 < len(reports) < len(full_reports), (
+            f"budget {budget} should cut the coverage sweep short "
+            f"({len(reports)} vs {len(full_reports)} reports)"
+        )
+
+    def test_tiny_budget_truncates_without_reports(self):
+        weaver = _stream(num_triggers=1)
+        matcher, reports = _run(weaver.events, 1)
+        assert matcher.searches_truncated == 1
+        assert reports == []
+
+    def test_subsequent_search_gets_fresh_budget(self):
+        weaver = _stream(num_triggers=2)
+        single = _stream(num_triggers=1)
+        _, full_reports = _run(single.events, None)
+        budget, _, _ = _truncating_budget(single.events, full_reports)
+
+        matcher, reports = _run(weaver.events, budget)
+        # Both triggers ran a search, both were truncated separately...
+        assert matcher.searches_run == 2
+        assert matcher.searches_truncated == 2
+        # ...and the second search still found matches: had the first
+        # search's exhausted budget leaked into it, it would have died
+        # on its first goForward step with nothing to show.
+        by_trigger = {}
+        for report in reports:
+            by_trigger.setdefault(report.trigger_event.event_id, []).append(
+                report
+            )
+        assert len(by_trigger) == 2, (
+            "second search reported nothing - budget not refreshed"
+        )
+
+    def test_truncation_counted_per_search(self):
+        weaver = _stream(num_triggers=3)
+        matcher, _ = _run(weaver.events, 1)
+        assert matcher.searches_run == 3
+        assert matcher.searches_truncated == 3
+
+    def test_truncation_recorded_in_search_trace(self):
+        weaver = _stream(num_triggers=1)
+        matcher, _ = _run(weaver.events, 1, trace_size=128)
+        tally = matcher.search_trace.tally()
+        assert tally.get("truncated") == 1
+
+    def test_large_budget_equals_unbudgeted(self):
+        weaver = _stream(num_triggers=2)
+        unbudgeted, full_reports = _run(weaver.events, None)
+        budgeted, reports = _run(weaver.events, 100_000)
+        assert budgeted.searches_truncated == 0
+
+        def canonical(rs):
+            return [
+                tuple(sorted((lid, e.event_id) for lid, e in r.assignment))
+                for r in rs
+            ]
+
+        assert canonical(reports) == canonical(full_reports)

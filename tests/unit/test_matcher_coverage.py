@@ -1,7 +1,5 @@
 """Targeted tests for COVERAGE-sweep semantics and trigger behaviour."""
 
-import pytest
-
 from repro.core import MatcherConfig, OCEPMatcher, SweepMode
 from repro.patterns import PatternTree, compile_pattern, parse_pattern
 from repro.testing import Weaver

@@ -1,7 +1,5 @@
 """Unit tests for the monitor front-end and the brute-force oracle."""
 
-import pytest
-
 from repro.core import Monitor, enumerate_matches
 from repro.core.oracle import covered_slots
 from repro.patterns import PatternTree, compile_pattern, parse_pattern

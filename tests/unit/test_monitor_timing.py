@@ -1,0 +1,99 @@
+"""Monitor timing accounting.
+
+Regression for the terminating-timings divergence: an event matching
+*several* terminating leaves runs several searches, and the monitor
+used to append a single ``terminating_timings`` entry for the whole
+event, silently desynchronising ``len(terminating_timings)`` from
+``matcher.searches_run``.  Timings are now recorded per search.
+"""
+
+from repro.core import MatcherConfig, Monitor
+from repro.obs import MetricsRegistry
+from repro.testing import Weaver
+
+#: Both leaves match every E event, and with ``||`` both leaves are
+#: terminating -> every E event triggers exactly two searches.
+TWO_TERMINATING = (
+    "A := ['', E, '']; B := ['', E, '']; pattern := A || B;"
+)
+
+ONE_TERMINATING = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def _concurrent_es(num_events=6):
+    """E events spread over two traces with no messages — all pairs on
+    different traces are concurrent, so matches exist."""
+    w = Weaver(2)
+    for i in range(num_events):
+        w.local(i % 2, "E")
+    return w
+
+
+class TestTerminatingTimingsAccounting:
+    def test_multi_terminating_leaf_pattern(self):
+        weaver = _concurrent_es(6)
+        names = ["P0", "P1"]
+        monitor = Monitor.from_source(TWO_TERMINATING, names)
+        for event in weaver.events:
+            monitor.on_event(event)
+
+        # every E matched both terminating leaves: two searches each
+        assert monitor.matcher.searches_run == 2 * len(weaver.events)
+        # the regression: one entry per search, not per event
+        assert (
+            len(monitor.terminating_timings) == monitor.matcher.searches_run
+        )
+        assert len(monitor.timings) == len(weaver.events)
+        assert all(t >= 0.0 for t in monitor.terminating_timings)
+
+    def test_single_terminating_leaf_pattern(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        s = w.send(0)
+        w.recv(1, s)
+        w.local(1, "B")
+        w.local(1, "B")
+        monitor = Monitor.from_source(ONE_TERMINATING, ["P0", "P1"])
+        for event in w.events:
+            monitor.on_event(event)
+        assert monitor.matcher.searches_run == 2  # the two B events
+        assert len(monitor.terminating_timings) == 2
+        assert len(monitor.timings) == len(w.events)
+        assert a is not None
+
+    def test_search_latency_histogram_matches_search_count(self):
+        weaver = _concurrent_es(4)
+        registry = MetricsRegistry()
+        monitor = Monitor.from_source(
+            TWO_TERMINATING, ["P0", "P1"], registry=registry
+        )
+        for event in weaver.events:
+            monitor.on_event(event)
+        search_hist = registry.get("ocep_monitor_search_seconds")
+        event_hist = registry.get("ocep_monitor_event_seconds")
+        assert search_hist.count == monitor.matcher.searches_run
+        assert event_hist.count == len(weaver.events)
+        assert search_hist.sum <= event_hist.sum  # searches nest in events
+
+    def test_record_timings_off_keeps_lists_empty(self):
+        weaver = _concurrent_es(4)
+        monitor = Monitor.from_source(
+            TWO_TERMINATING, ["P0", "P1"], record_timings=False
+        )
+        for event in weaver.events:
+            monitor.on_event(event)
+        assert monitor.timings == []
+        assert monitor.terminating_timings == []
+        assert monitor.matcher.search_timings == []
+        assert monitor.matcher.searches_run == 2 * len(weaver.events)
+
+    def test_paranoid_config_still_accounts_correctly(self):
+        weaver = _concurrent_es(6)
+        monitor = Monitor.from_source(
+            TWO_TERMINATING, ["P0", "P1"], config=MatcherConfig(paranoid=True)
+        )
+        for event in weaver.events:
+            monitor.on_event(event)
+        assert (
+            len(monitor.terminating_timings) == monitor.matcher.searches_run
+        )

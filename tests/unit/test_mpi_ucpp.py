@@ -4,7 +4,7 @@ import pytest
 
 from repro.poet import RecordingClient, instrument
 from repro.simulation import ANY_SOURCE, Kernel, Semaphore, mpi_run
-from repro.simulation.mpi import MPI_ANY_SOURCE, MPIContext
+from repro.simulation.mpi import MPI_ANY_SOURCE
 
 
 class TestMPIRun:

@@ -1,0 +1,315 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro import Kernel, Monitor, instrument
+from repro.core import MatcherConfig
+from repro.obs import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    SearchTrace,
+    parse_json,
+    to_json,
+    to_prometheus,
+)
+from repro.obs import trace as obs_trace
+
+
+class TestCounter:
+    def test_inc(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_decrease(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        c.set_total(3)
+        with pytest.raises(ValueError):
+            c.set_total(2)
+
+    def test_set_total_idempotent(self):
+        c = Counter("c")
+        c.set_total(7)
+        c.set_total(7)
+        assert c.value == 7
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_log_scale_bucketing(self):
+        h = Histogram("h")
+        h.observe(1e-6)   # ~2**-20
+        h.observe(1e-3)   # ~2**-10
+        h.observe(1.0)
+        h.observe(100.0)  # beyond the largest bound -> overflow
+        assert h.count == 4
+        assert h.sum == pytest.approx(101.001001)
+        assert h.min == pytest.approx(1e-6)
+        assert h.max == pytest.approx(100.0)
+        assert h.bucket_counts[-1] == 1  # the +Inf overflow bucket
+
+    def test_quantile_resolves_to_bucket_edge(self):
+        h = Histogram("h", bounds=[1.0, 2.0, 4.0, 8.0])
+        for value in [0.5, 1.5, 1.6, 3.0]:
+            h.observe(value)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_quantile_empty_and_bounds_checked(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=[2.0, 1.0])
+
+    def test_mean(self):
+        h = Histogram("h")
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", labels={"x": "1"}) is not r.counter("a")
+        assert len(r) == 2
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TypeError):
+            r.gauge("a")
+
+    def test_labels_canonicalised(self):
+        r = MetricsRegistry()
+        first = r.counter("a", labels={"x": "1", "y": "2"})
+        second = r.counter("a", labels={"y": "2", "x": "1"})
+        assert first is second
+
+    def test_snapshot_deterministic_order(self):
+        r = MetricsRegistry()
+        r.counter("b")
+        r.counter("a")
+        r.gauge("a", labels={"z": "9"})
+        names = [(m["name"], tuple(sorted(m["labels"].items())))
+                 for m in r.snapshot()]
+        assert names == sorted(names)
+
+    def test_get_does_not_create(self):
+        r = MetricsRegistry()
+        assert r.get("missing") is None
+        assert len(r) == 0
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        r = NullRegistry()
+        c = r.counter("a")
+        c.inc()
+        c.set_total(10)
+        r.gauge("g").set(5)
+        r.histogram("h").observe(1.0)
+        assert r.snapshot() == []
+        assert len(r) == 0
+        assert r.get("a") is None
+        assert not r.enabled
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        assert NULL_REGISTRY.counter("x") is NULL_REGISTRY.counter("y")
+
+
+class TestSearchTrace:
+    def test_ring_buffer_evicts_oldest(self):
+        trace = SearchTrace(capacity=3)
+        for i in range(5):
+            trace.record(obs_trace.FORWARD, search=1, level=i, leaf_id=0)
+        assert len(trace) == 3
+        assert trace.capacity == 3
+        assert trace.recorded_total == 5
+        assert [r.level for r in trace.records()] == [2, 3, 4]
+
+    def test_last_search_filters(self):
+        trace = SearchTrace(capacity=10)
+        trace.record(obs_trace.SEARCH_START, search=1, level=0, leaf_id=0)
+        trace.record(obs_trace.MATCH, search=1, level=1, leaf_id=0)
+        trace.record(obs_trace.SEARCH_START, search=2, level=0, leaf_id=1)
+        trace.record(obs_trace.BACKTRACK, search=2, level=1, leaf_id=1)
+        assert [r.search for r in trace.last_search()] == [2, 2]
+
+    def test_tally_and_dicts(self):
+        trace = SearchTrace(capacity=10)
+        trace.record(obs_trace.BACKJUMP, search=1, level=2, leaf_id=3,
+                     trace=1, detail="to level 1")
+        trace.record(obs_trace.BACKJUMP, search=1, level=2, leaf_id=3)
+        assert trace.tally() == {"backjump": 2}
+        first = trace.as_dicts()[0]
+        assert first["kind"] == "backjump"
+        assert first["trace"] == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SearchTrace(capacity=0)
+
+
+class TestExporters:
+    def _populated(self):
+        r = MetricsRegistry()
+        r.counter("runs_total", "number of runs").inc(3)
+        r.gauge("depth", labels={"pattern": "p1"}).set(2.5)
+        h = r.histogram("latency_seconds", bounds=[0.1, 1.0])
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        return r
+
+    def test_json_round_trip(self):
+        registry = self._populated()
+        parsed = parse_json(to_json(registry))
+        assert parsed[("runs_total", ())]["value"] == 3
+        assert parsed[("depth", (("pattern", "p1"),))]["value"] == 2.5
+        hist = parsed[("latency_seconds", ())]
+        assert hist["count"] == 3
+        assert [b["count"] for b in hist["buckets"]] == [1, 1, 1]
+        assert hist["buckets"][-1]["le"] == "+Inf"
+
+    def test_parse_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            parse_json(json.dumps({"schema": 99, "metrics": []}))
+
+    def test_prometheus_format(self):
+        text = to_prometheus(self._populated())
+        assert "# TYPE runs_total counter" in text
+        assert "runs_total 3" in text
+        assert 'depth{pattern="p1"} 2.5' in text
+        # histogram buckets are cumulative, with an +Inf bucket
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_empty_registry_exports(self):
+        r = MetricsRegistry()
+        assert to_prometheus(r) == ""
+        assert parse_json(to_json(r)) == {}
+
+
+def _run_quickstart(registry=None, config=None):
+    """The examples/quickstart.py workload: a producer/consumer pair
+    monitored for ``Request -> Complete``."""
+    pattern = (
+        "A := ['', Request, ''];\n"
+        "B := ['', Complete, ''];\n"
+        "pattern := A -> B;\n"
+    )
+
+    def producer(p):
+        for i in range(5):
+            yield p.emit("Request", text=f"job-{i}")
+            yield p.send(1, payload=f"job-{i}")
+
+    def consumer(p):
+        for _ in range(5):
+            msg = yield p.receive()
+            yield p.emit("Complete", text=msg.payload)
+
+    kernel = Kernel(num_processes=2, seed=42)
+    server = instrument(kernel, registry=registry)
+    monitor = Monitor.from_source(
+        pattern, kernel.trace_names(), config=config, registry=registry
+    )
+    server.connect(monitor)
+    kernel.spawn(0, producer)
+    kernel.spawn(1, consumer)
+    result = kernel.run()
+    assert not result.deadlocked
+    return monitor, server
+
+
+class TestEndToEnd:
+    def test_quickstart_counters_round_trip_through_json(self):
+        registry = MetricsRegistry()
+        monitor, server = _run_quickstart(registry=registry)
+        monitor.publish_metrics()
+
+        parsed = parse_json(to_json(registry))
+        counters = monitor.matcher.counters()
+        for name, value in counters.items():
+            assert parsed[(f"ocep_matcher_{name}_total", ())]["value"] == value
+        assert counters["searches_run"] == 5  # one per Complete event
+        assert counters["matches_found"] == len(monitor.reports) > 0
+        assert (
+            parsed[("ocep_monitor_events_total", ())]["value"]
+            == monitor.matcher.events_processed
+        )
+        assert (
+            parsed[("poet_events_collected_total", ())]["value"]
+            == server.num_events
+        )
+        assert (
+            parsed[("ocep_subset_matches", ())]["value"]
+            == len(monitor.subset)
+        )
+        latency = parsed[("ocep_monitor_event_seconds", ())]
+        assert latency["count"] == monitor.matcher.events_processed
+        search_latency = parsed[("ocep_monitor_search_seconds", ())]
+        assert search_latency["count"] == counters["searches_run"]
+
+    def test_quickstart_counters_round_trip_through_prometheus(self):
+        registry = MetricsRegistry()
+        monitor, _ = _run_quickstart(registry=registry)
+        monitor.publish_metrics()
+        text = to_prometheus(registry)
+        for name, value in monitor.matcher.counters().items():
+            assert f"ocep_matcher_{name}_total {value}\n" in text
+
+    def test_quickstart_search_trace_records_decisions(self):
+        monitor, _ = _run_quickstart(
+            config=MatcherConfig(search_trace_size=64)
+        )
+        trace = monitor.search_trace
+        assert trace is not None
+        assert trace.capacity == 64
+        tally = trace.tally()
+        assert tally.get("search_start", 0) > 0
+        assert tally.get("match", 0) > 0
+        assert trace.recorded_total >= len(trace)
+
+    def test_search_trace_disabled_by_default(self):
+        monitor, _ = _run_quickstart()
+        assert monitor.search_trace is None
+
+    def test_histogram_infinity_serialises(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", bounds=[1.0])
+        h.observe(0.5)
+        document = json.loads(to_json(registry))
+        metric = document["metrics"][0]
+        assert metric["buckets"][-1]["le"] == "+Inf"
+        assert metric["max"] == 0.5
+        assert not math.isinf(metric["mean"])

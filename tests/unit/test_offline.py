@@ -1,9 +1,7 @@
 """Unit tests for the offline (post-mortem) analyzer."""
 
-import pytest
-
 from repro.baselines import OfflineAnalyzer
-from repro.core import MatcherConfig, Monitor, SweepMode
+from repro.core import MatcherConfig, Monitor
 from repro.poet import dump_events
 from repro.testing import Weaver
 
