@@ -1,0 +1,110 @@
+"""Hold-back buffer overhead: the repair layer must be cheap.
+
+The causal hold-back buffer (`repro.poet.holdback`) sits on the
+delivery hot path when fault tolerance is enabled, so its cost on a
+*fault-free* stream — the overwhelmingly common case — is what
+matters.  This benchmark replays a recorded message-race stream into a
+monitor
+
+* ``direct``   — events fed straight to ``monitor.on_event``,
+* ``holdback`` — events routed through a ``HoldbackBuffer`` first,
+
+and reports the relative per-stream overhead (min-of-repetitions).
+For context it also measures the buffer's *repair throughput* on a
+worst-case input: the same stream fed fully reversed, which forces
+nearly every event through the pending map and the drain loop.
+
+The fault-free overhead is asserted only loosely (the buffer adds a
+dict lookup and a readiness scan per event, so some cost is expected
+and acceptable); the number lands in ``BENCH_holdback_overhead.json``
+for the cross-PR perf trajectory.
+"""
+
+import os
+import time
+
+from common import emit_json, emit_text, scaled
+from repro.core.monitor import Monitor
+from repro.poet.client import RecordingClient
+from repro.poet.holdback import HoldbackBuffer
+from repro.workloads import build_message_race, message_race_pattern
+
+#: Allowed fault-free overhead of routing through the buffer.
+TOLERANCE = float(os.environ.get("OCEP_HOLDBACK_TOLERANCE", "0.60"))
+
+MIN_OF = 5
+
+MAX_ATTEMPTS = 4
+
+
+def _record_stream():
+    workload = build_message_race(num_traces=6, seed=3, messages_per_sender=25)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    workload.run(max_events=scaled(4000))
+    return recorder.events, list(workload.kernel.trace_names())
+
+
+def _best_seconds(events, names, through_holdback, reverse=False) -> float:
+    best = float("inf")
+    pattern = message_race_pattern()
+    stream = list(reversed(events)) if reverse else events
+    for _ in range(MIN_OF):
+        monitor = Monitor.from_source(pattern, names, record_timings=False)
+        if through_holdback:
+            buffer = HoldbackBuffer(len(names), monitor.on_event)
+            sink = buffer.offer
+        else:
+            buffer = None
+            sink = monitor.on_event
+        started = time.perf_counter()
+        for event in stream:
+            sink(event)
+        if buffer is not None:
+            assert buffer.flush() == []
+        elapsed = time.perf_counter() - started
+        assert monitor.matcher.events_processed == len(events)
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_holdback_fault_free_overhead():
+    events, names = _record_stream()
+
+    measurements = {}
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        direct = _best_seconds(events, names, through_holdback=False)
+        holdback = _best_seconds(events, names, through_holdback=True)
+        repair = _best_seconds(
+            events, names, through_holdback=True, reverse=True
+        )
+        overhead = holdback / direct - 1.0
+        measurements = {
+            "events": len(events),
+            "attempt": attempt,
+            "direct_seconds": direct,
+            "holdback_seconds": holdback,
+            "repair_reversed_seconds": repair,
+            "fault_free_overhead": overhead,
+            "tolerance": TOLERANCE,
+        }
+        if overhead < TOLERANCE:
+            break
+
+    emit_json("holdback_overhead", measurements)
+    emit_text(
+        "holdback_overhead",
+        "Hold-back buffer overhead (message-race stream, "
+        f"{len(events)} events, min of {MIN_OF} replays):\n"
+        f"  direct delivery:          {measurements['direct_seconds'] * 1e3:8.2f} ms\n"
+        f"  through hold-back:        {measurements['holdback_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['fault_free_overhead'] * 100:+.2f}%)\n"
+        f"  worst-case repair (rev.): {measurements['repair_reversed_seconds'] * 1e3:8.2f} ms",
+    )
+
+    assert measurements["fault_free_overhead"] < TOLERANCE, (
+        f"hold-back buffer adds {measurements['fault_free_overhead']:.1%} "
+        f"on a fault-free stream (tolerance {TOLERANCE:.0%}) "
+        f"after {MAX_ATTEMPTS} attempts"
+    )

@@ -49,6 +49,7 @@ from repro.patterns import (
     parse_pattern,
 )
 from repro.poet import (
+    HoldbackBuffer,
     POETClient,
     POETServer,
     RecordingClient,
@@ -58,6 +59,7 @@ from repro.poet import (
     linearize,
     load_events,
 )
+from repro.resilience import FaultInjector, FaultPlan, run_fault_matrix
 from repro.simulation import (
     ANY_SOURCE,
     DeadlockError,
@@ -89,6 +91,10 @@ __all__ = [
     "is_linearization",
     "dump_events",
     "load_events",
+    "HoldbackBuffer",
+    "FaultPlan",
+    "FaultInjector",
+    "run_fault_matrix",
     "Kernel",
     "SimulationResult",
     "DeadlockError",

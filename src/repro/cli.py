@@ -33,6 +33,14 @@ would run:
     gauges, POET delivery counts) as a table, JSON, or Prometheus
     text, plus an optional tail of the search trace.
 
+``ocep chaos <case>``
+    Record a case study's stream, then replay it through the seeded
+    fault matrix (reorder / delay / duplicate / drop / crash x seeds),
+    checking every cell against the fault-free oracle: repairable
+    faults must yield the identical representative subset, drops must
+    be detected as stalls, and a checkpoint/restore after the seeded
+    crash must converge.  Exit status 1 when any cell fails.
+
 Installed as the ``ocep`` console script; also runnable as
 ``python -m repro.cli``.
 """
@@ -250,6 +258,60 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_seeds(text: str) -> list:
+    """Seed spec: ``0..9`` (inclusive range), ``1,4,7``, or ``5``."""
+    text = text.strip()
+    if ".." in text:
+        lo_text, hi_text = text.split("..", 1)
+        lo, hi = int(lo_text), int(hi_text)
+        if hi < lo:
+            raise argparse.ArgumentTypeError(f"empty seed range {text!r}")
+        return list(range(lo, hi + 1))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import DEFAULT_PLANS, run_fault_matrix
+
+    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    outcome = workload.run(max_events=args.max_events)
+    names = workload.kernel.trace_names()
+    print(
+        f"case={args.case} traces={args.traces}: recorded "
+        f"{outcome.num_events} events; matrix over seeds {args.seeds}"
+    )
+
+    if args.plans:
+        by_kind = {plan.kind: plan for plan in DEFAULT_PLANS}
+        try:
+            plans = [by_kind[kind] for kind in args.plans]
+        except KeyError as exc:
+            print(f"unknown fault kind {exc.args[0]!r}", file=sys.stderr)
+            return 2
+    else:
+        plans = list(DEFAULT_PLANS)
+
+    report = run_fault_matrix(
+        recorder.events,
+        pattern_source,
+        names,
+        plans=plans,
+        seeds=args.seeds,
+        stall_watermark=args.stall_watermark,
+    )
+    print(report.summary())
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_dict(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_diagram(args: argparse.Namespace) -> int:
     from repro.analysis.diagram import render_diagram
     from repro.analysis.export import to_dot
@@ -357,6 +419,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also print the last K search-trace records")
     add_common(p, 10)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the seeded fault matrix against the fault-free oracle",
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("--seeds", type=_parse_seeds, default=list(range(10)),
+                   metavar="SPEC",
+                   help="fault seeds: '0..9', '1,4,7', or a single int")
+    p.add_argument("--plans", nargs="*", metavar="KIND",
+                   help="fault kinds to run (default: the full matrix)")
+    p.add_argument("--stall-watermark", type=_positive_int, default=32,
+                   help="arrivals without release before a stall is declared")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    add_common(p, 6)
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("diagram", help="render a dump as a diagram")
     p.add_argument("dump", help="POET dump file")

@@ -15,10 +15,18 @@ This package implements the paper's contribution (Section IV):
   timestamp-guided back-jumping (Algorithms 1-3, Figure 5);
 * :mod:`~repro.core.monitor` — the online monitor: a POET client that
   feeds the matcher and reports matches as events arrive;
+* :mod:`~repro.core.checkpoint` — monitor checkpoint/recovery: the
+  snapshot format that lets a crashed monitor resume from a dumpfile
+  suffix and converge to the identical representative subset;
 * :mod:`~repro.core.oracle` — a brute-force reference matcher used as
   the correctness oracle by the test suite.
 """
 
+from repro.core.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.core.config import MatcherConfig, SweepMode
 from repro.core.gpls import CausalIndex
 from repro.core.history import HistorySet, LeafHistory
@@ -29,6 +37,9 @@ from repro.core.multi import MultiMonitor
 from repro.core.oracle import enumerate_matches
 
 __all__ = [
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
     "MatcherConfig",
     "SweepMode",
     "CausalIndex",

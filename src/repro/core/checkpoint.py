@@ -1,0 +1,130 @@
+"""Monitor checkpoint and recovery.
+
+An online monitor is expected to survive restarts mid-stream (cf.
+Dolev et al., *Efficient On-line Detection of Temporal Patterns*): a
+crashed client resumes from its last snapshot plus a dumpfile replay of
+the stream suffix, and must converge to the identical final state.
+
+The matcher's entire cross-event state is exactly four structures —
+the per-trace delivered counts (readable off the
+:class:`~repro.core.gpls.CausalIndex` trace lengths), the GP/LS index,
+the leaf histories (with their pruning bookkeeping), and the
+representative subset — everything else is recomputed per trigger.
+Serializing those four therefore makes recovery *exact*: a restored
+monitor fed the stream suffix takes the same search decisions as an
+uninterrupted one, so the final representative subsets are equal, not
+merely equivalent.  The chaos matrix (``ocep chaos``, crash plan)
+checks this end to end, including a JSON round-trip of the snapshot.
+
+The checkpoint is a JSON-ready dict; :func:`save_checkpoint` /
+:func:`load_checkpoint` handle file persistence.  Event payloads reuse
+the POET dump record layout (:meth:`repro.events.event.Event.to_record`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.matcher import OCEPMatcher
+
+CHECKPOINT_FORMAT = "ocep-checkpoint-v1"
+
+PathLike = Union[str, Path]
+
+#: The matcher's plain-int hot-path counters captured in a checkpoint.
+_COUNTER_FIELDS = (
+    "events_processed",
+    "searches_run",
+    "searches_truncated",
+    "forward_steps",
+    "candidates_scanned",
+    "empty_slice_conflicts",
+    "domain_conflicts",
+    "back_jumps",
+    "backtracks",
+    "matches_found",
+)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is malformed or does not fit the restoring monitor."""
+
+
+def matcher_checkpoint(matcher: "OCEPMatcher") -> dict:
+    """Snapshot a matcher's complete cross-event state (JSON-ready)."""
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "num_traces": matcher.num_traces,
+        "num_leaves": matcher.pattern.num_leaves,
+        "delivered": [
+            matcher.index.trace_length(t) for t in range(matcher.num_traces)
+        ],
+        "counters": {name: getattr(matcher, name) for name in _COUNTER_FIELDS},
+        "index": matcher.index.snapshot(),
+        "history": matcher.history.snapshot(),
+        "subset": matcher.subset.snapshot(),
+    }
+
+
+def restore_matcher(matcher: "OCEPMatcher", state: dict) -> None:
+    """Load a checkpoint into a freshly constructed matcher.
+
+    The matcher must have been built for the same pattern shape and
+    trace count and must not have processed any events yet.
+    """
+    try:
+        fmt = state["format"]
+        num_traces = int(state["num_traces"])
+        num_leaves = int(state["num_leaves"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint header: {exc!r}") from exc
+    if fmt != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"unknown checkpoint format {fmt!r}")
+    if num_traces != matcher.num_traces:
+        raise CheckpointError(
+            f"checkpoint is for {num_traces} traces, "
+            f"matcher has {matcher.num_traces}"
+        )
+    if num_leaves != matcher.pattern.num_leaves:
+        raise CheckpointError(
+            f"checkpoint is for a {num_leaves}-leaf pattern, "
+            f"matcher's pattern has {matcher.pattern.num_leaves}"
+        )
+    if matcher.events_processed:
+        raise CheckpointError(
+            "can only restore into a fresh matcher "
+            f"(this one already processed {matcher.events_processed} events)"
+        )
+    try:
+        matcher.index.restore(state["index"])
+        matcher.history.restore(state["history"])
+        matcher.subset.restore(state["subset"])
+        counters = state["counters"]
+        for name in _COUNTER_FIELDS:
+            setattr(matcher, name, int(counters[name]))
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(f"corrupt checkpoint body: {exc!r}") from exc
+
+
+def save_checkpoint(path: PathLike, state: dict) -> None:
+    """Persist a checkpoint dict as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+        fh.write("\n")
+
+
+def load_checkpoint(path: PathLike) -> dict:
+    """Read a checkpoint previously written by :func:`save_checkpoint`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            state = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"{path}: unparseable checkpoint: {exc}") from exc
+    if not isinstance(state, dict):
+        raise CheckpointError(f"{path}: checkpoint is not a JSON object")
+    return state

@@ -119,3 +119,33 @@ class CausalIndex:
         return sum(
             len(col) for row in self._values for col in row
         )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of the index state (plain int lists)."""
+        return {
+            "lengths": list(self._lengths),
+            "values": [[list(col) for col in row] for row in self._values],
+            "positions": [
+                [list(col) for col in row] for row in self._positions
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the index with a :meth:`snapshot` (must match this
+        index's trace count)."""
+        if len(state["lengths"]) != self.num_traces:
+            raise ValueError(
+                f"snapshot has {len(state['lengths'])} traces, "
+                f"index has {self.num_traces}"
+            )
+        self._lengths = [int(n) for n in state["lengths"]]
+        self._values = [
+            [[int(v) for v in col] for col in row] for row in state["values"]
+        ]
+        self._positions = [
+            [[int(p) for p in col] for col in row] for row in state["positions"]
+        ]

@@ -136,6 +136,48 @@ class LeafHistory:
         """Total stored events across all traces."""
         return self._size
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy: per non-empty trace, the stored event
+        records and their communication epochs."""
+        traces = []
+        for trace, events in enumerate(self._by_trace):
+            if events:
+                traces.append(
+                    {
+                        "trace": trace,
+                        "events": [e.to_record() for e in events],
+                        "epochs": list(self._epochs[trace]),
+                    }
+                )
+        return {"leaf_id": self.leaf_id, "traces": traces}
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from a :meth:`snapshot` (the history must be fresh);
+        the text index and size are reconstructed."""
+        from repro.events.event import event_from_record
+
+        if self._size:
+            raise ValueError("can only restore into an empty history")
+        for entry in state["traces"]:
+            trace = int(entry["trace"])
+            events = [event_from_record(r) for r in entry["events"]]
+            epochs = [int(ep) for ep in entry["epochs"]]
+            if len(events) != len(epochs):
+                raise ValueError(
+                    f"leaf {self.leaf_id} trace {trace}: "
+                    f"{len(events)} events vs {len(epochs)} epochs"
+                )
+            self._by_trace[trace] = events
+            self._epochs[trace] = epochs
+            text_index = self._by_text[trace]
+            for event in events:
+                text_index.setdefault(event.text, []).append(event)
+            self._size += len(events)
+
     def traces_with_events(self) -> Iterator[int]:
         """Trace ids on which this leaf has at least one stored event."""
         for trace, events in enumerate(self._by_trace):
@@ -209,3 +251,26 @@ class HistorySet:
     def total_size(self) -> int:
         """Total stored events over all leaves (memory metric)."""
         return sum(h.size for h in self.histories)
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of every leaf history and the pruning
+        bookkeeping."""
+        return {
+            "comm_epoch": list(self._comm_epoch),
+            "last_append": list(self._last_append),
+            "leaves": [h.snapshot() for h in self.histories],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from a :meth:`snapshot` (histories must be fresh)."""
+        if len(state["leaves"]) != len(self.histories):
+            raise ValueError(
+                f"snapshot has {len(state['leaves'])} leaves, "
+                f"history set has {len(self.histories)}"
+            )
+        self._comm_epoch = [int(e) for e in state["comm_epoch"]]
+        self._last_append = [
+            None if v is None else int(v) for v in state["last_append"]
+        ]
+        for history, leaf_state in zip(self.histories, state["leaves"]):
+            history.restore(leaf_state)

@@ -304,6 +304,23 @@ class OCEPMatcher:
             ).set(len(self.search_trace))
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-ready snapshot of the full cross-event state (see
+        :mod:`repro.core.checkpoint`)."""
+        from repro.core.checkpoint import matcher_checkpoint
+
+        return matcher_checkpoint(self)
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` into this (fresh) matcher."""
+        from repro.core.checkpoint import restore_matcher
+
+        restore_matcher(self, state)
+
+    # ------------------------------------------------------------------
     # Backtracking search (Algorithms 1-3)
     # ------------------------------------------------------------------
 

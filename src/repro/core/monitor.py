@@ -180,6 +180,45 @@ class Monitor(POETClient):
                     self._on_match(report)
 
     # ------------------------------------------------------------------
+    # Checkpoint / recovery
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-ready snapshot of the matcher's complete cross-event
+        state (delivered counts, GP/LS index, leaf histories,
+        representative subset, counters).  Restore it into a *fresh*
+        monitor built for the same pattern via :meth:`restore`, then
+        :meth:`replay_suffix` the recorded stream to converge to the
+        exact state of an uninterrupted run."""
+        return self.matcher.checkpoint()
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` (this monitor must be fresh —
+        same pattern shape and trace count, no events processed)."""
+        self.matcher.restore(state)
+
+    def delivered_counts(self) -> List[int]:
+        """Events processed so far per trace (the replay watermark)."""
+        return [
+            self.matcher.index.trace_length(t)
+            for t in range(self.matcher.num_traces)
+        ]
+
+    def replay_suffix(self, events: Sequence[Event]) -> int:
+        """Feed a recorded linearization, skipping the prefix already
+        reflected in the matcher state; returns the number of events
+        actually replayed.  ``events`` must be a valid linearization of
+        the computation the checkpoint came from (e.g. a POET
+        dumpfile), so per-trace indices decide membership exactly."""
+        replayed = 0
+        for event in events:
+            if event.index <= self.matcher.index.trace_length(event.trace):
+                continue
+            self.on_event(event)
+            replayed += 1
+        return replayed
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 

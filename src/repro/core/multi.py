@@ -59,6 +59,15 @@ class MultiMonitor(POETClient):
         self._on_match = on_match
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.events_seen = 0
+        #: Failure isolation: name -> the exception its monitor raised.
+        #: A quarantined monitor stops receiving events but keeps its
+        #: state readable for post-mortem (reports, subset, stats).
+        self._quarantined: Dict[str, BaseException] = {}
+        self.quarantined_total = 0
+        self._quarantine_counter = self.registry.counter(
+            "ocep_multi_quarantined_total",
+            "pattern monitors detached after raising in on_event",
+        )
 
     # ------------------------------------------------------------------
     # Configuration
@@ -102,9 +111,24 @@ class MultiMonitor(POETClient):
     # ------------------------------------------------------------------
 
     def on_event(self, event: Event) -> None:
+        """Fan one event into every healthy pattern monitor.
+
+        Failure isolation: a monitor raising here is *quarantined* —
+        detached from the stream, its exception recorded — instead of
+        taking down the other patterns (or, upstream, the POET server's
+        fan-out).  Quarantines are counted and surfaced via
+        :attr:`quarantined` and :meth:`stats`.
+        """
         self.events_seen += 1
-        for monitor in self._monitors.values():
-            monitor.on_event(event)
+        for name, monitor in self._monitors.items():
+            if name in self._quarantined:
+                continue
+            try:
+                monitor.on_event(event)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self._quarantined[name] = exc
+                self.quarantined_total += 1
+                self._quarantine_counter.inc()
 
     # ------------------------------------------------------------------
     # Access
@@ -122,9 +146,23 @@ class MultiMonitor(POETClient):
     def __len__(self) -> int:
         return len(self._monitors)
 
+    @property
+    def quarantined(self) -> Dict[str, BaseException]:
+        """Quarantined pattern names mapped to the exception raised."""
+        return dict(self._quarantined)
+
+    def is_quarantined(self, name: str) -> bool:
+        return name in self._quarantined
+
     def stats(self) -> Dict[str, MonitorStats]:
-        """Per-pattern statistics, keyed by pattern name."""
+        """Per-pattern statistics, keyed by pattern name (quarantined
+        monitors included — their counters froze at the failure)."""
         return {name: mon.stats() for name, mon in self._monitors.items()}
+
+    def quarantine_report(self) -> Dict[str, str]:
+        """Quarantined pattern names mapped to ``repr`` of the error
+        (JSON-ready companion to :meth:`stats`)."""
+        return {name: repr(exc) for name, exc in self._quarantined.items()}
 
     def total_reports(self) -> int:
         """Matches reported across all patterns."""

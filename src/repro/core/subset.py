@@ -93,3 +93,57 @@ class RepresentativeSubset:
     def check_bound(self) -> bool:
         """The ``k * n`` cardinality invariant (paper, Section IV-B)."""
         return len(self._matches) <= self.num_leaves * self.num_traces
+
+    def signature(self) -> Tuple[Tuple[Tuple[int, int, int], ...], ...]:
+        """Canonical, order-sensitive identity of the stored matches:
+        one ``(leaf_id, trace, index)`` triple per assignment entry.
+        Two runs that discovered the same matches in the same order
+        have equal signatures — the equality the chaos harness checks
+        against its fault-free oracle."""
+        return tuple(
+            tuple(
+                (leaf_id, event.trace, event.index)
+                for leaf_id, event in match.assignment
+            )
+            for match in self._matches
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy of covered slots and stored matches."""
+        return {
+            "covered": sorted([leaf, trace] for leaf, trace in self._covered),
+            "matches": [
+                {
+                    "assignment": [
+                        [leaf_id, event.to_record()]
+                        for leaf_id, event in match.assignment
+                    ],
+                    "new_slots": [list(slot) for slot in match.new_slots],
+                }
+                for match in self._matches
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from a :meth:`snapshot` (the subset must be fresh)."""
+        from repro.events.event import event_from_record
+
+        if self._matches or self._covered:
+            raise ValueError("can only restore into an empty subset")
+        self._covered = {(int(l), int(t)) for l, t in state["covered"]}
+        self._matches = [
+            StoredMatch(
+                assignment=tuple(
+                    (int(leaf_id), event_from_record(record))
+                    for leaf_id, record in entry["assignment"]
+                ),
+                new_slots=tuple(
+                    (int(l), int(t)) for l, t in entry["new_slots"]
+                ),
+            )
+            for entry in state["matches"]
+        ]

@@ -16,7 +16,7 @@ events; their relations (overlap, cross, entanglement, weak/strong
 precedence) follow Nichols' framework as summarised in Section III-B.
 """
 
-from repro.events.event import Event, EventId, EventKind
+from repro.events.event import Event, EventId, EventKind, event_from_record
 from repro.events.trace import Trace
 from repro.events.store import EventStore
 from repro.events.compound import (
@@ -35,6 +35,7 @@ __all__ = [
     "Event",
     "EventId",
     "EventKind",
+    "event_from_record",
     "Trace",
     "EventStore",
     "CompoundEvent",

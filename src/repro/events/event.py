@@ -168,3 +168,45 @@ class Event:
             f"Event(e{self.trace}.{self.index}, {self.etype!r}, "
             f"{self.text!r}, {self.kind.value})"
         )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+
+    def to_record(self) -> dict:
+        """JSON-ready record of this event (the POET dump field layout,
+        shared by dump files and monitor checkpoints)."""
+        record = {
+            "t": self.trace,
+            "i": self.index,
+            "y": self.etype,
+            "x": self.text,
+            "c": list(self.clock.components),
+            "k": self.kind.value,
+            "l": self.lamport,
+        }
+        if self.partner is not None:
+            record["p"] = [self.partner.trace, self.partner.index]
+        return record
+
+
+def event_from_record(record: dict) -> Event:
+    """Rebuild an :class:`Event` from a :meth:`Event.to_record` dict.
+
+    Raises the underlying ``KeyError``/``ValueError``/``TypeError`` on
+    malformed input; callers that read untrusted data (the dump loader,
+    the checkpoint loader) wrap this with their own typed errors.
+    """
+    partner = None
+    if "p" in record:
+        partner = EventId(trace=record["p"][0], index=record["p"][1])
+    return Event(
+        trace=record["t"],
+        index=record["i"],
+        etype=str(record["y"]),
+        text=str(record["x"]),
+        clock=VectorClock(record["c"]),
+        kind=EventKind(record["k"]),
+        partner=partner,
+        lamport=record["l"],
+    )

@@ -15,25 +15,42 @@ package reimplements the slice of POET that OCEP uses:
   verification;
 * :mod:`~repro.poet.dumpfile` — the dump/reload feature used by the
   paper's evaluation methodology (collect once, replay many times);
+* :mod:`~repro.poet.holdback` — the causal hold-back buffer repairing
+  out-of-order, duplicated, or gapped delivery in front of a client;
 * :mod:`~repro.poet.instrument` — attaching a server to a simulated
   target environment.
 """
 
-from repro.poet.server import POETServer
+from repro.poet.server import DeliveryOrderError, POETServer
 from repro.poet.client import CallbackClient, POETClient, RecordingClient
 from repro.poet.linearize import is_linearization, linearize
-from repro.poet.dumpfile import dump_events, load_events, replay
+from repro.poet.dumpfile import (
+    DumpFormatError,
+    dump_events,
+    load_events,
+    replay,
+)
+from repro.poet.holdback import (
+    HoldbackBuffer,
+    HoldbackOverflowError,
+    HoldbackStallError,
+)
 from repro.poet.instrument import instrument
 
 __all__ = [
     "POETServer",
+    "DeliveryOrderError",
     "POETClient",
     "CallbackClient",
     "RecordingClient",
     "linearize",
     "is_linearization",
+    "DumpFormatError",
     "dump_events",
     "load_events",
     "replay",
+    "HoldbackBuffer",
+    "HoldbackOverflowError",
+    "HoldbackStallError",
     "instrument",
 ]

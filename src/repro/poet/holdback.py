@@ -1,0 +1,324 @@
+"""Causal hold-back buffer: fault-tolerant event delivery.
+
+The POET substrate promises its clients "the arriving events in a
+linearization of the partial order" (paper, Section V-A).  The server's
+``verify=True`` mode *asserts* that promise and kills the pipeline on
+the first late, duplicated, or dropped event.  This module *repairs*
+the stream instead, the way real causal-order delivery layers do: an
+arriving event is released to the downstream sink only once all of its
+vector-clock predecessors have been released, and is otherwise held
+back.
+
+Release rule (the same counting argument as
+:func:`repro.poet.linearize.is_linearization`): an event ``e`` on trace
+``t`` with clock ``V`` is *ready* when exactly ``V[t] - 1`` events of
+trace ``t`` and at least ``V[m]`` events of every other trace ``m``
+have been released.  Among simultaneously ready events the buffer
+releases in arrival order, so a stream perturbed only by holding
+events back past their causal successors (the
+:class:`repro.resilience.faults.FaultInjector` reorder/delay faults)
+is restored to the *exact* original linearization — which is what lets
+the chaos harness demand bit-identical representative subsets.
+
+Failure handling:
+
+* **Duplicates** are suppressed by per-trace released counts (an event
+  whose position is already released, or already pending, is absorbed
+  and counted).
+* **Gaps** (a dropped predecessor) cannot be repaired; they are
+  *detected* instead: when the oldest held event has waited more than
+  ``stall_watermark`` arrivals without any release, the buffer marks
+  itself stalled and :meth:`missing_predecessors` names the exact
+  (trace, index) holes.
+* **Overflow**: the buffer is bounded by ``capacity`` with an explicit
+  policy — ``"raise"`` (default; fail loudly), ``"shed"`` (drop the
+  arriving event, surfacing later as a stall), or ``"block"``
+  (:meth:`offer` returns ``False`` and the caller must retry later —
+  backpressure for pull-style sources; as a push-style
+  :class:`~repro.poet.client.POETClient` this degenerates to raising,
+  since ``on_event`` cannot refuse).
+
+Instrumentation flows through the standard
+:class:`~repro.obs.metrics.MetricsRegistry`: a held-back depth gauge
+plus released / reordered / duplicate / shed / stall counters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.events.event import Event, EventId
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.poet.client import POETClient
+
+#: Overflow policies for a full buffer.
+OVERFLOW_POLICIES = ("raise", "shed", "block")
+
+
+class HoldbackOverflowError(RuntimeError):
+    """The hold-back buffer hit capacity under the ``raise`` policy."""
+
+
+class HoldbackStallError(RuntimeError):
+    """Held-back events can never be released (dropped predecessor)."""
+
+
+class HoldbackBuffer(POETClient):
+    """Re-linearizes an out-of-order event stream for one consumer.
+
+    Parameters
+    ----------
+    num_traces:
+        Clock width of the monitored computation.
+    sink:
+        Callable receiving each released event, in causal order (e.g.
+        ``monitor.on_event``).
+    capacity:
+        Maximum events held back at once (``None`` = unbounded).
+    overflow:
+        Policy when an arrival would exceed ``capacity``; one of
+        :data:`OVERFLOW_POLICIES`.
+    stall_watermark:
+        Arrivals the oldest held event may wait through without any
+        release before the buffer declares a stall (``None`` disables
+        detection).
+    raise_on_stall:
+        When true, a detected stall raises :class:`HoldbackStallError`
+        from :meth:`offer` instead of only being recorded.
+    registry:
+        Optional metrics registry; defaults to the shared no-op one.
+    """
+
+    def __init__(
+        self,
+        num_traces: int,
+        sink: Callable[[Event], None],
+        capacity: Optional[int] = None,
+        overflow: str = "raise",
+        stall_watermark: Optional[int] = None,
+        raise_on_stall: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if num_traces <= 0:
+            raise ValueError(f"need at least one trace, got {num_traces}")
+        if overflow not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"overflow must be one of {OVERFLOW_POLICIES}, got {overflow!r}"
+            )
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.num_traces = num_traces
+        self._sink = sink
+        self._capacity = capacity
+        self._overflow = overflow
+        self._stall_watermark = stall_watermark
+        self._raise_on_stall = raise_on_stall
+
+        self._released = [0] * num_traces
+        #: Held events keyed by identity, in arrival (insertion) order.
+        self._pending: Dict[Tuple[int, int], Event] = {}
+        #: Arrival sequence number of each pending event.
+        self._arrived_at: Dict[Tuple[int, int], int] = {}
+        self._offers = 0
+        self.stalled = False
+        # Plain-int mirrors of the registry counters, so stats() works
+        # (and costs nothing) under the no-op registry too.
+        self.released_total = 0
+        self.reordered_total = 0
+        self.duplicates_total = 0
+        self.shed_total = 0
+        self.stalls_total = 0
+
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._depth_gauge = self.registry.gauge(
+            "poet_holdback_pending", "events currently held back"
+        )
+        self._released_counter = self.registry.counter(
+            "poet_holdback_released_total", "events released downstream"
+        )
+        self._reordered_counter = self.registry.counter(
+            "poet_holdback_reordered_total",
+            "arrivals held back because a predecessor was missing",
+        )
+        self._duplicates_counter = self.registry.counter(
+            "poet_holdback_duplicates_total", "duplicate arrivals suppressed"
+        )
+        self._shed_counter = self.registry.counter(
+            "poet_holdback_shed_total", "arrivals dropped by the shed policy"
+        )
+        self._stalls_counter = self.registry.counter(
+            "poet_holdback_stalls_total", "stall episodes detected"
+        )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """POET client hook: like :meth:`offer`, but a ``block`` refusal
+        has nowhere to go in push delivery, so it raises."""
+        if not self.offer(event):
+            raise HoldbackOverflowError(
+                f"hold-back buffer full ({self._capacity}) and the block "
+                "policy cannot backpressure a push-style delivery"
+            )
+
+    def offer(self, event: Event) -> bool:
+        """Accept the next arrival; returns False only when the buffer
+        is full under the ``block`` policy (caller should retry after
+        offering the missing predecessors)."""
+        if len(event.clock) != self.num_traces:
+            raise ValueError(
+                f"event {event.event_id} clock width {len(event.clock)} "
+                f"does not match buffer width {self.num_traces}"
+            )
+        self._offers += 1
+        key = (event.trace, event.index)
+        if event.index <= self._released[event.trace] or key in self._pending:
+            self.duplicates_total += 1
+            self._duplicates_counter.inc()
+            self._check_stall()
+            return True
+
+        if self._ready(event):
+            self._release(event)
+            self._drain()
+        else:
+            if (
+                self._capacity is not None
+                and len(self._pending) >= self._capacity
+            ):
+                if self._overflow == "raise":
+                    raise HoldbackOverflowError(
+                        f"hold-back buffer full ({self._capacity} events) "
+                        f"while offering {event.event_id}; missing "
+                        f"predecessors: {self.missing_predecessors()[:5]}"
+                    )
+                if self._overflow == "block":
+                    return False
+                # shed: the arrival is lost; its successors will stall,
+                # which is the loud failure this policy trades for
+                # bounded memory.
+                self.shed_total += 1
+                self._shed_counter.inc()
+                self._check_stall()
+                return True
+            self._pending[key] = event
+            self._arrived_at[key] = self._offers
+            self.reordered_total += 1
+            self._reordered_counter.inc()
+            self._depth_gauge.set(len(self._pending))
+        self._check_stall()
+        return True
+
+    def flush(self) -> List[Event]:
+        """Final drain attempt; returns events still held back (empty
+        for a fault-free or fully repaired stream)."""
+        self._drain()
+        return list(self._pending.values())
+
+    # ------------------------------------------------------------------
+    # Release machinery
+    # ------------------------------------------------------------------
+
+    def _ready(self, event: Event) -> bool:
+        released = self._released
+        if released[event.trace] != event.index - 1:
+            return False
+        clock = event.clock
+        for trace in range(self.num_traces):
+            if trace != event.trace and clock[trace] > released[trace]:
+                return False
+        return True
+
+    def _release(self, event: Event) -> None:
+        self._released[event.trace] += 1
+        self.released_total += 1
+        self._released_counter.inc()
+        self.stalled = False
+        self._sink(event)
+
+    def _drain(self) -> None:
+        """Release pending events until none is ready.  Among ready
+        events the earliest arrival goes first, which restores the
+        original linearization when faults only deferred events past
+        their causal successors."""
+        progress = True
+        while progress and self._pending:
+            progress = False
+            for key, event in self._pending.items():
+                if self._ready(event):
+                    del self._pending[key]
+                    del self._arrived_at[key]
+                    self._release(event)
+                    progress = True
+                    break
+        self._depth_gauge.set(len(self._pending))
+
+    # ------------------------------------------------------------------
+    # Stall detection
+    # ------------------------------------------------------------------
+
+    def _check_stall(self) -> None:
+        if self._stall_watermark is None or not self._pending:
+            return
+        oldest = next(iter(self._arrived_at.values()))
+        if self._offers - oldest < self._stall_watermark:
+            return
+        if not self.stalled:
+            self.stalled = True
+            self.stalls_total += 1
+            self._stalls_counter.inc()
+        if self._raise_on_stall:
+            raise HoldbackStallError(
+                f"{len(self._pending)} events held back for "
+                f">{self._stall_watermark} arrivals; missing predecessors: "
+                f"{self.missing_predecessors()[:5]}"
+            )
+
+    def missing_predecessors(self) -> List[EventId]:
+        """The (trace, index) holes blocking every held event: required
+        by some pending event's clock, but neither released nor pending
+        themselves.  Empty when nothing is held back."""
+        missing: Set[Tuple[int, int]] = set()
+        for event in self._pending.values():
+            clock = event.clock
+            for trace in range(self.num_traces):
+                need = event.index - 1 if trace == event.trace else clock[trace]
+                for index in range(self._released[trace] + 1, need + 1):
+                    if (trace, index) not in self._pending:
+                        missing.add((trace, index))
+        return [EventId(t, i) for t, i in sorted(missing)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Events currently held back."""
+        return len(self._pending)
+
+    @property
+    def released_counts(self) -> List[int]:
+        """Per-trace released counts (a copy)."""
+        return list(self._released)
+
+    def stats(self) -> Dict[str, int]:
+        """Plain-dict snapshot of the buffer's accounting."""
+        return {
+            "offers": self._offers,
+            "pending": len(self._pending),
+            "released": self.released_total,
+            "reordered": self.reordered_total,
+            "duplicates": self.duplicates_total,
+            "shed": self.shed_total,
+            "stalls": self.stalls_total,
+            "stalled": int(self.stalled),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"HoldbackBuffer({self.num_traces} traces, "
+            f"{len(self._pending)} pending, released={self._released})"
+        )

@@ -60,9 +60,16 @@ class POETServer:
             "poet_deliveries_total",
             "event deliveries fanned out (events x clients)",
         )
+        self._errors_counter = self.registry.counter(
+            "poet_delivery_errors_total",
+            "client on_event callbacks that raised",
+        )
         self._clients_gauge = self.registry.gauge(
             "poet_clients", "currently connected clients"
         )
+        #: Client callbacks that raised (plain-int mirror of the
+        #: registry counter, live even under the no-op registry).
+        self.delivery_errors = 0
 
     def use_registry(self, registry: MetricsRegistry) -> None:
         """Rebind delivery accounting to ``registry`` (e.g. when the
@@ -75,6 +82,10 @@ class POETServer:
         self._deliveries_counter = registry.counter(
             "poet_deliveries_total",
             "event deliveries fanned out (events x clients)",
+        )
+        self._errors_counter = registry.counter(
+            "poet_delivery_errors_total",
+            "client on_event callbacks that raised",
         )
         self._clients_gauge = registry.gauge(
             "poet_clients", "currently connected clients"
@@ -100,14 +111,35 @@ class POETServer:
     # ------------------------------------------------------------------
 
     def collect(self, event: Event) -> None:
-        """Ingest the next event: store it and deliver it to clients."""
+        """Ingest the next event: store it and deliver it to clients.
+
+        A client raising in ``on_event`` does not corrupt the server's
+        accounting: the event is stored and counted exactly once, every
+        *other* client still receives it, each successful delivery is
+        counted individually, the failure lands in
+        ``delivery_errors``/``poet_delivery_errors_total``, and the
+        first error is re-raised once fan-out has completed.  (A client
+        that should survive its own failures — e.g. a quarantining
+        :class:`~repro.core.multi.MultiMonitor` — must catch them
+        itself; the server never silently swallows an error.)
+        """
         if self._verify:
             self._check_order(event)
         self.store.add(event)
         self._collected_counter.inc()
-        for client in self._clients:
-            client.on_event(event)
-        self._deliveries_counter.inc(len(self._clients))
+        first_error: Optional[BaseException] = None
+        for client in list(self._clients):
+            try:
+                client.on_event(event)
+            except Exception as exc:  # noqa: BLE001 - accounted, re-raised
+                self.delivery_errors += 1
+                self._errors_counter.inc()
+                if first_error is None:
+                    first_error = exc
+            else:
+                self._deliveries_counter.inc()
+        if first_error is not None:
+            raise first_error
 
     def _check_order(self, event: Event) -> None:
         clock = event.clock

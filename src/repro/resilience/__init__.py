@@ -1,0 +1,47 @@
+"""Fault tolerance for the event-delivery pipeline.
+
+The paper's substrate *assumes* clients "receive the arriving events in
+a linearization of the partial order" (Section V-A); this package makes
+the reproduction survive violations of that assumption instead of
+asserting on them:
+
+* :mod:`~repro.resilience.faults` — a deterministic, seeded fault
+  injector perturbing the stream between instrumentation and delivery
+  (bounded reorder/delay within causal slack, duplicates, drops,
+  client-crash schedules), plus network-level transmit faults for the
+  simulation kernel;
+* :mod:`~repro.resilience.chaos` — the seeded fault matrix: every
+  (plan, seed) run is checked against the fault-free oracle, drops
+  must surface as hold-back stalls, and a mid-stream checkpoint/restore
+  must converge to the identical representative subset.  Driven by the
+  ``ocep chaos`` CLI subcommand and the CI chaos job.
+
+The repair half — the causal hold-back buffer — lives with the
+delivery substrate as :mod:`repro.poet.holdback`.
+"""
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    TransmitFaults,
+)
+from repro.resilience.chaos import (
+    DEFAULT_PLANS,
+    DEFAULT_STALL_WATERMARK,
+    ChaosReport,
+    ChaosRun,
+    run_fault_matrix,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultInjector",
+    "TransmitFaults",
+    "ChaosRun",
+    "ChaosReport",
+    "DEFAULT_PLANS",
+    "DEFAULT_STALL_WATERMARK",
+    "run_fault_matrix",
+]

@@ -1,0 +1,335 @@
+"""The seeded chaos matrix: fault plans checked against an oracle.
+
+For one recorded computation (a valid linearization, e.g. captured by a
+:class:`~repro.poet.client.RecordingClient` or loaded from a dumpfile)
+the harness first computes the *fault-free oracle*: the representative
+subset an uninterrupted monitor produces.  It then replays the stream
+through every ``(plan, seed)`` cell of the matrix:
+
+* **reorder / delay / duplicate** — the perturbed stream flows through
+  a :class:`~repro.poet.holdback.HoldbackBuffer` in front of a fresh
+  monitor.  Because the injector only defers events past their causal
+  successors and the buffer releases ready events in arrival order, the
+  repaired stream is the *exact* original linearization, so the run
+  passes iff the subset signature equals the oracle's and nothing is
+  left pending.
+* **drop** — unrepairable; the run passes iff the loss is *detected*:
+  every dropped event shows up in the buffer's missing-predecessor
+  report and the buffer ends stalled (or the plan injected nothing, in
+  which case the oracle equality must hold).
+* **crash** — the monitor is cut off at the seeded crash point, its
+  checkpoint round-tripped through JSON, restored into a fresh monitor,
+  and the recorded stream replayed; the run passes iff the recovered
+  subset signature equals the oracle's.
+
+Every cell is deterministic per ``(plan, seed)``; the ``ocep chaos``
+subcommand and the CI chaos job run the standard matrix over seeds
+``0..9``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.monitor import Monitor
+from repro.events.event import Event
+from repro.poet.holdback import HoldbackBuffer
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+#: The standard matrix: one plan per fault kind.
+DEFAULT_PLANS: Tuple[FaultPlan, ...] = (
+    FaultPlan(kind="none"),
+    FaultPlan.reorder(),
+    FaultPlan.delay(),
+    FaultPlan.duplicate(),
+    FaultPlan.drop(),
+    FaultPlan.crash(),
+)
+
+#: Default arrivals-without-release watermark for stall detection.
+DEFAULT_STALL_WATERMARK = 32
+
+
+@dataclasses.dataclass
+class ChaosRun:
+    """Outcome of one (plan, seed) cell."""
+
+    kind: str
+    seed: int
+    ok: bool
+    detail: str
+    subset_size: int
+    oracle_size: int
+    injected: int
+    stalled: bool
+    pending: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """All cells of one matrix run, plus the oracle's vitals."""
+
+    num_events: int
+    num_traces: int
+    oracle_subset_size: int
+    oracle_matches: int
+    runs: List[ChaosRun] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    def failures(self) -> List[ChaosRun]:
+        return [run for run in self.runs if not run.ok]
+
+    def to_dict(self) -> dict:
+        return {
+            "num_events": self.num_events,
+            "num_traces": self.num_traces,
+            "oracle_subset_size": self.oracle_subset_size,
+            "oracle_matches": self.oracle_matches,
+            "ok": self.ok,
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    def summary(self) -> str:
+        """Human-readable per-cell table."""
+        lines = [
+            f"oracle: {self.num_events} events, {self.num_traces} traces, "
+            f"subset {self.oracle_subset_size} "
+            f"({self.oracle_matches} matches reported)"
+        ]
+        for run in self.runs:
+            status = "ok  " if run.ok else "FAIL"
+            lines.append(
+                f"  {status} {run.kind:<9} seed={run.seed:<3} "
+                f"injected={run.injected:<3} subset={run.subset_size} "
+                f"{run.detail}"
+            )
+        counts = f"{sum(r.ok for r in self.runs)}/{len(self.runs)} cells passed"
+        lines.append(counts)
+        return "\n".join(lines)
+
+
+def _run_oracle(
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+) -> Monitor:
+    monitor = Monitor.from_source(
+        pattern_source, trace_names, record_timings=False
+    )
+    for event in events:
+        monitor.on_event(event)
+    return monitor
+
+
+def _fresh_monitor(
+    pattern_source: str, trace_names: Sequence[str]
+) -> Monitor:
+    return Monitor.from_source(
+        pattern_source, trace_names, record_timings=False
+    )
+
+
+def _run_repairable(
+    plan: FaultPlan,
+    seed: int,
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    oracle_signature,
+    stall_watermark: int,
+) -> ChaosRun:
+    """reorder / delay / duplicate / none: repair must be exact."""
+    monitor = _fresh_monitor(pattern_source, trace_names)
+    buffer = HoldbackBuffer(
+        len(trace_names), monitor.on_event, stall_watermark=stall_watermark
+    )
+    injector = FaultInjector(plan, buffer.on_event, seed=seed)
+    for event in events:
+        injector.feed(event)
+    injector.flush()
+    leftover = buffer.flush()
+
+    injected = (
+        injector.delayed_total
+        + injector.duplicated_total
+        + injector.dropped_total
+    )
+    signature = monitor.subset.signature()
+    if leftover:
+        ok, detail = False, f"{len(leftover)} events stuck in hold-back"
+    elif signature != oracle_signature:
+        ok, detail = False, "subset differs from fault-free oracle"
+    else:
+        ok, detail = True, "subset identical to oracle"
+    return ChaosRun(
+        kind=plan.kind,
+        seed=seed,
+        ok=ok,
+        detail=detail,
+        subset_size=len(monitor.subset),
+        oracle_size=_sig_len(oracle_signature),
+        injected=injected,
+        stalled=buffer.stalled,
+        pending=len(leftover),
+    )
+
+
+def _run_drop(
+    plan: FaultPlan,
+    seed: int,
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    oracle_signature,
+    stall_watermark: int,
+) -> ChaosRun:
+    """drop: the loss must be *detected*, not repaired."""
+    monitor = _fresh_monitor(pattern_source, trace_names)
+    buffer = HoldbackBuffer(
+        len(trace_names), monitor.on_event, stall_watermark=stall_watermark
+    )
+    injector = FaultInjector(plan, buffer.on_event, seed=seed)
+    for event in events:
+        injector.feed(event)
+    injector.flush()
+    leftover = buffer.flush()
+
+    if injector.dropped_total == 0:
+        signature = monitor.subset.signature()
+        ok = not leftover and signature == oracle_signature
+        detail = (
+            "no drop injected; subset identical to oracle"
+            if ok
+            else "no drop injected but stream not restored"
+        )
+    else:
+        missing = {(mid.trace, mid.index) for mid in buffer.missing_predecessors()}
+        dropped = {(did.trace, did.index) for did in injector.dropped_ids}
+        reported = dropped <= missing
+        detected = buffer.stalled or bool(leftover)
+        ok = reported and detected
+        if ok:
+            detail = (
+                f"drop of {sorted(dropped)} detected "
+                f"(stalled={buffer.stalled}, {len(leftover)} held)"
+            )
+        elif not reported:
+            detail = f"dropped {sorted(dropped)} not in missing report {sorted(missing)}"
+        else:
+            detail = "drop injected but no stall detected"
+    return ChaosRun(
+        kind=plan.kind,
+        seed=seed,
+        ok=ok,
+        detail=detail,
+        subset_size=len(monitor.subset),
+        oracle_size=_sig_len(oracle_signature),
+        injected=injector.dropped_total,
+        stalled=buffer.stalled,
+        pending=len(leftover),
+    )
+
+
+def _run_crash(
+    plan: FaultPlan,
+    seed: int,
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    oracle_signature,
+) -> ChaosRun:
+    """crash: checkpoint at the seeded point, restore, replay, converge."""
+    crash_at = plan.crash_point(len(events), seed)
+    first = _fresh_monitor(pattern_source, trace_names)
+    for event in events[:crash_at]:
+        first.on_event(event)
+    # The JSON round trip is part of the contract: what survives a real
+    # process crash is the serialized snapshot, not live objects.
+    state = json.loads(json.dumps(first.checkpoint()))
+
+    recovered = _fresh_monitor(pattern_source, trace_names)
+    recovered.restore(state)
+    replayed = recovered.replay_suffix(events)
+
+    signature = recovered.subset.signature()
+    ok = signature == oracle_signature
+    detail = (
+        f"crashed@{crash_at}, replayed {replayed}, "
+        + ("subset identical to oracle" if ok else "subset differs from oracle")
+    )
+    return ChaosRun(
+        kind=plan.kind,
+        seed=seed,
+        ok=ok,
+        detail=detail,
+        subset_size=len(recovered.subset),
+        oracle_size=_sig_len(oracle_signature),
+        injected=1,
+        stalled=False,
+        pending=0,
+    )
+
+
+def _sig_len(signature) -> int:
+    return len(signature)
+
+
+def run_fault_matrix(
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    plans: Optional[Sequence[FaultPlan]] = None,
+    seeds: Sequence[int] = range(10),
+    stall_watermark: int = DEFAULT_STALL_WATERMARK,
+) -> ChaosReport:
+    """Run every (plan, seed) cell over one recorded stream.
+
+    ``events`` must be a valid linearization (the oracle asserts this
+    implicitly: the monitor's causal index rejects out-of-order input).
+    """
+    if not events:
+        raise ValueError("chaos matrix needs a non-empty event stream")
+    oracle = _run_oracle(events, pattern_source, trace_names)
+    oracle_signature = oracle.subset.signature()
+    report = ChaosReport(
+        num_events=len(events),
+        num_traces=len(trace_names),
+        oracle_subset_size=len(oracle.subset),
+        oracle_matches=len(oracle.reports),
+    )
+    for plan in plans if plans is not None else DEFAULT_PLANS:
+        for seed in seeds:
+            if plan.kind == "crash":
+                run = _run_crash(
+                    plan, seed, events, pattern_source, trace_names,
+                    oracle_signature,
+                )
+            elif plan.kind == "drop":
+                run = _run_drop(
+                    plan, seed, events, pattern_source, trace_names,
+                    oracle_signature, stall_watermark,
+                )
+            else:
+                run = _run_repairable(
+                    plan, seed, events, pattern_source, trace_names,
+                    oracle_signature, stall_watermark,
+                )
+            report.runs.append(run)
+    return report
+
+
+__all__ = [
+    "DEFAULT_PLANS",
+    "DEFAULT_STALL_WATERMARK",
+    "ChaosRun",
+    "ChaosReport",
+    "run_fault_matrix",
+]

@@ -175,6 +175,7 @@ class Kernel:
         self._now = 0.0
         self._num_events = 0
         self._sinks: List[EventSink] = []
+        self._transmit_fault: Optional[Callable[[Message], float]] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -184,6 +185,18 @@ class Kernel:
         """Register a callback invoked for every emitted event, in
         linearization order."""
         self._sinks.append(sink)
+
+    def set_transmit_fault(self, fault: Optional[Callable[[Message], float]]) -> None:
+        """Install a network fault hook (``None`` removes it).
+
+        The hook is called once per transmitted message and returns
+        extra delivery latency (>= 0 simulated time units) added to the
+        jittered network delay — e.g.
+        :class:`repro.resilience.faults.TransmitFaults`.  Non-overtaking
+        per-channel delivery is still enforced afterwards, so a faulted
+        run remains a valid computation (a different interleaving, not
+        a corrupted one)."""
+        self._transmit_fault = fault
 
     def spawn(self, pid: int, body: ProcessBody) -> None:
         """Install the program for process ``pid``."""
@@ -384,6 +397,13 @@ class Kernel:
         # (src, dst) pair are monotone in transmission order even
         # though each delivery is independently jittered.
         arrival = self._now + self._jitter(self._mean_delay)
+        if self._transmit_fault is not None:
+            extra = self._transmit_fault(message)
+            if extra < 0:
+                raise SimulationError(
+                    f"transmit fault returned negative delay {extra}"
+                )
+            arrival += extra
         channel = (message.src, message.dst)
         floor = self._last_arrival.get(channel, 0.0)
         arrival = max(arrival, floor + 1e-9)

@@ -152,6 +152,53 @@ class TestStatsCommand:
         assert "ocep_monitor_event_seconds_bucket" in text
 
 
+class TestChaosCommand:
+    def test_seed_spec_parsing(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("0..3") == [0, 1, 2, 3]
+        assert _parse_seeds("1,4,7") == [1, 4, 7]
+        assert _parse_seeds("5") == [5]
+        with pytest.raises(Exception):
+            _parse_seeds("9..0")
+
+    def test_matrix_passes_on_race_case(self, capsys):
+        rc = main(
+            ["chaos", "race", "--traces", "3", "--seed", "1",
+             "--seeds", "0..1", "--max-events", "1000"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells passed" in out
+        assert "FAIL" not in out
+        for kind in ("reorder", "delay", "duplicate", "drop", "crash"):
+            assert kind in out
+
+    def test_plan_filter_and_json_report(self, tmp_path, capsys):
+        import json
+
+        report_file = tmp_path / "chaos.json"
+        rc = main(
+            ["chaos", "race", "--traces", "3", "--seed", "1",
+             "--seeds", "0", "--plans", "reorder", "crash",
+             "--max-events", "1000", "--json", str(report_file)]
+        )
+        assert rc == 0
+        document = json.loads(report_file.read_text())
+        assert document["ok"] is True
+        assert {run["kind"] for run in document["runs"]} == {
+            "reorder", "crash"
+        }
+
+    def test_unknown_plan_rejected(self, capsys):
+        rc = main(
+            ["chaos", "race", "--traces", "3", "--seeds", "0",
+             "--plans", "gremlins", "--max-events", "500"]
+        )
+        assert rc == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
 class TestOfflineCommand:
     def test_enumerates_dump(self, tmp_path, capsys):
         dump = tmp_path / "d.poet"
