@@ -1,0 +1,104 @@
+"""Span-tracer overhead: the disabled (NULL_TRACER) path must be free.
+
+Tracing is wired through the matcher's search loop, the POET server's
+fan-out, and the kernel's emit path, each behind a single
+``tracer.enabled`` attribute load.  This benchmark verifies that
+bargain on the same replay methodology as ``test_obs_overhead``:
+
+* ``off``    — a monitor built before tracing existed (no tracer
+  argument at all; the matcher holds the shared ``NULL_TRACER``),
+* ``noop``   — an explicit :class:`NullTracer` instance passed in (the
+  off-by-default configuration every component ships with),
+* ``traced`` — a live :class:`SpanTracer` recording search and
+  goForward/goBackward spans,
+
+and requires the ``noop`` path to stay within 3% of ``off``
+(min-of-repetitions; tolerance overridable via
+``OCEP_TRACE_TOLERANCE``).  Measured ratios land in
+``BENCH_trace_overhead.json`` for the cross-PR perf trajectory.
+"""
+
+import os
+import time
+
+from common import emit_json, emit_text, scaled
+from repro.core import Monitor
+from repro.obs.spans import NullTracer, SpanTracer
+from repro.poet.client import RecordingClient
+from repro.workloads import build_message_race, message_race_pattern
+
+#: Relative overhead allowed for the disabled-tracer path.
+TOLERANCE = float(os.environ.get("OCEP_TRACE_TOLERANCE", "0.03"))
+
+#: Re-measurements before declaring a tolerance breach real.
+MAX_ATTEMPTS = 4
+
+MIN_OF = 5
+
+
+def _record_stream():
+    workload = build_message_race(num_traces=6, seed=3, messages_per_sender=25)
+    recorder = RecordingClient()
+    workload.server.connect(recorder)
+    workload.run(max_events=scaled(4000))
+    return recorder.events, list(workload.kernel.trace_names())
+
+
+def _best_replay_seconds(events, names, tracer=None) -> float:
+    """Min-of-N total replay wall time (min filters scheduler noise
+    out of CPU-bound identical work)."""
+    best = float("inf")
+    pattern = message_race_pattern()
+    for _ in range(MIN_OF):
+        started = time.perf_counter()
+        monitor = Monitor.from_source(
+            pattern, names, record_timings=False, tracer=tracer
+        )
+        for event in events:
+            monitor.on_event(event)
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_tracer_overhead():
+    events, names = _record_stream()
+
+    measurements = {}
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        off = _best_replay_seconds(events, names)
+        noop = _best_replay_seconds(events, names, tracer=NullTracer())
+        traced = _best_replay_seconds(events, names, tracer=SpanTracer())
+        noop_overhead = noop / off - 1.0
+        traced_overhead = traced / off - 1.0
+        measurements = {
+            "events": len(events),
+            "attempt": attempt,
+            "off_seconds": off,
+            "noop_seconds": noop,
+            "traced_seconds": traced,
+            "noop_overhead": noop_overhead,
+            "traced_overhead": traced_overhead,
+            "tolerance": TOLERANCE,
+        }
+        if noop_overhead < TOLERANCE:
+            break
+
+    emit_json("trace_overhead", measurements)
+    emit_text(
+        "trace_overhead",
+        "Span-tracer overhead (message-race stream, "
+        f"{len(events)} events, min of {MIN_OF} replays):\n"
+        f"  off    (no tracer argument):  {measurements['off_seconds'] * 1e3:8.2f} ms\n"
+        f"  noop   (explicit NullTracer): {measurements['noop_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['noop_overhead'] * 100:+.2f}%)\n"
+        f"  traced (live SpanTracer):     {measurements['traced_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['traced_overhead'] * 100:+.2f}%)",
+    )
+
+    assert measurements["noop_overhead"] < TOLERANCE, (
+        f"disabled-tracer path is {measurements['noop_overhead']:.1%} "
+        f"slower than no tracer at all (tolerance {TOLERANCE:.0%}) "
+        f"after {MAX_ATTEMPTS} attempts"
+    )

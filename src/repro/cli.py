@@ -30,8 +30,17 @@ would run:
 ``ocep stats <case>``
     Run a case study with full observability on and emit the metrics
     registry (matcher counters, latency histograms, subset/history
-    gauges, POET delivery counts) as a table, JSON, or Prometheus
-    text, plus an optional tail of the search trace.
+    gauges, POET delivery counts, end-to-end detection latency) as a
+    table, JSON, or Prometheus text, plus an optional tail of the
+    search trace (embedded in the document with ``--format json``).
+
+``ocep trace <case>``
+    Run a case study with span tracing on and write the full causal
+    timeline — per-trace simulated-time tracks with happens-before
+    flow arrows, plus wall-clock delivery/search spans — as Chrome
+    trace-event JSON, loadable in Perfetto or ``chrome://tracing``.
+    ``ocep case`` and ``ocep chaos`` accept ``--trace-out FILE`` for
+    the same recording alongside their normal output.
 
 ``ocep chaos <case>``
     Record a case study's stream, then replay it through the seeded
@@ -48,6 +57,7 @@ Installed as the ``ocep`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, Optional, Tuple
 
@@ -56,6 +66,8 @@ from repro.analysis.runner import replay_through_monitor
 from repro.core.config import MatcherConfig
 from repro.core.monitor import Monitor
 from repro.obs import MetricsRegistry, to_json, to_prometheus
+from repro.obs.latency import track_detection_latency
+from repro.obs.spans import SpanTracer, to_chrome_json, validate_trace_events
 from repro.poet.client import RecordingClient
 from repro.poet.dumpfile import dump_events, load_events
 from repro.workloads import (
@@ -157,13 +169,32 @@ def cmd_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace(tracer: SpanTracer, path: str) -> dict:
+    """Validate and write a tracer's recording as Chrome trace JSON."""
+    counts = validate_trace_events(tracer.events())
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_json(tracer))
+        fh.write("\n")
+    print(
+        f"wrote {counts['events']} trace events to {path} "
+        f"({counts['spans']} spans, {counts['flows']} flows, "
+        f"{counts['sim_events']} sim slices, {counts['instants']} instants)"
+    )
+    return counts
+
+
 def cmd_case(args: argparse.Namespace) -> int:
     workload, pattern_source = _build_case(args.case, args.traces, args.seed)
     names = workload.kernel.trace_names()
+    tracer = SpanTracer() if args.trace_out else None
+    if tracer is not None:
+        workload.kernel.set_tracer(tracer)
+        workload.server.use_tracer(tracer)
     monitor = Monitor.from_source(
         pattern_source,
         names,
         on_match=None if args.quiet else (lambda r: _print_report(r, names)),
+        tracer=tracer,
     )
     workload.server.connect(monitor)
     outcome = workload.run(max_events=args.max_events)
@@ -173,6 +204,43 @@ def cmd_case(args: argparse.Namespace) -> int:
         f"{' (deadlocked)' if outcome.deadlocked else ''}, "
         f"{stats.matches_reported} matches, subset {stats.subset_size}"
     )
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
+    names = workload.kernel.trace_names()
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+    workload.kernel.set_tracer(tracer)
+    workload.server.use_registry(registry)
+    workload.server.use_tracer(tracer)
+    latency = track_detection_latency(workload.kernel, registry)
+    monitor = Monitor.from_source(
+        pattern_source,
+        names,
+        config=MatcherConfig(search_trace_size=args.trace_size),
+        registry=registry,
+        tracer=tracer,
+        on_match=latency.observe_report,
+    )
+    workload.server.connect(monitor)
+    outcome = workload.run(max_events=args.max_events)
+    monitor.publish_metrics()
+    stats = monitor.stats()
+    print(
+        f"case={args.case} traces={args.traces}: {outcome.num_events} events"
+        f"{' (deadlocked)' if outcome.deadlocked else ''}, "
+        f"{stats.matches_reported} matches, "
+        f"{stats.searches_run} searches"
+    )
+    print(
+        f"detection latency: {latency.latencies_observed} observations "
+        f"from {latency.reports_observed} reports"
+    )
+    _write_trace(tracer, args.output)
     return 0
 
 
@@ -200,11 +268,17 @@ def _metrics_table(registry: MetricsRegistry) -> str:
         if metric.labels:
             labels = "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
         if metric.kind == "histogram":
+            if metric.name.endswith("_seconds"):
+                # Wall-clock histograms render in microseconds; others
+                # (e.g. simulated-time latency) keep their native unit.
+                scale, unit = 1e6, "us"
+            else:
+                scale, unit = 1.0, ""
             lines.append(
                 f"{metric.name}{labels}  count={metric.count} "
-                f"mean={metric.mean * 1e6:.1f}us "
-                f"p50={metric.quantile(0.5) * 1e6:.1f}us "
-                f"p99={metric.quantile(0.99) * 1e6:.1f}us"
+                f"mean={metric.mean * scale:.1f}{unit} "
+                f"p50={metric.quantile(0.5) * scale:.1f}{unit} "
+                f"p99={metric.quantile(0.99) * scale:.1f}{unit}"
             )
         else:
             value = metric.value
@@ -219,18 +293,32 @@ def cmd_stats(args: argparse.Namespace) -> int:
     names = workload.kernel.trace_names()
     registry = MetricsRegistry()
     workload.server.use_registry(registry)
+    latency = track_detection_latency(workload.kernel, registry)
     monitor = Monitor.from_source(
         pattern_source,
         names,
         config=MatcherConfig(search_trace_size=args.trace_size),
         registry=registry,
+        on_match=latency.observe_report,
     )
     workload.server.connect(monitor)
     workload.run(max_events=args.max_events)
     monitor.publish_metrics()
 
+    show_trace = args.show_trace and monitor.search_trace is not None
+
     if args.format == "json":
-        text = to_json(registry)
+        # Structured output stays structured: the search-trace tail is
+        # embedded in the document, not printed as text to stderr.
+        document = json.loads(to_json(registry))
+        if show_trace:
+            records = monitor.search_trace.records()[-args.show_trace:]
+            document["search_trace"] = {
+                "recorded_total": monitor.search_trace.recorded_total,
+                "capacity": monitor.search_trace.capacity,
+                "records": [record.as_dict() for record in records],
+            }
+        text = json.dumps(document, indent=2, sort_keys=True)
     elif args.format == "prometheus":
         text = to_prometheus(registry)
     else:
@@ -243,7 +331,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(text)
 
-    if args.show_trace and monitor.search_trace is not None:
+    if show_trace and args.format != "json":
         records = monitor.search_trace.records()[-args.show_trace:]
         print(f"\nsearch trace (last {len(records)} of "
               f"{monitor.search_trace.recorded_total} recorded):",
@@ -293,6 +381,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         plans = list(DEFAULT_PLANS)
 
+    tracer = SpanTracer() if args.trace_out else None
     report = run_fault_matrix(
         recorder.events,
         pattern_source,
@@ -300,15 +389,16 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         plans=plans,
         seeds=args.seeds,
         stall_watermark=args.stall_watermark,
+        tracer=tracer,
     )
     print(report.summary())
     if args.json:
-        import json as _json
-
         with open(args.json, "w", encoding="utf-8") as fh:
-            _json.dump(report.to_dict(), fh, indent=2)
+            json.dump(report.to_dict(), fh, indent=2)
             fh.write("\n")
         print(f"wrote JSON report to {args.json}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
     return 0 if report.ok else 1
 
 
@@ -396,6 +486,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("case", help="simulate + monitor a case study live")
     p.add_argument("case", choices=sorted(CASES))
     p.add_argument("--quiet", action="store_true", help="suppress per-match output")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="also record a Chrome trace-event timeline to FILE")
     add_common(p, 10)
     p.set_defaults(func=cmd_case)
 
@@ -421,6 +513,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser(
+        "trace",
+        help="run a case with span tracing on and write a Perfetto timeline",
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="Chrome trace-event JSON file to write")
+    p.add_argument("--trace-size", type=_positive_int, default=4096,
+                   help="search-trace ring buffer capacity")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
         "chaos",
         help="run the seeded fault matrix against the fault-free oracle",
     )
@@ -434,6 +538,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="arrivals without release before a stall is declared")
     p.add_argument("--json", metavar="FILE",
                    help="also write the full report as JSON")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="also record a Chrome trace-event timeline to FILE")
     add_common(p, 6)
     p.set_defaults(func=cmd_chaos)
 

@@ -46,6 +46,7 @@ from repro.core.subset import RepresentativeSubset
 from repro.events.event import Event
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.obs.trace import SearchTrace
 from repro.patterns.classes import Bindings
 from repro.patterns.compile import CompiledPattern, Constraint
@@ -181,6 +182,10 @@ class OCEPMatcher:
         #: per entry of ``searches_run``.
         self.search_timings: List[float] = []
         self.time_searches = False
+        #: Span tracer; the no-op one unless installed (by the Monitor
+        #: or directly).  Search spans reuse ``searches_run`` as the
+        #: search ordinal, matching the search-trace ring's records.
+        self.tracer: SpanTracer = NULL_TRACER
         self.search_trace: Optional[SearchTrace] = (
             SearchTrace(self.config.search_trace_size)
             if self.config.search_trace_size is not None
@@ -222,13 +227,32 @@ class OCEPMatcher:
                     event.trace,
                     detail=str(event.event_id),
                 )
-            if self.time_searches:
-                started = time.perf_counter()
-                reports.extend(self._search(leaf_id, event, env))
-                self.search_timings.append(time.perf_counter() - started)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "matcher.search",
+                    track="matcher",
+                    args={"search": self.searches_run,
+                          "leaf": leaf_id,
+                          "trigger": repr(event.event_id)},
+                ):
+                    self._timed_search(reports, leaf_id, event, env)
             else:
-                reports.extend(self._search(leaf_id, event, env))
+                self._timed_search(reports, leaf_id, event, env)
         return reports
+
+    def _timed_search(
+        self,
+        reports: List[MatchReport],
+        leaf_id: int,
+        event: Event,
+        env: Bindings,
+    ) -> None:
+        if self.time_searches:
+            started = time.perf_counter()
+            reports.extend(self._search(leaf_id, event, env))
+            self.search_timings.append(time.perf_counter() - started)
+        else:
+            reports.extend(self._search(leaf_id, event, env))
 
     # ------------------------------------------------------------------
     # Observability
@@ -374,8 +398,22 @@ class OCEPMatcher:
         reports: List[MatchReport],
     ) -> None:
         found_any = False
+        # One boolean load up front: the hot loop pays nothing when
+        # tracing is off, and a span per goForward/goBackward call (not
+        # per candidate scanned) when it is on.
+        tracer = self.tracer if self.tracer.enabled else None
         while i >= 1:
-            if self._go_forward(levels, i, found_any):
+            if tracer is not None:
+                with tracer.span(
+                    "matcher.goForward",
+                    track="matcher",
+                    args={"search": self.searches_run, "level": i,
+                          "leaf": levels[i].leaf_id},
+                ):
+                    advanced = self._go_forward(levels, i, found_any)
+            else:
+                advanced = self._go_forward(levels, i, found_any)
+            if advanced:
                 if i == k - 1:
                     if self._accept_complete(levels):
                         self._report(reports, trigger_leaf, trigger_event, levels)
@@ -392,6 +430,13 @@ class OCEPMatcher:
                         levels[i].filter_rejected = True
                 else:
                     i += 1
+            elif tracer is not None:
+                with tracer.span(
+                    "matcher.goBackward",
+                    track="matcher",
+                    args={"search": self.searches_run, "level": i},
+                ):
+                    i = self._go_backward(levels, i)
             else:
                 i = self._go_backward(levels, i)
 
@@ -412,6 +457,14 @@ class OCEPMatcher:
                 "(paper, Section IV-B)"
             )
         self.matches_found += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "matcher.match",
+                track="matcher",
+                args={"search": self.searches_run,
+                      "trigger": repr(trigger_event.event_id),
+                      "new_slots": len(new_slots)},
+            )
         if self.search_trace is not None:
             self.search_trace.record(
                 obs_trace.MATCH,

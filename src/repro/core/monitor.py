@@ -24,6 +24,7 @@ from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport, OCEPMatcher
 from repro.events.event import Event
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.patterns.compile import CompiledPattern, compile_pattern
 from repro.patterns.parser import parse_pattern
 from repro.patterns.tree import PatternTree
@@ -75,6 +76,11 @@ class Monitor(POETClient):
         counters online; matcher counters and size gauges are mirrored
         in by :meth:`publish_metrics`.  Defaults to the shared no-op
         registry (near-zero overhead).
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`, installed on the
+        matcher: each triggered search becomes a ``matcher.search``
+        span with nested ``goForward``/``goBackward`` children.
+        Defaults to the shared no-op tracer.
     """
 
     def __init__(
@@ -86,9 +92,12 @@ class Monitor(POETClient):
         record_timings: bool = True,
         registry: Optional[MetricsRegistry] = None,
         metric_labels: Optional[dict] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.matcher = OCEPMatcher(pattern, num_traces, config)
         self.pattern = pattern
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.matcher.tracer = self.tracer
         self._on_match = on_match
         self._record_timings = record_timings
         self.matcher.time_searches = record_timings
@@ -132,6 +141,7 @@ class Monitor(POETClient):
         record_timings: bool = True,
         registry: Optional[MetricsRegistry] = None,
         metric_labels: Optional[dict] = None,
+        tracer: Optional[SpanTracer] = None,
     ) -> "Monitor":
         """Parse, build, and compile a pattern, then wrap it in a
         monitor for a computation with the given trace names."""
@@ -146,6 +156,7 @@ class Monitor(POETClient):
             record_timings=record_timings,
             registry=registry,
             metric_labels=metric_labels,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------

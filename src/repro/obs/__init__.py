@@ -1,4 +1,4 @@
-"""Observability: metrics, search traces, and exporters.
+"""Observability: metrics, search traces, spans, logs, and exporters.
 
 A dependency-free instrumentation layer for the OCEP stack:
 
@@ -9,6 +9,14 @@ A dependency-free instrumentation layer for the OCEP stack:
 * :mod:`~repro.obs.trace` — the bounded ring-buffer **search trace**
   recording individual goForward/goBackward decisions for post-mortem
   debugging;
+* :mod:`~repro.obs.spans` — the **causal span tracer**: hierarchical
+  wall-clock spans plus simulated-time event tracks with
+  happens-before flow arrows, exported as Chrome trace-event JSON for
+  Perfetto (and the shared no-op :data:`NULL_TRACER`);
+* :mod:`~repro.obs.latency` — end-to-end **detection latency**
+  (event occurrence to match report, in simulated time);
+* :mod:`~repro.obs.log` — JSON-lines structured logging over stdlib
+  :mod:`logging`, span-id correlated;
 * :mod:`~repro.obs.export` — JSON and Prometheus-text exporters over
   a registry snapshot.
 
@@ -16,6 +24,13 @@ See ``docs/observability.md`` for the metric inventory and usage.
 """
 
 from repro.obs.export import parse_json, to_json, to_prometheus
+from repro.obs.latency import (
+    DETECTION_LATENCY_BUCKETS,
+    DETECTION_LATENCY_METRIC,
+    DetectionLatencyTracker,
+    track_detection_latency,
+)
+from repro.obs.log import JsonLinesFormatter, bind_tracer, configure, get_logger
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     NULL_REGISTRY,
@@ -24,6 +39,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from repro.obs.spans import (
+    MONITOR_PID,
+    NULL_TRACER,
+    SIM_PID,
+    NullTracer,
+    SpanTracer,
+    to_chrome_json,
+    validate_chrome_trace,
+    validate_trace_events,
 )
 from repro.obs.trace import KINDS, SearchTrace, TraceRecord
 
@@ -38,6 +63,22 @@ __all__ = [
     "SearchTrace",
     "TraceRecord",
     "KINDS",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "SIM_PID",
+    "MONITOR_PID",
+    "to_chrome_json",
+    "validate_trace_events",
+    "validate_chrome_trace",
+    "DetectionLatencyTracker",
+    "track_detection_latency",
+    "DETECTION_LATENCY_BUCKETS",
+    "DETECTION_LATENCY_METRIC",
+    "JsonLinesFormatter",
+    "bind_tracer",
+    "configure",
+    "get_logger",
     "to_json",
     "to_prometheus",
     "parse_json",

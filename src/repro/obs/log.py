@@ -1,0 +1,124 @@
+"""Structured logging: JSON lines, span-correlated, stdlib only.
+
+The repo had no logging at all — failures surfaced only as exceptions
+or metric counters.  This module layers a small structured logger over
+:mod:`logging`:
+
+* every ``ocep.*`` logger emits **one JSON object per line** through
+  :class:`JsonLinesFormatter` — machine-greppable, no format strings
+  to parse;
+* records carry the id of the innermost open span of the bound
+  :class:`~repro.obs.spans.SpanTracer` (``"span": <id>``), so a log
+  line can be joined against the Perfetto timeline;
+* any ``extra={...}`` fields passed at the call site land as
+  top-level JSON keys.
+
+Off by default: the ``ocep`` logger tree gets a ``NullHandler`` at
+import, so library code can log unconditionally without spraying
+stderr (and without the root logger's last-resort handler kicking in).
+Call :func:`configure` to attach a real sink.
+
+    >>> from repro.obs import log
+    >>> handler = log.configure(stream=sys.stderr, tracer=tracer)
+    >>> log.get_logger("poet.server").warning(
+    ...     "client delivery failed", extra={"event": "e0.17"}
+    ... )
+    {"event": "e0.17", "level": "warning", "logger": "ocep.poet.server",
+     "msg": "client delivery failed", "span": 42, "ts": 1754500000.1}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import IO, Optional
+
+from repro.obs.spans import NULL_TRACER, SpanTracer
+
+#: Root of the library's logger tree.
+ROOT_LOGGER = "ocep"
+
+#: The tracer consulted for span correlation (module-global: the
+#: pipeline is single-threaded and runs one tracer at a time).
+_bound_tracer: SpanTracer = NULL_TRACER
+
+#: LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    vars(logging.makeLogRecord({})).keys()
+) | {"message", "asctime", "taskName"}
+
+
+def bind_tracer(tracer: Optional[SpanTracer]) -> None:
+    """Bind the tracer whose innermost span id stamps every record
+    (``None`` unbinds)."""
+    global _bound_tracer
+    _bound_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """Formats a record as one sorted-key JSON object."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        span = _bound_tracer.current_span_id
+        if span is not None:
+            payload["span"] = span
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``ocep`` tree (``get_logger("poet.server")``
+    -> ``ocep.poet.server``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(
+    stream: Optional[IO[str]] = None,
+    path: Optional[str] = None,
+    level: int = logging.INFO,
+    tracer: Optional[SpanTracer] = None,
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``ocep`` tree and return it
+    (detach with :func:`unconfigure`).
+
+    ``stream`` and ``path`` are mutually exclusive; with neither, the
+    handler writes to stderr.  ``tracer`` forwards to
+    :func:`bind_tracer`.
+    """
+    if stream is not None and path is not None:
+        raise ValueError("configure() takes a stream or a path, not both")
+    if tracer is not None:
+        bind_tracer(tracer)
+    handler: logging.Handler
+    if path is not None:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonLinesFormatter())
+    root = logging.getLogger(ROOT_LOGGER)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler
+
+
+def unconfigure(handler: logging.Handler) -> None:
+    """Detach a handler installed by :func:`configure` and unbind the
+    tracer."""
+    logging.getLogger(ROOT_LOGGER).removeHandler(handler)
+    handler.close()
+    bind_tracer(None)
+
+
+# Library code logs unconditionally; without a configured handler the
+# records must go nowhere (not to logging's last-resort stderr).
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())

@@ -48,8 +48,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.events.event import Event, EventId
+from repro.obs.log import get_logger
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.poet.client import POETClient
+
+_log = get_logger("poet.holdback")
 
 #: Overflow policies for a full buffer.
 OVERFLOW_POLICIES = ("raise", "shed", "block")
@@ -87,6 +91,11 @@ class HoldbackBuffer(POETClient):
         from :meth:`offer` instead of only being recorded.
     registry:
         Optional metrics registry; defaults to the shared no-op one.
+    tracer:
+        Optional span tracer; when enabled, held-back arrivals,
+        suppressed duplicates, sheds, and stalls become instant
+        annotations, and repair drains become ``holdback.repair``
+        spans on the buffer's wall-clock track.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class HoldbackBuffer(POETClient):
         stall_watermark: Optional[int] = None,
         raise_on_stall: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         if num_traces <= 0:
             raise ValueError(f"need at least one trace, got {num_traces}")
@@ -129,6 +139,7 @@ class HoldbackBuffer(POETClient):
         self.shed_total = 0
         self.stalls_total = 0
 
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._depth_gauge = self.registry.gauge(
             "poet_holdback_pending", "events currently held back"
@@ -177,6 +188,12 @@ class HoldbackBuffer(POETClient):
         if event.index <= self._released[event.trace] or key in self._pending:
             self.duplicates_total += 1
             self._duplicates_counter.inc()
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "holdback.duplicate",
+                    track="poet.holdback",
+                    args={"event": repr(event.event_id)},
+                )
             self._check_stall()
             return True
 
@@ -201,6 +218,12 @@ class HoldbackBuffer(POETClient):
                 # bounded memory.
                 self.shed_total += 1
                 self._shed_counter.inc()
+                if self._tracer.enabled:
+                    self._tracer.instant(
+                        "holdback.shed",
+                        track="poet.holdback",
+                        args={"event": repr(event.event_id)},
+                    )
                 self._check_stall()
                 return True
             self._pending[key] = event
@@ -208,6 +231,13 @@ class HoldbackBuffer(POETClient):
             self.reordered_total += 1
             self._reordered_counter.inc()
             self._depth_gauge.set(len(self._pending))
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "holdback.hold",
+                    track="poet.holdback",
+                    args={"event": repr(event.event_id),
+                          "pending": len(self._pending)},
+                )
         self._check_stall()
         return True
 
@@ -243,6 +273,18 @@ class HoldbackBuffer(POETClient):
         events the earliest arrival goes first, which restores the
         original linearization when faults only deferred events past
         their causal successors."""
+        if self._tracer.enabled and self._pending:
+            with self._tracer.span(
+                "holdback.repair",
+                track="poet.holdback",
+                args={"pending": len(self._pending)},
+            ):
+                self._drain_loop()
+        else:
+            self._drain_loop()
+        self._depth_gauge.set(len(self._pending))
+
+    def _drain_loop(self) -> None:
         progress = True
         while progress and self._pending:
             progress = False
@@ -253,7 +295,6 @@ class HoldbackBuffer(POETClient):
                     self._release(event)
                     progress = True
                     break
-        self._depth_gauge.set(len(self._pending))
 
     # ------------------------------------------------------------------
     # Stall detection
@@ -269,6 +310,20 @@ class HoldbackBuffer(POETClient):
             self.stalled = True
             self.stalls_total += 1
             self._stalls_counter.inc()
+            missing = self.missing_predecessors()
+            _log.warning(
+                "hold-back buffer stalled",
+                extra={"pending": len(self._pending),
+                       "missing": [repr(eid) for eid in missing[:5]],
+                       "missing_total": len(missing)},
+            )
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "holdback.stall",
+                    track="poet.holdback",
+                    args={"pending": len(self._pending),
+                          "missing": len(missing)},
+                )
         if self._raise_on_stall:
             raise HoldbackStallError(
                 f"{len(self._pending)} events held back for "

@@ -14,8 +14,12 @@ from typing import List, Optional, Sequence
 
 from repro.events.event import Event
 from repro.events.store import EventStore
+from repro.obs.log import get_logger
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.poet.client import POETClient
+
+_log = get_logger("poet.server")
 
 
 class DeliveryOrderError(RuntimeError):
@@ -39,6 +43,11 @@ class POETServer:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
         collection/delivery counters and a connected-clients gauge.
         Defaults to the no-op registry.
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`; when enabled,
+        each collected event's fan-out is recorded as a
+        ``poet.deliver`` span on the server's wall-clock track.
+        Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -47,11 +56,13 @@ class POETServer:
         trace_names: Optional[Sequence[str]] = None,
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.store = EventStore(num_traces, trace_names)
         self._clients: List[POETClient] = []
         self._verify = verify
         self._delivered = [0] * num_traces
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._collected_counter = self.registry.counter(
             "poet_events_collected_total", "events ingested by the server"
@@ -92,6 +103,10 @@ class POETServer:
         )
         self._clients_gauge.set(len(self._clients))
 
+    def use_tracer(self, tracer: Optional[SpanTracer]) -> None:
+        """Rebind span tracing to ``tracer`` (``None`` disables)."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
     # ------------------------------------------------------------------
     # Client management
     # ------------------------------------------------------------------
@@ -127,6 +142,18 @@ class POETServer:
             self._check_order(event)
         self.store.add(event)
         self._collected_counter.inc()
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "poet.deliver",
+                track="poet.server",
+                args={"event": repr(event.event_id),
+                      "clients": len(self._clients)},
+            ):
+                self._fan_out(event)
+        else:
+            self._fan_out(event)
+
+    def _fan_out(self, event: Event) -> None:
         first_error: Optional[BaseException] = None
         for client in list(self._clients):
             try:
@@ -134,6 +161,12 @@ class POETServer:
             except Exception as exc:  # noqa: BLE001 - accounted, re-raised
                 self.delivery_errors += 1
                 self._errors_counter.inc()
+                _log.warning(
+                    "client delivery failed",
+                    extra={"event": repr(event.event_id),
+                           "client": type(client).__name__,
+                           "error": repr(exc)},
+                )
                 if first_error is None:
                     first_error = exc
             else:

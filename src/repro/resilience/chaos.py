@@ -35,6 +35,8 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.core.monitor import Monitor
 from repro.events.event import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.poet.holdback import HoldbackBuffer
 from repro.resilience.faults import FaultInjector, FaultPlan
 
@@ -145,13 +147,18 @@ def _run_repairable(
     trace_names: Sequence[str],
     oracle_signature,
     stall_watermark: int,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> ChaosRun:
     """reorder / delay / duplicate / none: repair must be exact."""
     monitor = _fresh_monitor(pattern_source, trace_names)
     buffer = HoldbackBuffer(
-        len(trace_names), monitor.on_event, stall_watermark=stall_watermark
+        len(trace_names), monitor.on_event, stall_watermark=stall_watermark,
+        registry=registry, tracer=tracer,
     )
-    injector = FaultInjector(plan, buffer.on_event, seed=seed)
+    injector = FaultInjector(
+        plan, buffer.on_event, seed=seed, registry=registry, tracer=tracer
+    )
     for event in events:
         injector.feed(event)
     injector.flush()
@@ -190,13 +197,18 @@ def _run_drop(
     trace_names: Sequence[str],
     oracle_signature,
     stall_watermark: int,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> ChaosRun:
     """drop: the loss must be *detected*, not repaired."""
     monitor = _fresh_monitor(pattern_source, trace_names)
     buffer = HoldbackBuffer(
-        len(trace_names), monitor.on_event, stall_watermark=stall_watermark
+        len(trace_names), monitor.on_event, stall_watermark=stall_watermark,
+        registry=registry, tracer=tracer,
     )
-    injector = FaultInjector(plan, buffer.on_event, seed=seed)
+    injector = FaultInjector(
+        plan, buffer.on_event, seed=seed, registry=registry, tracer=tracer
+    )
     for event in events:
         injector.feed(event)
     injector.flush()
@@ -289,14 +301,20 @@ def run_fault_matrix(
     plans: Optional[Sequence[FaultPlan]] = None,
     seeds: Sequence[int] = range(10),
     stall_watermark: int = DEFAULT_STALL_WATERMARK,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
 ) -> ChaosReport:
     """Run every (plan, seed) cell over one recorded stream.
 
     ``events`` must be a valid linearization (the oracle asserts this
     implicitly: the monitor's causal index rejects out-of-order input).
+    ``registry`` and ``tracer`` are shared across cells: fault
+    injectors and hold-back buffers report into them (injection
+    counters labelled by kind; per-cell ``chaos.cell`` spans).
     """
     if not events:
         raise ValueError("chaos matrix needs a non-empty event stream")
+    span_tracer = tracer if tracer is not None else NULL_TRACER
     oracle = _run_oracle(events, pattern_source, trace_names)
     oracle_signature = oracle.subset.signature()
     report = ChaosReport(
@@ -307,21 +325,28 @@ def run_fault_matrix(
     )
     for plan in plans if plans is not None else DEFAULT_PLANS:
         for seed in seeds:
-            if plan.kind == "crash":
-                run = _run_crash(
-                    plan, seed, events, pattern_source, trace_names,
-                    oracle_signature,
-                )
-            elif plan.kind == "drop":
-                run = _run_drop(
-                    plan, seed, events, pattern_source, trace_names,
-                    oracle_signature, stall_watermark,
-                )
-            else:
-                run = _run_repairable(
-                    plan, seed, events, pattern_source, trace_names,
-                    oracle_signature, stall_watermark,
-                )
+            with span_tracer.span(
+                "chaos.cell",
+                track="chaos",
+                args={"kind": plan.kind, "seed": seed},
+            ):
+                if plan.kind == "crash":
+                    run = _run_crash(
+                        plan, seed, events, pattern_source, trace_names,
+                        oracle_signature,
+                    )
+                elif plan.kind == "drop":
+                    run = _run_drop(
+                        plan, seed, events, pattern_source, trace_names,
+                        oracle_signature, stall_watermark,
+                        registry=registry, tracer=tracer,
+                    )
+                else:
+                    run = _run_repairable(
+                        plan, seed, events, pattern_source, trace_names,
+                        oracle_signature, stall_watermark,
+                        registry=registry, tracer=tracer,
+                    )
             report.runs.append(run)
     return report
 

@@ -31,6 +31,8 @@ import random
 from typing import Callable, List, Optional
 
 from repro.events.event import Event, EventId
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 
 #: The fault kinds a plan can name.
 FAULT_KINDS = ("none", "reorder", "delay", "duplicate", "drop", "crash")
@@ -122,6 +124,11 @@ class FaultInjector:
     past concurrent or unrelated events — the "bounded reorder within
     causal slack" contract that keeps the stream repairable to its
     exact original order.
+
+    ``registry`` receives ``fault_injected_total`` /
+    ``fault_events_forwarded_total`` counters labelled by the plan's
+    kind; ``tracer`` (when enabled) records each injection as a
+    ``fault.<kind>`` instant on the ``faults`` wall-clock track.
     """
 
     def __init__(
@@ -129,6 +136,8 @@ class FaultInjector:
         plan: FaultPlan,
         sink: Callable[[Event], None],
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.plan = plan
         self._sink = sink
@@ -143,6 +152,28 @@ class FaultInjector:
         self.dropped_total = 0
         self.forwarded_total = 0
         self.dropped_ids: List[EventId] = []
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        kind_labels = {"kind": plan.kind}
+        self._injected_counter = self.registry.counter(
+            "fault_injected_total",
+            "faults injected into the delivery stream",
+            labels=kind_labels,
+        )
+        self._forwarded_counter = self.registry.counter(
+            "fault_events_forwarded_total",
+            "events forwarded downstream by the injector",
+            labels=kind_labels,
+        )
+
+    def _record_injection(self, event: Event) -> None:
+        self._injected_counter.inc()
+        if self._tracer.enabled:
+            self._tracer.instant(
+                f"fault.{self.plan.kind}",
+                track="faults",
+                args={"event": repr(event.event_id)},
+            )
 
     # ------------------------------------------------------------------
     # Stream interface
@@ -158,6 +189,7 @@ class FaultInjector:
             self._emit(event)
             if self._may_fault() and self._roll():
                 self.duplicated_total += 1
+                self._record_injection(event)
                 self._dup_queue.append(
                     [self._rng.randint(1, self.plan.max_delay), event]
                 )
@@ -172,6 +204,7 @@ class FaultInjector:
             ):
                 self.dropped_total += 1
                 self.dropped_ids.append(event.event_id)
+                self._record_injection(event)
             else:
                 self._emit(event)
         else:  # none / crash: pass-through
@@ -207,6 +240,7 @@ class FaultInjector:
             self._emit(stashed)
         if self._may_fault() and self._roll():
             self.delayed_total += 1
+            self._record_injection(event)
             self._stashed = event
             self._stash_budget = (
                 1
@@ -228,6 +262,7 @@ class FaultInjector:
 
     def _emit(self, event: Event) -> None:
         self.forwarded_total += 1
+        self._forwarded_counter.inc()
         self._sink(event)
 
     def _roll(self) -> bool:

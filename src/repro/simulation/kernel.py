@@ -31,6 +31,7 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequen
 from repro.clocks.lamport import LamportClock
 from repro.clocks.vector_clock import VectorClock
 from repro.events.event import Event, EventId, EventKind
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.simulation.errors import DeadlockError, SimulationError
 from repro.simulation.network import Message, Network
 from repro.simulation.process import (
@@ -176,6 +177,7 @@ class Kernel:
         self._num_events = 0
         self._sinks: List[EventSink] = []
         self._transmit_fault: Optional[Callable[[Message], float]] = None
+        self._tracer: SpanTracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Configuration
@@ -197,6 +199,24 @@ class Kernel:
         run remains a valid computation (a different interleaving, not
         a corrupted one)."""
         self._transmit_fault = fault
+
+    def set_tracer(self, tracer: Optional[SpanTracer]) -> None:
+        """Attach a span tracer (``None`` detaches).  Every emitted
+        event becomes a slice on its trace's simulated-time track, and
+        every message (point-to-point or semaphore grant/release)
+        becomes a flow event from its send slice to its receive slice
+        — the happens-before edges of the computation."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if self._tracer.enabled:
+            for trace, name in enumerate(self.trace_names()):
+                self._tracer.sim_track(trace, name)
+            self._tracer.bind_sim_clock(lambda: self._now)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (advances monotonically while
+        :meth:`run` drains the schedule)."""
+        return self._now
 
     def spawn(self, pid: int, body: ProcessBody) -> None:
         """Install the program for process ``pid``."""
@@ -314,6 +334,18 @@ class Kernel:
             lamport=lamport,
         )
         self._num_events += 1
+        if self._tracer.enabled:
+            ts = self._tracer.sim_event(
+                trace,
+                etype,
+                self._now,
+                args={"id": repr(event.event_id), "kind": kind.value,
+                      "text": text},
+            )
+            if kind is EventKind.SEND:
+                self._tracer.flow_start(event.event_id, trace, self._now, ts=ts)
+            elif kind is EventKind.RECEIVE and partner is not None:
+                self._tracer.flow_finish(partner, trace, self._now, ts=ts)
         for sink in self._sinks:
             sink(event)
         return event

@@ -217,3 +217,117 @@ class TestOfflineCommand:
         out = capsys.readouterr().out
         assert "total matches" in out
         assert "match:" in out
+
+
+class TestTraceCommand:
+    def test_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.spans import validate_chrome_trace
+
+        out_file = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "race", "--traces", "4", "--seed", "0",
+             "--max-events", "2000", "-o", str(out_file)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "detection latency" in out
+        assert "wrote" in out
+        document = json.loads(out_file.read_text())
+        counts = validate_chrome_trace(document)
+        assert counts["flows"] >= 1
+        assert counts["sim_events"] >= 1
+        names = {
+            e.get("name") for e in document["traceEvents"]
+            if e.get("ph") == "B"
+        }
+        assert "matcher.search" in names
+        assert "poet.deliver" in names
+        # Nested child spans inside a search.
+        assert names & {"matcher.goForward", "matcher.goBackward"}
+
+    def test_case_trace_out_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.spans import validate_chrome_trace
+
+        out_file = tmp_path / "case.json"
+        rc = main(
+            ["case", "race", "--traces", "3", "--seed", "1", "--quiet",
+             "--max-events", "800", "--trace-out", str(out_file)]
+        )
+        assert rc == 0
+        counts = validate_chrome_trace(json.loads(out_file.read_text()))
+        assert counts["events"] > 0
+
+    def test_chaos_trace_out_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.spans import validate_chrome_trace
+
+        out_file = tmp_path / "chaos-trace.json"
+        rc = main(
+            ["chaos", "race", "--traces", "3", "--seed", "1",
+             "--seeds", "0", "--plans", "reorder", "duplicate",
+             "--max-events", "800", "--trace-out", str(out_file)]
+        )
+        assert rc == 0
+        document = json.loads(out_file.read_text())
+        validate_chrome_trace(document)
+        names = {e.get("name") for e in document["traceEvents"]}
+        assert "chaos.cell" in names
+
+
+class TestStatsTraceInJson:
+    ARGS = ["stats", "race", "--traces", "3", "--seed", "1",
+            "--max-events", "500"]
+
+    def test_search_trace_embedded_in_json_document(self, capsys):
+        import json
+
+        rc = main(self.ARGS + ["--format", "json", "--show-trace", "5"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # Structured output stays structured: nothing on stderr, the
+        # trace tail lives inside the document.
+        assert captured.err == ""
+        document = json.loads(captured.out)
+        trace = document["search_trace"]
+        assert trace["recorded_total"] > 0
+        assert 0 < len(trace["records"]) <= 5
+        record = trace["records"][0]
+        assert {"kind", "search", "level", "leaf_id"} <= set(record)
+
+    def test_json_without_show_trace_has_no_trace_key(self, capsys):
+        import json
+
+        rc = main(self.ARGS + ["--format", "json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "search_trace" not in document
+
+    def test_detection_latency_histogram_in_stats(self, capsys):
+        import json
+
+        rc = main(self.ARGS + ["--format", "json"])
+        assert rc == 0
+        document = json.loads(capsys.readouterr().out)
+        metrics = {m["name"]: m for m in document["metrics"]}
+        latency = metrics["ocep_detection_latency_sim_time"]
+        assert latency["kind"] == "histogram"
+        assert latency["count"] > 0
+        reports = metrics["ocep_detection_reports_total"]["value"]
+        assert reports > 0
+
+    def test_detection_latency_in_table_output(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ocep_detection_latency_sim_time" in out
+        # Sim-time histograms are not rendered in microseconds.
+        line = next(
+            line for line in out.splitlines()
+            if line.startswith("ocep_detection_latency_sim_time ")
+        )
+        assert "us" not in line

@@ -1,0 +1,194 @@
+"""Prometheus text-exposition conformance for :func:`to_prometheus`.
+
+Rather than eyeballing substrings, these tests reparse the emitted
+document with a small parser implementing the text-format grammar
+(``# HELP``/``# TYPE`` comment lines, ``name{labels} value`` samples)
+and check the format's structural rules: cumulative, monotone
+``_bucket`` series terminated by ``le="+Inf"``, ``_count`` equal to
+the +Inf bucket, one TYPE line per metric family, and label escaping
+that survives a round trip.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_exposition(text: str):
+    """Parse the text format into (samples, types, helps).
+
+    samples: list of (name, labels-dict, value) in document order.
+    """
+    samples, types, helps = [], {}, {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, kind = rest.split(" ", 1)
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, help_text = rest.split(" ", 1)
+            helps[name] = help_text
+            continue
+        assert not line.startswith("#"), f"unknown comment at line {lineno}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line {lineno}: {line!r}"
+        labels = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for label_match in _LABEL.finditer(label_text):
+                labels[label_match.group(1)] = _unescape(label_match.group(2))
+                consumed = label_match.end()
+            rest = label_text[consumed:].strip(", ")
+            assert not rest, f"trailing label junk at line {lineno}: {rest!r}"
+        samples.append(
+            (match.group("name"), labels, _parse_value(match.group("value")))
+        )
+    return samples, types, helps
+
+
+def build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("jobs_total", "jobs processed").inc(7)
+    registry.counter(
+        "jobs_total", "jobs processed", labels={"kind": "batch"}
+    ).inc(3)
+    registry.gauge("queue_depth", "items waiting").set(4.5)
+    histogram = registry.histogram(
+        "latency_seconds", "request latency", bounds=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheusConformance:
+    def test_document_parses_fully(self):
+        samples, types, _ = parse_exposition(to_prometheus(build_registry()))
+        assert samples
+        assert types == {
+            "jobs_total": "counter",
+            "queue_depth": "gauge",
+            "latency_seconds": "histogram",
+        }
+
+    def test_counter_and_gauge_values(self):
+        samples, _, _ = parse_exposition(to_prometheus(build_registry()))
+        by_key = {(n, tuple(sorted(l.items()))): v for n, l, v in samples}
+        assert by_key[("jobs_total", ())] == 7
+        assert by_key[("jobs_total", (("kind", "batch"),))] == 3
+        assert by_key[("queue_depth", ())] == 4.5
+
+    def test_histogram_buckets_cumulative_and_inf_terminated(self):
+        samples, _, _ = parse_exposition(to_prometheus(build_registry()))
+        buckets = [
+            (l["le"], v) for n, l, v in samples if n == "latency_seconds_bucket"
+        ]
+        les = [_parse_value(le) for le, _ in buckets]
+        counts = [count for _, count in buckets]
+        # le edges strictly increasing and terminated by +Inf.
+        assert les == sorted(les)
+        assert les[-1] == math.inf
+        # Cumulative: monotone non-decreasing.
+        assert counts == sorted(counts)
+        assert counts == [1, 3, 4, 5]
+
+    def test_count_equals_inf_bucket_and_sum_matches(self):
+        samples, _, _ = parse_exposition(to_prometheus(build_registry()))
+        by_name = {}
+        for name, labels, value in samples:
+            by_name.setdefault(name, []).append((labels, value))
+        inf_bucket = next(
+            v for l, v in by_name["latency_seconds_bucket"] if l["le"] == "+Inf"
+        )
+        count = by_name["latency_seconds_count"][0][1]
+        total = by_name["latency_seconds_sum"][0][1]
+        assert count == inf_bucket == 5
+        assert total == pytest.approx(0.05 + 0.5 + 0.5 + 5.0 + 50.0)
+
+    def test_help_line_precedes_type_per_family(self):
+        text = to_prometheus(build_registry())
+        lines = [line for line in text.splitlines() if line]
+        seen_samples = set()
+        for line in lines:
+            if line.startswith("# "):
+                kind, name = line.split(" ", 2)[1:3][0], line.split(" ")[2]
+                assert name not in seen_samples, (
+                    f"{kind} for {name} appears after its samples"
+                )
+            else:
+                seen_samples.add(_SAMPLE.match(line).group("name").rsplit(
+                    "_bucket", 1
+                )[0].rsplit("_sum", 1)[0].rsplit("_count", 1)[0])
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        nasty = 'quote " backslash \\ newline \n end'
+        registry.counter("escapes_total", "test", labels={"v": nasty}).inc()
+        samples, _, _ = parse_exposition(to_prometheus(registry))
+        name, labels, value = samples[0]
+        assert name == "escapes_total"
+        assert labels["v"] == nasty
+        assert value == 1
+
+    def test_help_escaping_preserves_newlines(self):
+        registry = MetricsRegistry()
+        registry.counter("h_total", "line one\nline two").inc()
+        _, _, helps = parse_exposition(to_prometheus(registry))
+        assert helps["h_total"] == "line one\\nline two"
+
+    def test_empty_registry_is_empty_document(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_real_pipeline_registry_conforms(self):
+        from tests.unit.test_spans import run_traced_race
+
+        _, registry, monitor, _ = run_traced_race(max_events=600)
+        monitor.publish_metrics()
+        samples, types, _ = parse_exposition(to_prometheus(registry))
+        names = {name for name, _, _ in samples}
+        assert "ocep_detection_latency_sim_time_bucket" in names
+        assert types["ocep_detection_latency_sim_time"] == "histogram"
+        # Every histogram family's buckets are cumulative.
+        for family, kind in types.items():
+            if kind != "histogram":
+                continue
+            series = {}
+            for name, labels, value in samples:
+                if name == f"{family}_bucket":
+                    key = tuple(sorted(
+                        (k, v) for k, v in labels.items() if k != "le"
+                    ))
+                    series.setdefault(key, []).append(value)
+            for counts in series.values():
+                assert counts == sorted(counts)

@@ -189,3 +189,78 @@ class TestKernelIntegration:
         workload.kernel.set_transmit_fault(lambda message: -1.0)
         with pytest.raises(SimulationError):
             workload.run(max_events=5000)
+
+
+class TestInjectorObservability:
+    def test_injection_counters_labelled_by_kind(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        events = _events(steps=120)
+        out = []
+        injector = FaultInjector(
+            FaultPlan.duplicate(probability=0.5),
+            out.append,
+            seed=3,
+            registry=registry,
+        )
+        for e in events:
+            injector.feed(e)
+        injector.flush()
+        assert injector.duplicated_total > 0
+        injected = registry.get(
+            "fault_injected_total", labels={"kind": "duplicate"}
+        )
+        forwarded = registry.get(
+            "fault_events_forwarded_total", labels={"kind": "duplicate"}
+        )
+        assert injected.value == injector.duplicated_total
+        assert forwarded.value == injector.forwarded_total == len(out)
+
+    def test_drop_and_delay_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        for plan, attr in (
+            (FaultPlan.drop(probability=1.0, max_faults=2), "dropped_total"),
+            (FaultPlan.delay(probability=0.5), "delayed_total"),
+        ):
+            registry = MetricsRegistry()
+            injector, _ = _inject(plan, _events(steps=100), seed=1)
+            # Re-run with the registry attached.
+            out = []
+            traced = FaultInjector(plan, out.append, seed=1, registry=registry)
+            for e in _events(steps=100):
+                traced.feed(e)
+            traced.flush()
+            counter = registry.get(
+                "fault_injected_total", labels={"kind": plan.kind}
+            )
+            assert counter.value == getattr(traced, attr)
+            assert counter.value == getattr(injector, attr) > 0
+
+    def test_fault_instants_recorded_on_tracer(self):
+        from repro.obs.spans import SpanTracer, validate_trace_events
+
+        tracer = SpanTracer()
+        out = []
+        injector = FaultInjector(
+            FaultPlan.reorder(probability=0.5), out.append, seed=2,
+            tracer=tracer,
+        )
+        for e in _events(steps=100):
+            injector.feed(e)
+        injector.flush()
+        assert injector.delayed_total > 0
+        instants = [
+            e for e in tracer.events()
+            if e.get("ph") == "i" and e.get("name") == "fault.reorder"
+        ]
+        assert len(instants) == injector.delayed_total
+        validate_trace_events(tracer.events())
+
+    def test_no_registry_costs_nothing(self):
+        injector, out = _inject(
+            FaultPlan.reorder(probability=0.5), _events(steps=80), seed=2
+        )
+        # The default no-op registry/tracer leave accounting intact.
+        assert injector.forwarded_total == len(out)
