@@ -30,8 +30,8 @@ from repro.analysis import (
 from repro.analysis.runner import scaled
 from repro.core.config import MatcherConfig
 from repro.core.monitor import Monitor
+from repro.engine import Pipeline
 from repro.events.event import Event
-from repro.poet.client import RecordingClient
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -50,11 +50,15 @@ def record_stream(key: tuple, build: Callable[[], object], max_events: Optional[
     cache_key = key + (max_events,)
     if cache_key in _STREAM_CACHE:
         return _STREAM_CACHE[cache_key]
-    workload = build()
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    outcome = workload.run(max_events=max_events)
-    value = (recorder.events, list(workload.kernel.trace_names()), workload, outcome)
+    pipeline = Pipeline.for_workload(build())
+    recorder = pipeline.record()
+    result = pipeline.run(max_events=max_events)
+    value = (
+        recorder.events,
+        list(pipeline.trace_names),
+        pipeline.workload,
+        result.outcome,
+    )
     _STREAM_CACHE[cache_key] = value
     return value
 
@@ -64,11 +68,12 @@ def replay(
     pattern: str,
     names: Sequence[str],
     config: Optional[MatcherConfig] = None,
+    batch_size: Optional[int] = None,
 ) -> Monitor:
-    """One full replay through a fresh monitor."""
-    monitor = Monitor.from_source(pattern, names, config=config)
-    for event in events:
-        monitor.on_event(event)
+    """One full replay through a fresh single-shard pipeline."""
+    pipeline = Pipeline.replay(events, names)
+    monitor = pipeline.watch("bench", pattern, config=config)
+    pipeline.run(batch_size=batch_size)
     return monitor
 
 

@@ -23,9 +23,8 @@ for the cross-PR perf trajectory.
 import os
 import time
 
-from common import emit_json, emit_text, scaled
+from common import emit_json, emit_text, record_stream, scaled
 from repro.core.monitor import Monitor
-from repro.poet.client import RecordingClient
 from repro.poet.holdback import HoldbackBuffer
 from repro.workloads import build_message_race, message_race_pattern
 
@@ -38,11 +37,14 @@ MAX_ATTEMPTS = 4
 
 
 def _record_stream():
-    workload = build_message_race(num_traces=6, seed=3, messages_per_sender=25)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    workload.run(max_events=scaled(4000))
-    return recorder.events, list(workload.kernel.trace_names())
+    events, names, _workload, _outcome = record_stream(
+        ("race-overhead", 6, 3),
+        lambda: build_message_race(
+            num_traces=6, seed=3, messages_per_sender=25
+        ),
+        max_events=scaled(4000),
+    )
+    return events, names
 
 
 def _best_seconds(events, names, through_holdback, reverse=False) -> float:

@@ -1,0 +1,108 @@
+"""``__slots__`` on hot-path classes: the per-event cost of ``__dict__``.
+
+Every :class:`~repro.events.event.Event` of the computation is touched
+constantly — by the server store, the causal index, the leaf
+histories, the hold-back buffer — so the class is slotted.  This
+benchmark measures what that buys: the same recorded stream is
+replayed through a fresh monitor twice, once with the slotted events
+and once with ``DictEvent`` copies (a subclass that regains the
+per-instance ``__dict__``, reproducing the pre-slots object layout),
+and the per-event matching-time medians land in ``BENCH_slots.json``
+alongside the per-instance memory sizes.
+
+Match output must be identical between the two layouts (slots are a
+memory/speed optimization, never a semantic one), and the slotted
+layout must not be meaningfully slower than the dict layout.
+"""
+
+import statistics
+import sys
+
+from common import REPETITIONS, emit_json, scaled
+from repro.engine import Pipeline
+from repro.events.event import Event
+from repro.workloads import message_race_pattern
+
+#: The slotted layout may be up to this much slower before we fail
+#: (generous: the point is the recorded trajectory, not a flaky gate).
+TOLERANCE = 0.25
+
+
+class DictEvent(Event):
+    """Un-slotted control: a subclass without ``__slots__`` gives every
+    instance a ``__dict__`` again, like the pre-slots ``Event``."""
+
+
+def _as_dict_events(events):
+    return [
+        DictEvent(
+            trace=e.trace, index=e.index, etype=e.etype, text=e.text,
+            clock=e.clock, kind=e.kind, partner=e.partner, lamport=e.lamport,
+        )
+        for e in events
+    ]
+
+
+def _median_event_us(events, names, pattern):
+    """Best-of-repetitions median per-event matching time (us)."""
+    best = float("inf")
+    signature = None
+    for _ in range(max(REPETITIONS, 3)):
+        pipe = Pipeline.replay(events, names)
+        monitor = pipe.watch("race", pattern)
+        pipe.run(batch_size=1)
+        median = statistics.median(monitor.timings) * 1e6
+        if median < best:
+            best = median
+        signature = monitor.subset.signature()
+    return best, signature
+
+
+def test_slots_per_event_overhead():
+    pipe = Pipeline.for_case("race", traces=6, seed=3)
+    recorder = pipe.record()
+    pipe.run(max_events=scaled(4000))
+    names = list(pipe.trace_names)
+    pattern = message_race_pattern()
+    slotted_events = recorder.events
+    dict_events = _as_dict_events(slotted_events)
+
+    assert not hasattr(slotted_events[0], "__dict__")
+    assert hasattr(dict_events[0], "__dict__")
+
+    slots_us, slots_sig = _median_event_us(slotted_events, names, pattern)
+    dict_us, dict_sig = _median_event_us(dict_events, names, pattern)
+
+    # Identical semantics: the layout must not change what is matched.
+    assert slots_sig == dict_sig
+
+    slots_bytes = sys.getsizeof(slotted_events[0])
+    dict_bytes = sys.getsizeof(dict_events[0]) + sys.getsizeof(
+        dict_events[0].__dict__
+    )
+
+    emit_json(
+        "slots",
+        {
+            "title": "__slots__ on Event: per-event median matching time",
+            "unit": "us",
+            "events": len(slotted_events),
+            "per_event_median_us": {
+                "dict": dict_us,        # before: __dict__-backed events
+                "slots": slots_us,      # after: slotted events
+            },
+            "speedup": dict_us / slots_us if slots_us else None,
+            "event_bytes": {"dict": dict_bytes, "slots": slots_bytes},
+            "notes": (
+                "dict = events carrying a per-instance __dict__ (the "
+                "pre-slots layout); slots = the shipped slotted Event. "
+                "Same stream, same pattern, best-of-repetitions medians."
+            ),
+        },
+    )
+
+    assert slots_bytes < dict_bytes
+    assert slots_us <= dict_us * (1 + TOLERANCE), (
+        f"slotted events are >{TOLERANCE:.0%} slower than dict events "
+        f"({slots_us:.2f}us vs {dict_us:.2f}us)"
+    )

@@ -21,10 +21,9 @@ and requires the ``noop`` path to stay within 3% of ``off``
 import os
 import time
 
-from common import emit_json, emit_text, scaled
+from common import emit_json, emit_text, record_stream, scaled
 from repro.core import Monitor
 from repro.obs.spans import NullTracer, SpanTracer
-from repro.poet.client import RecordingClient
 from repro.workloads import build_message_race, message_race_pattern
 
 #: Relative overhead allowed for the disabled-tracer path.
@@ -37,11 +36,14 @@ MIN_OF = 5
 
 
 def _record_stream():
-    workload = build_message_race(num_traces=6, seed=3, messages_per_sender=25)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    workload.run(max_events=scaled(4000))
-    return recorder.events, list(workload.kernel.trace_names())
+    events, names, _workload, _outcome = record_stream(
+        ("race-overhead", 6, 3),
+        lambda: build_message_race(
+            num_traces=6, seed=3, messages_per_sender=25
+        ),
+        max_events=scaled(4000),
+    )
+    return events, names
 
 
 def _best_replay_seconds(events, names, tracer=None) -> float:

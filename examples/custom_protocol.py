@@ -25,7 +25,8 @@ Run with::
     python examples/custom_protocol.py
 """
 
-from repro import ANY_SOURCE, Kernel, Monitor, instrument
+from repro import ANY_SOURCE, Kernel
+from repro.engine import Pipeline
 
 PARTICIPANTS = 4
 TRANSACTIONS = 12
@@ -74,10 +75,8 @@ def participant(p):
 
 def main() -> None:
     kernel = Kernel(num_processes=PARTICIPANTS + 1, seed=17)
-    server = instrument(kernel)
-
-    monitor = Monitor.from_source(PATTERN, kernel.trace_names())
-    server.connect(monitor)
+    pipeline = Pipeline.for_kernel(kernel)
+    monitor = pipeline.watch("presumed-commit", PATTERN)
 
     kernel.spawn(0, coordinator)
     for pid in range(1, PARTICIPANTS + 1):
@@ -85,7 +84,7 @@ def main() -> None:
 
     print(f"running 2PC for {TRANSACTIONS} transactions over "
           f"{PARTICIPANTS} participants ...")
-    result = kernel.run(max_events=20_000)
+    result = pipeline.run(max_events=20_000).outcome
     print(f"simulated {result.num_events} events\n")
 
     violations = {}

@@ -15,27 +15,24 @@ Run with::
 
 import statistics
 
-from repro import Monitor
 from repro.baselines import WaitForGraphDetector
-from repro.poet import RecordingClient
+from repro.engine import Pipeline
 from repro.workloads import build_random_walk, deadlock_pattern
 
 RING = 8
 
 
 def main() -> None:
-    workload = build_random_walk(num_traces=RING, seed=11, skip_probability=0.08)
-
-    monitor = Monitor.from_source(
-        deadlock_pattern(RING), workload.kernel.trace_names()
+    pipeline = Pipeline.for_workload(
+        build_random_walk(num_traces=RING, seed=11, skip_probability=0.08)
     )
-    workload.server.connect(monitor)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
+    monitor = pipeline.watch("deadlock", deadlock_pattern(RING))
+    recorder = pipeline.record()
+    workload = pipeline.workload
 
     print(f"running a {RING}-rank parallel random walk with a latent "
           "communication deadlock ...")
-    result = workload.run(max_events=60_000)
+    result = pipeline.run(max_events=60_000).outcome
     print(f"simulation ended after {result.num_events} events; "
           f"deadlocked={result.deadlocked}, blocked ranks={list(result.blocked)}\n")
 

@@ -15,8 +15,8 @@ Run with::
 import tempfile
 from pathlib import Path
 
-from repro import Monitor, dump_events, load_events
-from repro.poet import RecordingClient
+from repro import dump_events
+from repro.engine import Pipeline
 from repro.workloads import atomicity_pattern, build_atomicity
 
 
@@ -28,18 +28,15 @@ def detections(monitor):
 
 
 def main() -> None:
-    workload = build_atomicity(
+    live = Pipeline.for_workload(build_atomicity(
         num_processes=6, seed=21, iterations=40, bypass_probability=0.05
-    )
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    live_monitor = Monitor.from_source(
-        atomicity_pattern(), workload.kernel.trace_names()
-    )
-    workload.server.connect(live_monitor)
+    ))
+    recorder = live.record()
+    live_monitor = live.watch("atomicity", atomicity_pattern())
+    workload = live.workload
 
     print("running the semaphore workload live ...")
-    result = workload.run()
+    result = live.run().outcome
     print(f"  {result.num_events} events, "
           f"{len(workload.bypasses)} broken acquires injected, "
           f"{len(live_monitor.reports)} violations reported live")
@@ -50,17 +47,16 @@ def main() -> None:
             dump_path,
             recorder.events,
             workload.num_traces,
-            workload.kernel.trace_names(),
+            list(live.trace_names),
         )
         size = dump_path.stat().st_size
         print(f"\ndumped {count} events to {dump_path.name} ({size:,} bytes)")
 
-        events, num_traces, names = load_events(dump_path)
-        print(f"reloaded {len(events)} events over {num_traces} traces")
-
-        replay_monitor = Monitor.from_source(atomicity_pattern(), names)
-        for event in events:
-            replay_monitor.on_event(event)
+        replay = Pipeline.from_dump(dump_path)
+        replay_monitor = replay.watch("atomicity", atomicity_pattern())
+        replayed = replay.run()
+        print(f"reloaded {replayed.num_events} events over "
+              f"{replay.num_traces} traces (batch-first delivery)")
         print(f"replay reported {len(replay_monitor.reports)} violations")
 
         assert detections(live_monitor) == detections(replay_monitor)

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Watching several safety conditions at once with MultiMonitor.
+"""Watching several safety conditions at once with a sharded pipeline.
 
 A realistic deployment monitors many patterns over one event stream.
 This example runs the traffic-light system (the paper's introductory
-example) and watches three conditions simultaneously:
+example) through one :class:`~repro.engine.Pipeline` whose sharded
+dispatcher watches three conditions simultaneously:
 
 * ``conflict``  — two lights green concurrently (the unsafe state);
 * ``handshake`` — every grant is answered: controller grant message
@@ -15,8 +16,8 @@ Run with::
     python examples/multi_pattern_dashboard.py
 """
 
-from repro import MultiMonitor
 from repro.analysis import format_table
+from repro.engine import Pipeline
 from repro.workloads import build_traffic_light, traffic_light_pattern
 
 HANDSHAKE = """
@@ -34,27 +35,23 @@ pattern := $t -> Green;
 
 
 def main() -> None:
-    workload = build_traffic_light(
-        num_lights=4, seed=2, cycles=30, fault_probability=0.15
-    )
-
     alerts = []
-    multi = MultiMonitor(
-        workload.kernel.trace_names(),
-        on_match=lambda name, report: alerts.append(name),
-    )
-    multi.watch("conflict", traffic_light_pattern())
-    multi.watch("handshake", HANDSHAKE)
-    multi.watch("sequence", SEQUENCE)
-    workload.server.connect(multi)
+    pipeline = Pipeline.for_workload(build_traffic_light(
+        num_lights=4, seed=2, cycles=30, fault_probability=0.15
+    )).on_match(lambda name, report: alerts.append(name))
+    pipeline.watch("conflict", traffic_light_pattern())
+    pipeline.watch("handshake", HANDSHAKE)
+    pipeline.watch("sequence", SEQUENCE)
+    workload = pipeline.workload
 
     print("running the traffic-light system with a flaky relay ...")
-    result = workload.run()
+    outcome = pipeline.run()
+    result = outcome.outcome
     print(f"simulated {result.num_events} events; "
           f"{len(workload.faults)} stuck-relay faults injected\n")
 
     rows = []
-    for name, stats in multi.stats().items():
+    for name, stats in outcome.stats().items():
         rows.append(
             [
                 name,
@@ -68,7 +65,7 @@ def main() -> None:
         ["pattern", "matches", "subset", "searches", "history"], rows
     ))
 
-    conflicts = multi["conflict"].reports
+    conflicts = outcome["conflict"].reports
     print(f"\nunsafe states (concurrent greens): {len(conflicts)}")
     for report in conflicts[:5]:
         g1, g2 = report.as_dict().values()

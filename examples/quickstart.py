@@ -5,8 +5,9 @@ This is the smallest complete OCEP pipeline:
 
 1. build a simulated target application (two processes exchanging
    messages) on the discrete-event kernel;
-2. instrument it with the POET substrate;
-3. connect an online monitor watching the causal pattern ``A -> B``;
+2. wrap it in an engine :class:`~repro.engine.Pipeline` (which
+   instruments it with the POET substrate);
+3. watch the causal pattern ``A -> B``;
 4. run — matches are reported the moment their last event arrives.
 
 Run with::
@@ -14,7 +15,8 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Kernel, Monitor, instrument
+from repro import Kernel
+from repro.engine import Pipeline
 
 PATTERN = """
 # A request event on any process, causally followed by a completion
@@ -41,7 +43,6 @@ def consumer(p):
 
 def main() -> None:
     kernel = Kernel(num_processes=2, seed=42)
-    server = instrument(kernel)
 
     def on_match(report):
         assignment = report.as_dict()
@@ -51,16 +52,14 @@ def main() -> None:
             f"-> {complete.text!r} on trace {complete.trace}"
         )
 
-    monitor = Monitor.from_source(
-        PATTERN, kernel.trace_names(), on_match=on_match
-    )
-    server.connect(monitor)
+    pipeline = Pipeline.for_kernel(kernel)
+    monitor = pipeline.watch("quickstart", PATTERN, on_match=on_match)
 
     kernel.spawn(0, producer)
     kernel.spawn(1, consumer)
 
     print("running the simulated application ...")
-    result = kernel.run()
+    result = pipeline.run()
 
     stats = monitor.stats()
     print(f"\nprocessed {stats.events_seen} events")

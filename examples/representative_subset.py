@@ -18,8 +18,9 @@ Run with::
     python examples/representative_subset.py
 """
 
-from repro import MatcherConfig, Monitor, enumerate_matches
+from repro import MatcherConfig, enumerate_matches
 from repro.baselines import SlidingWindowMatcher
+from repro.engine import Pipeline
 from repro.testing import Weaver
 
 PATTERN = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
@@ -58,13 +59,15 @@ def main() -> None:
     print(render_diagram(weaver.events, 3, trace_names=TRACES))
     print()
 
-    monitor = Monitor.from_source(
-        PATTERN, TRACES, config=MatcherConfig(prune_history=False)
+    pipeline = Pipeline.replay(weaver.events, TRACES)
+    monitor = pipeline.watch(
+        "subset", PATTERN, config=MatcherConfig(prune_history=False)
     )
+    pipeline.run()
+
     window = SlidingWindowMatcher(monitor.pattern, 3, window=6)
     window_matches = []
     for event in weaver.events:
-        monitor.on_event(event)
         window_matches.extend(window.on_event(event))
 
     oracle = enumerate_matches(monitor.pattern, weaver.events)

@@ -20,28 +20,26 @@ Run with::
     python examples/zookeeper_ordering_bug.py
 """
 
-from repro import Monitor
+from repro.engine import Pipeline
 from repro.workloads import build_ordering_bug, ordering_bug_pattern
 
 
 def main() -> None:
-    workload = build_ordering_bug(
+    pipeline = Pipeline.for_workload(build_ordering_bug(
         num_traces=8,  # one leader, seven followers
         seed=7,
         synchs_per_follower=6,
         bug_probability=0.10,
-    )
+    ))
+    workload = pipeline.workload
 
     print("ordering pattern under watch:")
     print(ordering_bug_pattern())
 
-    monitor = Monitor.from_source(
-        ordering_bug_pattern(), workload.kernel.trace_names()
-    )
-    workload.server.connect(monitor)
+    monitor = pipeline.watch("ordering", ordering_bug_pattern())
 
     print("running the replicated service ...")
-    result = workload.run()
+    result = pipeline.run().outcome
     print(f"simulated {result.num_events} events\n")
 
     matched_requests = {}

@@ -26,7 +26,6 @@ from repro.analysis.stats import BoxplotStats, compute_boxplot
 from repro.core.config import MatcherConfig
 from repro.core.monitor import Monitor
 from repro.events.event import Event
-from repro.poet.client import RecordingClient
 
 #: The paper's event budget per test case.
 PAPER_SCALE = 1_000_000
@@ -73,16 +72,19 @@ def replay_through_monitor(
     repetitions: int = 3,
     config: Optional[MatcherConfig] = None,
 ) -> tuple:
-    """Replay a recorded stream through fresh monitors, averaging the
-    per-event timings elementwise; returns ``(timings, last_monitor)``."""
+    """Replay a recorded stream through fresh monitors (one batched
+    engine pipeline per repetition), averaging the per-event timings
+    elementwise; returns ``(timings, last_monitor)``."""
+    from repro.engine.pipeline import Pipeline
+
     if repetitions < 1:
         raise ValueError(f"need at least one repetition, got {repetitions}")
     summed: Optional[List[float]] = None
     monitor: Optional[Monitor] = None
     for _ in range(repetitions):
-        monitor = Monitor.from_source(pattern_source, trace_names, config=config)
-        for event in events:
-            monitor.on_event(event)
+        pipeline = Pipeline.replay(events, trace_names)
+        monitor = pipeline.watch("replay", pattern_source, config=config)
+        pipeline.run()
         timings = monitor.terminating_timings
         if summed is None:
             summed = list(timings)
@@ -111,15 +113,17 @@ def run_case(
     do).  The workload's stream is recorded once and replayed through
     ``repetitions`` fresh monitors.
     """
-    workload = build()
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    outcome = workload.run(max_events=max_events)
+    from repro.engine.pipeline import Pipeline
+
+    pipeline = Pipeline.for_workload(build())
+    recorder = pipeline.record()
+    result = pipeline.run(max_events=max_events)
+    outcome = result.outcome
 
     timings, monitor = replay_through_monitor(
         recorder.events,
         pattern_source,
-        workload.kernel.trace_names(),
+        pipeline.trace_names,
         repetitions=repetitions,
         config=config,
     )

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands mirror the workflows a user of the paper's system
-would run:
+Every subcommand runs the same staged engine
+(:class:`repro.engine.Pipeline`); they differ only in source, watched
+patterns, and reporting:
 
 ``ocep simulate <case>``
-    Run one of the four case-study workloads and dump its event stream
-    to a POET dump file.
+    Run one of the case-study workloads and dump its event stream to a
+    POET dump file.
 
 ``ocep match <pattern-file> <dump-file>``
     Replay a dump through the online matcher and print every reported
@@ -50,6 +51,13 @@ would run:
     be detected as stalls, and a checkpoint/restore after the seeded
     crash must converge.  Exit status 1 when any cell fails.
 
+``ocep pipeline <case|all>``
+    The sharded-equivalence check (the CI pipeline-smoke job): run the
+    four case-study patterns in ONE batched sharded pass over each
+    requested workload, then diff the matches, subsets, and per-monitor
+    counters against four independent per-event single-pattern runs.
+    Exit status 1 on any divergence.
+
 Installed as the ``ocep`` console script; also runnable as
 ``python -m repro.cli``.
 """
@@ -59,71 +67,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
 from repro.analysis import compute_boxplot, quartile_table
 from repro.analysis.runner import replay_through_monitor
 from repro.core.config import MatcherConfig
-from repro.core.monitor import Monitor
+from repro.engine import CASE_STUDY_NAMES, CASES, Pipeline, case_patterns
 from repro.obs import MetricsRegistry, to_json, to_prometheus
 from repro.obs.latency import track_detection_latency
 from repro.obs.spans import SpanTracer, to_chrome_json, validate_trace_events
-from repro.poet.client import RecordingClient
 from repro.poet.dumpfile import dump_events, load_events
-from repro.workloads import (
-    atomicity_pattern,
-    build_atomicity,
-    build_message_race,
-    build_ordering_bug,
-    build_random_walk,
-    build_traffic_light,
-    deadlock_pattern,
-    message_race_pattern,
-    ordering_bug_pattern,
-    traffic_light_pattern,
-)
-
-#: case name -> (builder(traces, seed), pattern source builder(traces))
-CASES: Dict[str, Tuple[Callable, Callable]] = {
-    "deadlock": (
-        lambda traces, seed: build_random_walk(
-            num_traces=traces, seed=seed, skip_probability=0.08
-        ),
-        deadlock_pattern,
-    ),
-    "race": (
-        lambda traces, seed: build_message_race(
-            num_traces=traces, seed=seed, messages_per_sender=20
-        ),
-        lambda traces: message_race_pattern(),
-    ),
-    "atomicity": (
-        lambda traces, seed: build_atomicity(
-            num_processes=traces, seed=seed, iterations=40, bypass_probability=0.02
-        ),
-        lambda traces: atomicity_pattern(),
-    ),
-    "ordering": (
-        lambda traces, seed: build_ordering_bug(
-            num_traces=traces, seed=seed, synchs_per_follower=6, bug_probability=0.05
-        ),
-        lambda traces: ordering_bug_pattern(),
-    ),
-    "traffic": (
-        lambda traces, seed: build_traffic_light(
-            num_lights=max(2, traces - 1),
-            seed=seed,
-            cycles=40,
-            fault_probability=0.05,
-        ),
-        lambda traces: traffic_light_pattern(),
-    ),
-}
-
-
-def _build_case(name: str, traces: int, seed: int):
-    builder, pattern_builder = CASES[name]
-    return builder(traces, seed), pattern_builder(traces)
 
 
 def _print_report(report, names) -> None:
@@ -137,15 +90,14 @@ def _print_report(report, names) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    workload, _ = _build_case(args.case, args.traces, args.seed)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    outcome = workload.run(max_events=args.max_events)
-    names = workload.kernel.trace_names()
+    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    recorder = pipeline.record()
+    result = pipeline.run(max_events=args.max_events)
+    names = pipeline.trace_names
     count = dump_events(args.output, recorder.events, len(names), names)
     print(
-        f"simulated {outcome.num_events} events "
-        f"(deadlocked={outcome.deadlocked}); wrote {count} to {args.output}"
+        f"simulated {result.num_events} events "
+        f"(deadlocked={result.deadlocked}); wrote {count} to {args.output}"
     )
     return 0
 
@@ -153,17 +105,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_match(args: argparse.Namespace) -> int:
     with open(args.pattern, "r", encoding="utf-8") as fh:
         pattern_source = fh.read()
-    events, num_traces, names = load_events(args.dump)
-    monitor = Monitor.from_source(pattern_source, names)
-    for event in events:
-        monitor.on_event(event)
+    pipeline = Pipeline.from_dump(args.dump)
+    names = pipeline.trace_names
+    monitor = pipeline.watch("pattern", pattern_source)
+    pipeline.run()
     for report in monitor.reports:
         _print_report(report, names)
     stats = monitor.stats()
     print(
         f"\n{stats.events_seen} events, {stats.matches_reported} matches, "
         f"subset {stats.subset_size} "
-        f"(bound {monitor.pattern.num_leaves * num_traces}), "
+        f"(bound {monitor.pattern.num_leaves * pipeline.num_traces}), "
         f"history {stats.history_size}"
     )
     return 0
@@ -184,24 +136,19 @@ def _write_trace(tracer: SpanTracer, path: str) -> dict:
 
 
 def cmd_case(args: argparse.Namespace) -> int:
-    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
-    names = workload.kernel.trace_names()
     tracer = SpanTracer() if args.trace_out else None
-    if tracer is not None:
-        workload.kernel.set_tracer(tracer)
-        workload.server.use_tracer(tracer)
-    monitor = Monitor.from_source(
-        pattern_source,
-        names,
-        on_match=None if args.quiet else (lambda r: _print_report(r, names)),
-        tracer=tracer,
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed, tracer=tracer
     )
-    workload.server.connect(monitor)
-    outcome = workload.run(max_events=args.max_events)
+    names = pipeline.trace_names
+    monitor = pipeline.watch_case(
+        on_match=None if args.quiet else (lambda r: _print_report(r, names)),
+    )
+    result = pipeline.run(max_events=args.max_events)
     stats = monitor.stats()
     print(
-        f"\ncase={args.case} traces={args.traces}: {outcome.num_events} events"
-        f"{' (deadlocked)' if outcome.deadlocked else ''}, "
+        f"\ncase={args.case} traces={args.traces}: {result.num_events} events"
+        f"{' (deadlocked)' if result.deadlocked else ''}, "
         f"{stats.matches_reported} matches, subset {stats.subset_size}"
     )
     if tracer is not None:
@@ -210,29 +157,22 @@ def cmd_case(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
-    names = workload.kernel.trace_names()
     registry = MetricsRegistry()
     tracer = SpanTracer()
-    workload.kernel.set_tracer(tracer)
-    workload.server.use_registry(registry)
-    workload.server.use_tracer(tracer)
-    latency = track_detection_latency(workload.kernel, registry)
-    monitor = Monitor.from_source(
-        pattern_source,
-        names,
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed, registry=registry, tracer=tracer
+    )
+    latency = track_detection_latency(pipeline.kernel, registry)
+    monitor = pipeline.watch_case(
         config=MatcherConfig(search_trace_size=args.trace_size),
-        registry=registry,
-        tracer=tracer,
         on_match=latency.observe_report,
     )
-    workload.server.connect(monitor)
-    outcome = workload.run(max_events=args.max_events)
+    result = pipeline.run(max_events=args.max_events)
     monitor.publish_metrics()
     stats = monitor.stats()
     print(
-        f"case={args.case} traces={args.traces}: {outcome.num_events} events"
-        f"{' (deadlocked)' if outcome.deadlocked else ''}, "
+        f"case={args.case} traces={args.traces}: {result.num_events} events"
+        f"{' (deadlocked)' if result.deadlocked else ''}, "
         f"{stats.matches_reported} matches, "
         f"{stats.searches_run} searches"
     )
@@ -245,16 +185,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    outcome = workload.run(max_events=args.max_events)
-    names = workload.kernel.trace_names()
+    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    recorder = pipeline.record()
+    result = pipeline.run(max_events=args.max_events)
     timings, monitor = replay_through_monitor(
-        recorder.events, pattern_source, names, repetitions=args.repetitions
+        recorder.events,
+        pipeline.case_pattern,
+        pipeline.trace_names,
+        repetitions=args.repetitions,
     )
     stats = compute_boxplot([t * 1e6 for t in timings])
-    print(f"case={args.case} traces={args.traces} events={outcome.num_events} "
+    print(f"case={args.case} traces={args.traces} events={result.num_events} "
           f"repetitions={args.repetitions}")
     print(quartile_table({args.case: stats}))
     return 0
@@ -289,20 +230,17 @@ def _metrics_table(registry: MetricsRegistry) -> str:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
-    names = workload.kernel.trace_names()
     registry = MetricsRegistry()
-    workload.server.use_registry(registry)
-    latency = track_detection_latency(workload.kernel, registry)
-    monitor = Monitor.from_source(
-        pattern_source,
-        names,
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed, registry=registry
+    )
+    names = pipeline.trace_names
+    latency = track_detection_latency(pipeline.kernel, registry)
+    monitor = pipeline.watch_case(
         config=MatcherConfig(search_trace_size=args.trace_size),
-        registry=registry,
         on_match=latency.observe_report,
     )
-    workload.server.connect(monitor)
-    workload.run(max_events=args.max_events)
+    pipeline.run(max_events=args.max_events)
     monitor.publish_metrics()
 
     show_trace = args.show_trace and monitor.search_trace is not None
@@ -361,14 +299,12 @@ def _parse_seeds(text: str) -> list:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import DEFAULT_PLANS, run_fault_matrix
 
-    workload, pattern_source = _build_case(args.case, args.traces, args.seed)
-    recorder = RecordingClient()
-    workload.server.connect(recorder)
-    outcome = workload.run(max_events=args.max_events)
-    names = workload.kernel.trace_names()
+    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    recorder = pipeline.record()
+    result = pipeline.run(max_events=args.max_events)
     print(
         f"case={args.case} traces={args.traces}: recorded "
-        f"{outcome.num_events} events; matrix over seeds {args.seeds}"
+        f"{result.num_events} events; matrix over seeds {args.seeds}"
     )
 
     if args.plans:
@@ -384,8 +320,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     tracer = SpanTracer() if args.trace_out else None
     report = run_fault_matrix(
         recorder.events,
-        pattern_source,
-        names,
+        pipeline.case_pattern,
+        pipeline.trace_names,
         plans=plans,
         seeds=args.seeds,
         stall_watermark=args.stall_watermark,
@@ -400,6 +336,82 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if tracer is not None:
         _write_trace(tracer, args.trace_out)
     return 0 if report.ok else 1
+
+
+def _pipeline_cell(case: str, seed: int, traces: int, max_events: int,
+                   batch_size: int) -> dict:
+    """One sharded-vs-independent equivalence cell.
+
+    Runs the case's workload once, then the four case-study patterns
+    (a) in one batched sharded pass and (b) as four independent
+    per-event single-pattern replays, and diffs matches, subset
+    signatures, and full per-monitor counters.
+    """
+    source = Pipeline.for_case(case, traces, seed)
+    recorder = source.record()
+    outcome = source.run(max_events=max_events)
+    events, names = recorder.events, source.trace_names
+    patterns = case_patterns(len(names))
+
+    sharded = Pipeline.replay(events, names)
+    for name, pattern in patterns.items():
+        sharded.watch(name, pattern, record_timings=False)
+    sharded_result = sharded.run(batch_size=batch_size)
+
+    mismatches = []
+    total_matches = 0
+    for name, pattern in patterns.items():
+        solo = Pipeline.replay(events, names)
+        monitor = solo.watch(name, pattern, record_timings=False)
+        solo.run(batch_size=1)
+        shard = sharded_result[name]
+        total_matches += len(monitor.reports)
+        if shard.reports != monitor.reports:
+            mismatches.append(f"{name}: match reports differ")
+        if shard.subset.signature() != monitor.subset.signature():
+            mismatches.append(f"{name}: subset signatures differ")
+        if shard.stats() != monitor.stats():
+            mismatches.append(
+                f"{name}: counters differ "
+                f"(sharded={shard.stats()}, independent={monitor.stats()})"
+            )
+    return {
+        "case": case,
+        "seed": seed,
+        "events": outcome.num_events,
+        "matches": total_matches,
+        "ok": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    cases = list(CASE_STUDY_NAMES) if args.case == "all" else [args.case]
+    cells = []
+    for case in cases:
+        for seed in args.seeds:
+            cell = _pipeline_cell(
+                case, seed, args.traces, args.max_events, args.batch_size
+            )
+            cells.append(cell)
+            status = "ok  " if cell["ok"] else "FAIL"
+            line = (
+                f"  {status} case={case:<9} seed={seed:<3} "
+                f"events={cell['events']:<6} matches={cell['matches']}"
+            )
+            print(line)
+            for mismatch in cell["mismatches"]:
+                print(f"       {mismatch}")
+    passed = sum(cell["ok"] for cell in cells)
+    print(f"pipeline equivalence: {passed}/{len(cells)} cells passed "
+          f"(4 shards each, batch={args.batch_size})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"ok": passed == len(cells), "cells": cells}, fh,
+                      indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0 if passed == len(cells) else 1
 
 
 def cmd_diagram(args: argparse.Namespace) -> int:
@@ -542,6 +554,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also record a Chrome trace-event timeline to FILE")
     add_common(p, 6)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="sharded single-pass equivalence check (the CI smoke job)",
+    )
+    p.add_argument("case", choices=sorted(CASE_STUDY_NAMES) + ["all"],
+                   help="one case study, or 'all' four")
+    p.add_argument("--seeds", type=_parse_seeds, default=list(range(10)),
+                   metavar="SPEC",
+                   help="workload seeds: '0..9', '1,4,7', or a single int")
+    p.add_argument("--batch-size", type=_positive_int, default=256,
+                   help="replay slice size of the sharded pass")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    add_common(p, 4)
+    p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("diagram", help="render a dump as a diagram")
     p.add_argument("dump", help="POET dump file")

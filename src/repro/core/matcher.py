@@ -82,7 +82,7 @@ class MatchReport:
         return dict(self.assignment)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _Conflict:
     """A recorded ``bt`` entry: changing ``level``'s event to a position
     within ``[lo, hi]`` on its current trace might resolve the failure

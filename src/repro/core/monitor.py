@@ -126,6 +126,26 @@ class Monitor(POETClient):
             "per-search wall time on terminating events",
             labels=self._metric_labels,
         )
+        # Size gauges are kept fresh on *every* delivery path — per
+        # event, per batch, and on restore — not only when
+        # publish_metrics() runs, so MonitorStats and scrapes never
+        # report stale subset/history sizes.
+        self._subset_gauge = self.registry.gauge(
+            "ocep_subset_matches",
+            "matches stored in the representative subset",
+            labels=self._metric_labels,
+        )
+        self._history_gauge = self.registry.gauge(
+            "ocep_history_events",
+            "events stored across all leaf histories",
+            labels=self._metric_labels,
+        )
+        #: Armed by :meth:`restore`: deliveries already reflected in the
+        #: restored matcher state (the checkpointed prefix) are skipped,
+        #: so a recovered monitor can be fed the full recorded stream
+        #: and converge exactly (the ``replay_suffix`` rule, applied on
+        #: the normal delivery path).
+        self._skip_delivered = False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -165,6 +185,10 @@ class Monitor(POETClient):
 
     def on_event(self, event: Event) -> None:
         """Process one delivered event (the POET client hook)."""
+        if self._skip_delivered and event.index <= self.matcher.index.trace_length(
+            event.trace
+        ):
+            return
         self._events_counter.inc()
         if self._record_timings:
             searches_before = len(self.matcher.search_timings)
@@ -189,6 +213,63 @@ class Monitor(POETClient):
             if self._on_match is not None:
                 for report in reports:
                     self._on_match(report)
+        self._refresh_size_gauges()
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        """Process a contiguous delivery slice with amortized dispatch.
+
+        The matcher sees the same per-event calls in the same order, so
+        match output (reports, subset, counters) is bit-identical to
+        the per-event path; when timings are on, per-event and
+        per-search wall times are still recorded individually.  What is
+        amortized is the monitor-level overhead around the matcher:
+        event counters, gauge refreshes, and callback bookkeeping are
+        paid once per batch instead of once per event.
+        """
+        if not events:
+            return
+        if self._skip_delivered:
+            trace_length = self.matcher.index.trace_length
+            events = [e for e in events if e.index > trace_length(e.trace)]
+            if not events:
+                return
+        matcher_on_event = self.matcher.on_event
+        batch_reports: List[MatchReport] = []
+        if self._record_timings:
+            timings = self.timings
+            search_timings = self.matcher.search_timings
+            perf_counter = time.perf_counter
+            for event in events:
+                searches_before = len(search_timings)
+                start = perf_counter()
+                reports = matcher_on_event(event)
+                elapsed = perf_counter() - start
+                timings.append(elapsed)
+                per_search = search_timings[searches_before:]
+                self.terminating_timings.extend(per_search)
+                self._event_latency.observe(elapsed)
+                for search_time in per_search:
+                    self._search_latency.observe(search_time)
+                if reports:
+                    batch_reports.extend(reports)
+        else:
+            extend = batch_reports.extend
+            for event in events:
+                reports = matcher_on_event(event)
+                if reports:
+                    extend(reports)
+        self._events_counter.inc(len(events))
+        if batch_reports:
+            self.reports.extend(batch_reports)
+            self._matches_counter.inc(len(batch_reports))
+            if self._on_match is not None:
+                for report in batch_reports:
+                    self._on_match(report)
+        self._refresh_size_gauges()
+
+    def _refresh_size_gauges(self) -> None:
+        self._subset_gauge.set(len(self.matcher.subset))
+        self._history_gauge.set(self.matcher.history.total_size())
 
     # ------------------------------------------------------------------
     # Checkpoint / recovery
@@ -205,8 +286,17 @@ class Monitor(POETClient):
 
     def restore(self, state: dict) -> None:
         """Load a :meth:`checkpoint` (this monitor must be fresh —
-        same pattern shape and trace count, no events processed)."""
+        same pattern shape and trace count, no events processed).
+
+        Restoring arms suffix-skipping: deliveries already reflected in
+        the checkpoint are ignored by :meth:`on_event`/:meth:`on_batch`,
+        so the recovered monitor can simply be reconnected to a replay
+        of the full recorded stream.  Size gauges are refreshed
+        immediately — :meth:`stats` and metric scrapes see the restored
+        subset/history sizes without waiting for the next delivery."""
         self.matcher.restore(state)
+        self._skip_delivered = True
+        self._refresh_size_gauges()
 
     def delivered_counts(self) -> List[int]:
         """Events processed so far per trace (the replay watermark)."""
@@ -245,10 +335,18 @@ class Monitor(POETClient):
         return self.matcher.search_trace
 
     def stats(self) -> MonitorStats:
-        """Aggregate counters for reporting."""
+        """Aggregate counters for reporting.
+
+        ``matches_reported`` comes from the matcher's checkpointed
+        ``matches_found`` counter, not ``len(self.reports)``: after
+        :meth:`restore` the reports list only holds post-recovery
+        matches, while the counter converges to the uninterrupted run's
+        value.  For a fresh run the two are always equal (every report
+        increments the counter exactly once).
+        """
         return MonitorStats(
             events_seen=self.matcher.events_processed,
-            matches_reported=len(self.reports),
+            matches_reported=self.matcher.matches_found,
             subset_size=len(self.matcher.subset),
             history_size=self.matcher.history.total_size(),
             searches_run=self.matcher.searches_run,

@@ -21,9 +21,10 @@ from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport
-from repro.core.monitor import Monitor, MonitorStats
+from repro.core.monitor import MatchCallback, Monitor, MonitorStats
 from repro.events.event import Event
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.poet.client import POETClient
 
 #: Callback receiving (pattern name, report).
@@ -46,6 +47,10 @@ class MultiMonitor(POETClient):
         each watched pattern's monitor publishes into it under a
         ``pattern=<name>`` label, so one scrape covers the whole
         deployment.  Defaults to the no-op registry.
+    tracer:
+        Optional shared :class:`~repro.obs.spans.SpanTracer`, installed
+        on every watched pattern's matcher so each shard's searches
+        appear on its own track.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -53,11 +58,13 @@ class MultiMonitor(POETClient):
         trace_names: Sequence[str],
         on_match: Optional[NamedMatchCallback] = None,
         registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
     ):
         self.trace_names = tuple(trace_names)
         self._monitors: Dict[str, Monitor] = {}
         self._on_match = on_match
         self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.events_seen = 0
         #: Failure isolation: name -> the exception its monitor raised.
         #: A quarantined monitor stops receiving events but keeps its
@@ -79,20 +86,27 @@ class MultiMonitor(POETClient):
         pattern_source: str,
         config: Optional[MatcherConfig] = None,
         record_timings: bool = True,
+        on_match: Optional[MatchCallback] = None,
     ) -> Monitor:
         """Add a named pattern; returns its monitor.
 
+        ``on_match`` attaches a per-shard callback (receiving just the
+        report) in addition to the dispatcher-level named callback.
         Patterns added after events have flowed miss the prefix, like
         any late POET client; add every pattern before running.
         """
         if name in self._monitors:
             raise ValueError(f"already watching a pattern named {name!r}")
         callback = None
-        if self._on_match is not None:
+        if self._on_match is not None or on_match is not None:
             outer = self._on_match
+            shard = on_match
 
             def callback(report: MatchReport, _name: str = name) -> None:
-                outer(_name, report)
+                if outer is not None:
+                    outer(_name, report)
+                if shard is not None:
+                    shard(report)
 
         monitor = Monitor.from_source(
             pattern_source,
@@ -102,6 +116,7 @@ class MultiMonitor(POETClient):
             record_timings=record_timings,
             registry=self.registry,
             metric_labels={"pattern": name},
+            tracer=self.tracer,
         )
         self._monitors[name] = monitor
         return monitor
@@ -125,6 +140,27 @@ class MultiMonitor(POETClient):
                 continue
             try:
                 monitor.on_event(event)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self._quarantined[name] = exc
+                self.quarantined_total += 1
+                self._quarantine_counter.inc()
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        """Fan a contiguous delivery slice into every healthy monitor.
+
+        Quarantine semantics match :meth:`on_event`, at batch
+        granularity: a shard raising mid-batch is detached (its state
+        reflects the prefix it processed) while the other shards still
+        receive the full batch.
+        """
+        if not events:
+            return
+        self.events_seen += len(events)
+        for name, monitor in self._monitors.items():
+            if name in self._quarantined:
+                continue
+            try:
+                monitor.on_batch(events)
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 self._quarantined[name] = exc
                 self.quarantined_total += 1

@@ -1,0 +1,501 @@
+"""The staged pipeline engine: one artifact for every wiring.
+
+Every entry point of this reproduction runs the same detection
+pipeline::
+
+    source -> POETServer -> [FaultInjector] -> [HoldbackBuffer]
+           -> ShardedDispatcher -> { Monitor, Monitor, ... }
+
+Historically each CLI subcommand, benchmark, and example hand-assembled
+that chain; :class:`Pipeline` makes it an explicit, composable object
+(the shape cloud-native CEP engines use for scalable pattern
+detection).  A pipeline is built from a *source* —
+
+* :meth:`Pipeline.for_case` / :meth:`Pipeline.for_workload` /
+  :meth:`Pipeline.for_kernel` — a live simulation pushing events as
+  the kernel runs;
+* :meth:`Pipeline.replay` / :meth:`Pipeline.from_dump` — a recorded
+  stream (the paper's POET dump/reload methodology), delivered
+  **batch-first**: contiguous slices flow through
+  :meth:`~repro.poet.server.POETServer.collect_batch` into the
+  dispatcher's ``on_batch``, amortizing per-event dispatch overhead
+  while staying observably identical to per-event delivery (live
+  sources degenerate to slice size 1 because each event must reach the
+  clients before simulated time advances past it) —
+
+then configured fluently: :meth:`watch` adds pattern shards,
+:meth:`with_faults` and :meth:`with_holdback` insert the resilience
+stages, :meth:`record` taps the collection order, :meth:`restore`
+resumes from a checkpoint.  :meth:`run` wires the stages, drives the
+source to completion, flushes the resilience stages in order, and
+returns a :class:`PipelineResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import MatcherConfig
+from repro.core.matcher import MatchReport
+from repro.core.monitor import MatchCallback, Monitor, MonitorStats
+from repro.core.multi import NamedMatchCallback
+from repro.engine.cases import CASES, build_case
+from repro.engine.dispatch import CHECKPOINT_FORMAT, ShardedDispatcher
+from repro.events.event import Event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.poet.client import POETClient, RecordingClient
+from repro.poet.dumpfile import load_events
+from repro.poet.holdback import HoldbackBuffer
+from repro.poet.instrument import instrument
+from repro.poet.server import POETServer
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.simulation.kernel import Kernel
+
+#: Default contiguous-slice size for replay sources.
+DEFAULT_BATCH_SIZE = 256
+
+
+class _InjectorStage(POETClient):
+    """Adapts a :class:`FaultInjector` to the POET client interface so
+    it can sit downstream of the server like any other stage."""
+
+    def __init__(self, injector: FaultInjector):
+        self.injector = injector
+
+    def on_event(self, event: Event) -> None:
+        self.injector.feed(event)
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        feed = self.injector.feed
+        for event in events:
+            feed(event)
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Outcome of one :meth:`Pipeline.run`.
+
+    ``outcome`` is the kernel's :class:`SimulationResult` for live
+    sources and ``None`` for replays; ``leftover`` holds events still
+    stuck in the hold-back stage at end of stream (empty unless faults
+    made the stream unrepairable).
+    """
+
+    num_events: int
+    outcome: Optional[object]
+    dispatcher: ShardedDispatcher
+    leftover: List[Event]
+    injector: Optional[FaultInjector]
+    holdback: Optional[HoldbackBuffer]
+
+    def __getitem__(self, name: str) -> Monitor:
+        return self.dispatcher[name]
+
+    @property
+    def monitors(self) -> Dict[str, Monitor]:
+        return dict(self.dispatcher)
+
+    @property
+    def deadlocked(self) -> bool:
+        return bool(self.outcome is not None and self.outcome.deadlocked)
+
+    @property
+    def stalled(self) -> bool:
+        return bool(self.holdback is not None and self.holdback.stalled)
+
+    def stats(self) -> Dict[str, MonitorStats]:
+        return self.dispatcher.stats()
+
+    def reports(self, name: str) -> List[MatchReport]:
+        return self.dispatcher[name].reports
+
+    def total_reports(self) -> int:
+        return self.dispatcher.total_reports()
+
+    def signatures(self) -> Dict[str, tuple]:
+        return self.dispatcher.signatures()
+
+    def checkpoint(self) -> dict:
+        """Sharded snapshot of the end-of-run matcher states."""
+        return self.dispatcher.checkpoint()
+
+
+class Pipeline:
+    """A composable detection pipeline over one event source.
+
+    Build with one of the constructors, add stages fluently, then call
+    :meth:`run` exactly once.  Patterns must be watched before running
+    (a late shard would miss the prefix, like any late POET client).
+    """
+
+    def __init__(
+        self,
+        server: POETServer,
+        trace_names: Sequence[str],
+        kernel: Optional[Kernel] = None,
+        workload: Optional[object] = None,
+        events: Optional[Sequence[Event]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
+        self.server = server
+        self.kernel = kernel
+        self.workload = workload
+        self.trace_names = tuple(trace_names)
+        self.registry = registry
+        self.tracer = tracer
+        self._events = events
+        self._dispatcher: Optional[ShardedDispatcher] = None
+        self._named_on_match: Optional[NamedMatchCallback] = None
+        self._fault_plan: Optional[FaultPlan] = None
+        self._fault_seed = 0
+        self._holdback_config: Optional[dict] = None
+        self._restore_state: Optional[dict] = None
+        self._ran = False
+        #: Set by :meth:`for_case`: the case's pattern source, sized
+        #: for the workload (watch it via :meth:`watch_case`).
+        self.case_name: Optional[str] = None
+        self.case_pattern: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Constructors (sources)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_kernel(
+        cls,
+        kernel: Kernel,
+        verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> "Pipeline":
+        """Instrument a simulation kernel as the live event source."""
+        server = instrument(kernel, verify=verify, registry=registry,
+                            tracer=tracer)
+        return cls(
+            server=server,
+            trace_names=kernel.trace_names(),
+            kernel=kernel,
+            registry=registry,
+            tracer=tracer,
+        )
+
+    @classmethod
+    def for_workload(
+        cls,
+        workload: object,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> "Pipeline":
+        """Wrap an already-built workload (anything exposing ``kernel``,
+        ``server``, and ``run(max_events)`` — every builder in
+        :mod:`repro.workloads` does)."""
+        server = workload.server
+        kernel = workload.kernel
+        if registry is not None:
+            server.use_registry(registry)
+        if tracer is not None:
+            kernel.set_tracer(tracer)
+            server.use_tracer(tracer)
+        return cls(
+            server=server,
+            trace_names=kernel.trace_names(),
+            kernel=kernel,
+            workload=workload,
+            registry=registry,
+            tracer=tracer,
+        )
+
+    @classmethod
+    def for_case(
+        cls,
+        name: str,
+        traces: int = 10,
+        seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> "Pipeline":
+        """Build a named case study (see :data:`repro.engine.CASES`) as
+        the live source; its detection pattern is left unwatched —
+        attach it with :meth:`watch_case` (or any pattern with
+        :meth:`watch`)."""
+        if name not in CASES:
+            raise KeyError(
+                f"unknown case {name!r}; known: {sorted(CASES)}"
+            )
+        workload, pattern_source = build_case(name, traces, seed)
+        pipeline = cls.for_workload(workload, registry=registry, tracer=tracer)
+        pipeline.case_name = name
+        pipeline.case_pattern = pattern_source
+        return pipeline
+
+    @classmethod
+    def replay(
+        cls,
+        events: Sequence[Event],
+        trace_names: Sequence[str],
+        verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> "Pipeline":
+        """Use a recorded stream (a valid linearization, e.g. from
+        :meth:`record` or a dump file) as the source; delivery is
+        batch-first."""
+        server = POETServer(
+            num_traces=len(trace_names),
+            trace_names=trace_names,
+            verify=verify,
+            registry=registry,
+            tracer=tracer,
+        )
+        return cls(
+            server=server,
+            trace_names=trace_names,
+            events=list(events),
+            registry=registry,
+            tracer=tracer,
+        )
+
+    @classmethod
+    def from_dump(
+        cls,
+        path,
+        verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> "Pipeline":
+        """Load a POET dump file and replay it (the paper's reload
+        methodology)."""
+        events, _num_traces, names = load_events(path)
+        return cls.replay(
+            events, names, verify=verify, registry=registry, tracer=tracer
+        )
+
+    # ------------------------------------------------------------------
+    # Stage configuration
+    # ------------------------------------------------------------------
+
+    def on_match(self, callback: NamedMatchCallback) -> "Pipeline":
+        """Install a dispatcher-level callback receiving
+        ``(shard name, report)`` for every match of every shard.  Must
+        be called before the first :meth:`watch`."""
+        if self._dispatcher is not None:
+            raise RuntimeError(
+                "on_match() must be set before the first watch()"
+            )
+        self._named_on_match = callback
+        return self
+
+    def watch(
+        self,
+        name: str,
+        pattern_source: str,
+        config: Optional[MatcherConfig] = None,
+        record_timings: bool = True,
+        on_match: Optional[MatchCallback] = None,
+    ) -> Monitor:
+        """Add a pattern shard; returns its monitor."""
+        if self._ran:
+            raise RuntimeError("cannot watch() after run(): the shard "
+                               "would have missed the whole stream")
+        return self.dispatcher.watch(
+            name,
+            pattern_source,
+            config=config,
+            record_timings=record_timings,
+            on_match=on_match,
+        )
+
+    def watch_case(
+        self,
+        config: Optional[MatcherConfig] = None,
+        record_timings: bool = True,
+        on_match: Optional[MatchCallback] = None,
+    ) -> Monitor:
+        """Watch the built-in pattern of a :meth:`for_case` pipeline."""
+        if self.case_name is None or self.case_pattern is None:
+            raise RuntimeError("watch_case() needs a for_case() pipeline")
+        return self.watch(
+            self.case_name,
+            self.case_pattern,
+            config=config,
+            record_timings=record_timings,
+            on_match=on_match,
+        )
+
+    def with_faults(self, plan: FaultPlan, seed: int = 0) -> "Pipeline":
+        """Insert a seeded :class:`FaultInjector` stage downstream of
+        the server (faults perturb *delivery to the monitors*; the
+        server's store keeps the true collection order)."""
+        if self._fault_plan is not None:
+            raise RuntimeError("pipeline already has a fault stage")
+        self._fault_plan = plan
+        self._fault_seed = seed
+        return self
+
+    def with_holdback(
+        self,
+        capacity: Optional[int] = None,
+        overflow: str = "raise",
+        stall_watermark: Optional[int] = None,
+        raise_on_stall: bool = False,
+    ) -> "Pipeline":
+        """Insert a causal :class:`HoldbackBuffer` stage in front of
+        the dispatcher (repairs repairable fault kinds, detects the
+        rest as stalls)."""
+        if self._holdback_config is not None:
+            raise RuntimeError("pipeline already has a hold-back stage")
+        self._holdback_config = {
+            "capacity": capacity,
+            "overflow": overflow,
+            "stall_watermark": stall_watermark,
+            "raise_on_stall": raise_on_stall,
+        }
+        return self
+
+    def record(self) -> RecordingClient:
+        """Tap the server's collection order (the true linearization,
+        upstream of any fault stage); returns the recorder."""
+        recorder = RecordingClient()
+        self.server.connect(recorder)
+        return recorder
+
+    def restore(self, state: dict) -> "Pipeline":
+        """Resume from a checkpoint: either a sharded dispatcher
+        snapshot or a single monitor checkpoint (then exactly one shard
+        must be watched).  Restored shards skip already-delivered
+        events, so running the pipeline over the full recorded stream
+        converges to the uninterrupted run."""
+        if self._dispatcher is None or len(self.dispatcher) == 0:
+            raise RuntimeError("restore() needs the shards watched first")
+        if state.get("format") == CHECKPOINT_FORMAT:
+            self.dispatcher.restore(state)
+        else:
+            shards = list(self.dispatcher)
+            if len(shards) != 1:
+                raise ValueError(
+                    "a single-monitor checkpoint needs exactly one shard, "
+                    f"got {len(shards)}"
+                )
+            shards[0][1].restore(state)
+        return self
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    @property
+    def dispatcher(self) -> ShardedDispatcher:
+        """The shard dispatcher (created on first use)."""
+        if self._dispatcher is None:
+            self._dispatcher = ShardedDispatcher(
+                self.trace_names,
+                on_match=self._named_on_match,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+        return self._dispatcher
+
+    def __getitem__(self, name: str) -> Monitor:
+        return self.dispatcher[name]
+
+    @property
+    def num_traces(self) -> int:
+        return len(self.trace_names)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> PipelineResult:
+        """Wire the stages, drive the source to completion, flush the
+        resilience stages, and return the result.
+
+        ``max_events`` bounds the live simulation (or truncates a
+        replay).  ``batch_size`` sets the replay slice size
+        (default :data:`DEFAULT_BATCH_SIZE`; ``1`` forces the
+        per-event delivery path); live sources always deliver per
+        event.  A pipeline runs exactly once.
+        """
+        if self._ran:
+            raise RuntimeError("a Pipeline runs once; build a fresh one")
+        self._ran = True
+
+        dispatcher = self._dispatcher
+        holdback: Optional[HoldbackBuffer] = None
+        injector: Optional[FaultInjector] = None
+
+        tail: Optional[POETClient] = dispatcher
+        if self._holdback_config is not None:
+            if dispatcher is None:
+                raise RuntimeError("a hold-back stage needs a watched shard")
+            holdback = HoldbackBuffer(
+                self.num_traces,
+                dispatcher.on_event,
+                registry=self.registry,
+                tracer=self.tracer,
+                **self._holdback_config,
+            )
+            tail = holdback
+        if self._fault_plan is not None:
+            if tail is None:
+                raise RuntimeError("a fault stage needs a watched shard")
+            injector = FaultInjector(
+                self._fault_plan,
+                tail.on_event,
+                seed=self._fault_seed,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+            tail = _InjectorStage(injector)
+        if tail is not None:
+            self.server.connect(tail)
+
+        outcome = None
+        if self._events is not None:
+            events = self._events
+            if max_events is not None:
+                events = events[:max_events]
+            size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
+            if size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {size}")
+            if size == 1:
+                collect = self.server.collect
+                for event in events:
+                    collect(event)
+            else:
+                collect_batch = self.server.collect_batch
+                for start in range(0, len(events), size):
+                    collect_batch(events[start:start + size])
+        elif self.workload is not None:
+            outcome = self.workload.run(max_events=max_events)
+        elif self.kernel is not None:
+            outcome = self.kernel.run(max_events=max_events)
+        else:
+            raise RuntimeError("pipeline has no source")
+
+        if injector is not None:
+            injector.flush()
+        leftover = holdback.flush() if holdback is not None else []
+
+        return PipelineResult(
+            num_events=self.server.num_events,
+            outcome=outcome,
+            dispatcher=self.dispatcher,
+            leftover=leftover,
+            injector=injector,
+            holdback=holdback,
+        )
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "Pipeline",
+    "PipelineResult",
+]

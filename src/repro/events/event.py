@@ -44,7 +44,7 @@ class EventKind(enum.Enum):
         return self in (EventKind.SEND, EventKind.RECEIVE)
 
 
-@dataclasses.dataclass(frozen=True, order=True)
+@dataclasses.dataclass(frozen=True, order=True, slots=True)
 class EventId:
     """Identity of an event: its trace and 1-based index on that trace.
 
@@ -65,9 +65,15 @@ class EventId:
         return f"e{self.trace}.{self.index}"
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class Event:
     """An immutable primitive event.
+
+    Slotted: every event of the computation lives in the server store,
+    the leaf histories, and the hold-back buffer at once, so dropping
+    the per-instance ``__dict__`` measurably shrinks and speeds up the
+    hot path (``benchmarks/test_slots_overhead.py`` records the
+    before/after medians in ``BENCH_slots.json``).
 
     Attributes
     ----------

@@ -9,7 +9,7 @@ benchmarks use the small concrete clients here.
 from __future__ import annotations
 
 import abc
-from typing import Callable, List
+from typing import Callable, List, Sequence
 
 from repro.events.event import Event
 
@@ -20,6 +20,20 @@ class POETClient(abc.ABC):
     @abc.abstractmethod
     def on_event(self, event: Event) -> None:
         """Handle the next event of the linearization."""
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        """Handle a contiguous slice of the linearization.
+
+        The default simply loops :meth:`on_event`, so every client is
+        batch-capable; clients with per-event dispatch overhead worth
+        amortizing (the :class:`~repro.core.monitor.Monitor`, the
+        :class:`~repro.engine.ShardedDispatcher`) override it.  A batch
+        must be delivered in order and must produce exactly the same
+        observable behaviour as delivering its events one at a time.
+        """
+        on_event = self.on_event
+        for event in events:
+            on_event(event)
 
 
 class CallbackClient(POETClient):
@@ -40,6 +54,9 @@ class RecordingClient(POETClient):
 
     def on_event(self, event: Event) -> None:
         self.events.append(event)
+
+    def on_batch(self, events: Sequence[Event]) -> None:
+        self.events.extend(events)
 
     def __len__(self) -> int:
         return len(self.events)

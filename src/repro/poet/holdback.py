@@ -59,6 +59,17 @@ _log = get_logger("poet.holdback")
 OVERFLOW_POLICIES = ("raise", "shed", "block")
 
 
+class _Held:
+    """One held-back event plus its arrival sequence number (slotted:
+    a faulty burst can hold thousands of these at once)."""
+
+    __slots__ = ("event", "arrived_at")
+
+    def __init__(self, event: Event, arrived_at: int):
+        self.event = event
+        self.arrived_at = arrived_at
+
+
 class HoldbackOverflowError(RuntimeError):
     """The hold-back buffer hit capacity under the ``raise`` policy."""
 
@@ -125,10 +136,9 @@ class HoldbackBuffer(POETClient):
         self._raise_on_stall = raise_on_stall
 
         self._released = [0] * num_traces
-        #: Held events keyed by identity, in arrival (insertion) order.
-        self._pending: Dict[Tuple[int, int], Event] = {}
-        #: Arrival sequence number of each pending event.
-        self._arrived_at: Dict[Tuple[int, int], int] = {}
+        #: Held entries (event + arrival sequence number) keyed by
+        #: identity, in arrival (insertion) order.
+        self._pending: Dict[Tuple[int, int], _Held] = {}
         self._offers = 0
         self.stalled = False
         # Plain-int mirrors of the registry counters, so stats() works
@@ -226,8 +236,7 @@ class HoldbackBuffer(POETClient):
                     )
                 self._check_stall()
                 return True
-            self._pending[key] = event
-            self._arrived_at[key] = self._offers
+            self._pending[key] = _Held(event, self._offers)
             self.reordered_total += 1
             self._reordered_counter.inc()
             self._depth_gauge.set(len(self._pending))
@@ -245,7 +254,7 @@ class HoldbackBuffer(POETClient):
         """Final drain attempt; returns events still held back (empty
         for a fault-free or fully repaired stream)."""
         self._drain()
-        return list(self._pending.values())
+        return [held.event for held in self._pending.values()]
 
     # ------------------------------------------------------------------
     # Release machinery
@@ -288,11 +297,10 @@ class HoldbackBuffer(POETClient):
         progress = True
         while progress and self._pending:
             progress = False
-            for key, event in self._pending.items():
-                if self._ready(event):
+            for key, held in self._pending.items():
+                if self._ready(held.event):
                     del self._pending[key]
-                    del self._arrived_at[key]
-                    self._release(event)
+                    self._release(held.event)
                     progress = True
                     break
 
@@ -303,7 +311,7 @@ class HoldbackBuffer(POETClient):
     def _check_stall(self) -> None:
         if self._stall_watermark is None or not self._pending:
             return
-        oldest = next(iter(self._arrived_at.values()))
+        oldest = next(iter(self._pending.values())).arrived_at
         if self._offers - oldest < self._stall_watermark:
             return
         if not self.stalled:
@@ -336,7 +344,8 @@ class HoldbackBuffer(POETClient):
         by some pending event's clock, but neither released nor pending
         themselves.  Empty when nothing is held back."""
         missing: Set[Tuple[int, int]] = set()
-        for event in self._pending.values():
+        for held in self._pending.values():
+            event = held.event
             clock = event.clock
             for trace in range(self.num_traces):
                 need = event.index - 1 if trace == event.trace else clock[trace]

@@ -153,6 +153,38 @@ class POETServer:
         else:
             self._fan_out(event)
 
+    def collect_batch(self, events: Sequence[Event]) -> None:
+        """Ingest a contiguous slice of the linearization at once.
+
+        Semantically identical to calling :meth:`collect` per event,
+        but the per-event fan-out loop, tracer check, and counter
+        updates are paid once per batch: clients receive the whole
+        slice through their ``on_batch`` hook.  Error accounting
+        matches :meth:`collect` — a client raising mid-batch is counted
+        once, the other clients still receive the full batch, and the
+        first error is re-raised after fan-out completes.
+        """
+        if not events:
+            return
+        if self._verify:
+            for event in events:
+                self._check_order(event)
+        add = self.store.add
+        for event in events:
+            add(event)
+        self._collected_counter.inc(len(events))
+        if self._tracer.enabled:
+            with self._tracer.span(
+                "poet.deliver_batch",
+                track="poet.server",
+                args={"events": len(events),
+                      "first": repr(events[0].event_id),
+                      "clients": len(self._clients)},
+            ):
+                self._fan_out_batch(events)
+        else:
+            self._fan_out_batch(events)
+
     def _fan_out(self, event: Event) -> None:
         first_error: Optional[BaseException] = None
         for client in list(self._clients):
@@ -171,6 +203,27 @@ class POETServer:
                     first_error = exc
             else:
                 self._deliveries_counter.inc()
+        if first_error is not None:
+            raise first_error
+
+    def _fan_out_batch(self, events: Sequence[Event]) -> None:
+        first_error: Optional[BaseException] = None
+        for client in list(self._clients):
+            try:
+                client.on_batch(events)
+            except Exception as exc:  # noqa: BLE001 - accounted, re-raised
+                self.delivery_errors += 1
+                self._errors_counter.inc()
+                _log.warning(
+                    "client batch delivery failed",
+                    extra={"events": len(events),
+                           "client": type(client).__name__,
+                           "error": repr(exc)},
+                )
+                if first_error is None:
+                    first_error = exc
+            else:
+                self._deliveries_counter.inc(len(events))
         if first_error is not None:
             raise first_error
 

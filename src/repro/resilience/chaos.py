@@ -37,8 +37,7 @@ from repro.core.monitor import Monitor
 from repro.events.event import Event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_TRACER, SpanTracer
-from repro.poet.holdback import HoldbackBuffer
-from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.faults import FaultPlan
 
 #: The standard matrix: one plan per fault kind.
 DEFAULT_PLANS: Tuple[FaultPlan, ...] = (
@@ -118,25 +117,32 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+def _cell_pipeline(
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+):
+    """A replay pipeline with one fresh shard watching the pattern;
+    returns ``(pipeline, monitor)``."""
+    from repro.engine.pipeline import Pipeline
+
+    pipeline = Pipeline.replay(
+        events, trace_names, registry=registry, tracer=tracer
+    )
+    monitor = pipeline.watch("chaos", pattern_source, record_timings=False)
+    return pipeline, monitor
+
+
 def _run_oracle(
     events: Sequence[Event],
     pattern_source: str,
     trace_names: Sequence[str],
 ) -> Monitor:
-    monitor = Monitor.from_source(
-        pattern_source, trace_names, record_timings=False
-    )
-    for event in events:
-        monitor.on_event(event)
+    pipeline, monitor = _cell_pipeline(events, pattern_source, trace_names)
+    pipeline.run()
     return monitor
-
-
-def _fresh_monitor(
-    pattern_source: str, trace_names: Sequence[str]
-) -> Monitor:
-    return Monitor.from_source(
-        pattern_source, trace_names, record_timings=False
-    )
 
 
 def _run_repairable(
@@ -151,18 +157,14 @@ def _run_repairable(
     tracer: Optional[SpanTracer] = None,
 ) -> ChaosRun:
     """reorder / delay / duplicate / none: repair must be exact."""
-    monitor = _fresh_monitor(pattern_source, trace_names)
-    buffer = HoldbackBuffer(
-        len(trace_names), monitor.on_event, stall_watermark=stall_watermark,
-        registry=registry, tracer=tracer,
+    pipeline, monitor = _cell_pipeline(
+        events, pattern_source, trace_names, registry=registry, tracer=tracer
     )
-    injector = FaultInjector(
-        plan, buffer.on_event, seed=seed, registry=registry, tracer=tracer
-    )
-    for event in events:
-        injector.feed(event)
-    injector.flush()
-    leftover = buffer.flush()
+    pipeline.with_faults(plan, seed=seed)
+    pipeline.with_holdback(stall_watermark=stall_watermark)
+    result = pipeline.run()
+    injector, buffer = result.injector, result.holdback
+    leftover = result.leftover
 
     injected = (
         injector.delayed_total
@@ -201,18 +203,14 @@ def _run_drop(
     tracer: Optional[SpanTracer] = None,
 ) -> ChaosRun:
     """drop: the loss must be *detected*, not repaired."""
-    monitor = _fresh_monitor(pattern_source, trace_names)
-    buffer = HoldbackBuffer(
-        len(trace_names), monitor.on_event, stall_watermark=stall_watermark,
-        registry=registry, tracer=tracer,
+    pipeline, monitor = _cell_pipeline(
+        events, pattern_source, trace_names, registry=registry, tracer=tracer
     )
-    injector = FaultInjector(
-        plan, buffer.on_event, seed=seed, registry=registry, tracer=tracer
-    )
-    for event in events:
-        injector.feed(event)
-    injector.flush()
-    leftover = buffer.flush()
+    pipeline.with_faults(plan, seed=seed)
+    pipeline.with_holdback(stall_watermark=stall_watermark)
+    result = pipeline.run()
+    injector, buffer = result.injector, result.holdback
+    leftover = result.leftover
 
     if injector.dropped_total == 0:
         signature = monitor.subset.signature()
@@ -260,16 +258,22 @@ def _run_crash(
 ) -> ChaosRun:
     """crash: checkpoint at the seeded point, restore, replay, converge."""
     crash_at = plan.crash_point(len(events), seed)
-    first = _fresh_monitor(pattern_source, trace_names)
-    for event in events[:crash_at]:
-        first.on_event(event)
+    first_pipeline, first = _cell_pipeline(
+        events[:crash_at], pattern_source, trace_names
+    )
+    first_pipeline.run()
     # The JSON round trip is part of the contract: what survives a real
     # process crash is the serialized snapshot, not live objects.
     state = json.loads(json.dumps(first.checkpoint()))
 
-    recovered = _fresh_monitor(pattern_source, trace_names)
-    recovered.restore(state)
-    replayed = recovered.replay_suffix(events)
+    # Resume *through the pipeline*: the restored shard skips the
+    # already-delivered prefix, so the full stream is simply re-fed.
+    recovered_pipeline, recovered = _cell_pipeline(
+        events, pattern_source, trace_names
+    )
+    recovered_pipeline.restore(state)
+    recovered_pipeline.run()
+    replayed = recovered.matcher.events_processed - crash_at
 
     signature = recovered.subset.signature()
     ok = signature == oracle_signature

@@ -1,0 +1,333 @@
+"""Unit tests for the staged pipeline engine.
+
+Covers the case registry, the pipeline's lifecycle guard rails, the
+sharded dispatcher's checkpoint document, batch/per-event delivery
+identity, and the MonitorStats freshness contract (size gauges
+refreshed on every delivery path and on restore; ``matches_reported``
+converging after recovery).
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import MatcherConfig
+from repro.core.monitor import Monitor
+from repro.engine import (
+    CASE_STUDY_NAMES,
+    CASES,
+    CHECKPOINT_FORMAT,
+    Pipeline,
+    ShardedDispatcher,
+    build_case,
+    case_patterns,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.testing import Weaver
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+BA = "B := ['', B, '']; A := ['', A, '']; pattern := B -> A;"
+
+
+def _ab_stream():
+    """A small three-trace stream with several A -> B matches."""
+    w = Weaver(3)
+    w.local(0, "A")
+    w.local(1, "A")
+    w.message(0, 2)
+    w.local(2, "B")
+    w.message(1, 2)
+    w.local(2, "B")
+    w.local(0, "A")
+    w.message(0, 1)
+    w.local(1, "B")
+    return w.events
+
+
+TRACES = ["P0", "P1", "P2"]
+
+
+class TestCaseRegistry:
+    def test_case_study_names_are_registered(self):
+        for name in CASE_STUDY_NAMES:
+            assert name in CASES
+
+    def test_build_case_returns_workload_and_pattern(self):
+        workload, pattern = build_case("race", traces=3, seed=1)
+        assert hasattr(workload, "kernel")
+        assert hasattr(workload, "server")
+        assert hasattr(workload, "run")
+        assert "pattern :=" in pattern
+
+    def test_case_patterns_covers_the_four_studies(self):
+        patterns = case_patterns(4)
+        assert set(patterns) == set(CASE_STUDY_NAMES)
+
+    def test_unknown_case_raises(self):
+        with pytest.raises(KeyError, match="unknown case"):
+            Pipeline.for_case("not-a-case")
+
+
+class TestPipelineLifecycle:
+    def test_runs_exactly_once(self):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.watch("ab", AB)
+        pipeline.run()
+        with pytest.raises(RuntimeError, match="runs once"):
+            pipeline.run()
+
+    def test_watch_after_run_raises(self):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.watch("ab", AB)
+        pipeline.run()
+        with pytest.raises(RuntimeError, match="missed the whole stream"):
+            pipeline.watch("late", AB)
+
+    def test_on_match_after_watch_raises(self):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.watch("ab", AB)
+        with pytest.raises(RuntimeError, match="before the first watch"):
+            pipeline.on_match(lambda name, report: None)
+
+    def test_restore_without_shards_raises(self):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        with pytest.raises(RuntimeError, match="watched first"):
+            pipeline.restore({"format": CHECKPOINT_FORMAT, "shards": {}})
+
+    def test_invalid_batch_size_raises(self):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.watch("ab", AB)
+        with pytest.raises(ValueError, match="batch_size"):
+            pipeline.run(batch_size=0)
+
+    def test_duplicate_fault_and_holdback_stages_raise(self):
+        from repro.resilience.faults import FaultPlan
+
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.with_faults(FaultPlan(kind="none"))
+        with pytest.raises(RuntimeError, match="fault stage"):
+            pipeline.with_faults(FaultPlan(kind="none"))
+        pipeline.with_holdback()
+        with pytest.raises(RuntimeError, match="hold-back stage"):
+            pipeline.with_holdback()
+
+
+class TestBatchDeliveryIdentity:
+    def _replay(self, batch_size):
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        monitor = pipeline.watch("ab", AB)
+        pipeline.run(batch_size=batch_size)
+        return pipeline, monitor
+
+    def test_batched_equals_per_event(self):
+        _, per_event = self._replay(batch_size=1)
+        _, batched = self._replay(batch_size=4)
+        assert per_event.reports, "the stream must contain matches"
+        assert batched.reports == per_event.reports
+        assert batched.subset.signature() == per_event.subset.signature()
+        assert batched.stats() == per_event.stats()
+
+    def test_batched_path_is_actually_taken(self):
+        pipeline, _ = self._replay(batch_size=4)
+        assert pipeline.dispatcher.batches_seen > 0
+        per_event_pipeline, _ = self._replay(batch_size=1)
+        assert per_event_pipeline.dispatcher.batches_seen == 0
+
+    def test_monitor_on_batch_equals_on_event_loop(self):
+        events = _ab_stream()
+        one = Monitor.from_source(AB, TRACES)
+        for event in events:
+            one.on_event(event)
+        batched = Monitor.from_source(AB, TRACES)
+        batched.on_batch(events[:4])
+        batched.on_batch(events[4:])
+        assert batched.reports == one.reports
+        assert batched.stats() == one.stats()
+        assert batched.timings and len(batched.timings) == len(one.timings)
+
+
+class TestDispatcherCheckpoint:
+    def _run_dispatcher(self, events):
+        dispatcher = ShardedDispatcher(TRACES)
+        dispatcher.watch("ab", AB)
+        dispatcher.watch("ba", BA)
+        dispatcher.on_batch(events)
+        return dispatcher
+
+    def test_checkpoint_document_shape(self):
+        dispatcher = self._run_dispatcher(_ab_stream())
+        state = dispatcher.checkpoint()
+        assert state["format"] == CHECKPOINT_FORMAT
+        assert set(state["shards"]) == {"ab", "ba"}
+        json.dumps(state)  # must be JSON-ready
+
+    def test_restore_round_trip(self):
+        events = _ab_stream()
+        first = self._run_dispatcher(events[:5])
+        state = json.loads(json.dumps(first.checkpoint()))
+
+        recovered = ShardedDispatcher(TRACES)
+        recovered.watch("ab", AB)
+        recovered.watch("ba", BA)
+        recovered.restore(state)
+        recovered.on_batch(events)  # full stream; prefix is skipped
+
+        uninterrupted = self._run_dispatcher(events)
+        assert recovered.signatures() == uninterrupted.signatures()
+        assert recovered.stats() == uninterrupted.stats()
+
+    def test_restore_rejects_wrong_format(self):
+        dispatcher = ShardedDispatcher(TRACES)
+        dispatcher.watch("ab", AB)
+        with pytest.raises(ValueError, match="not a .*checkpoint"):
+            dispatcher.restore({"format": "something-else", "shards": {}})
+
+    def test_restore_rejects_unwatched_shards(self):
+        first = self._run_dispatcher(_ab_stream())
+        state = first.checkpoint()
+        partial = ShardedDispatcher(TRACES)
+        partial.watch("ab", AB)
+        with pytest.raises(ValueError, match="not watched here"):
+            partial.restore(state)
+
+    def test_pipeline_restore_single_monitor_checkpoint(self):
+        events = _ab_stream()
+        prefix = Monitor.from_source(AB, TRACES)
+        for event in events[:5]:
+            prefix.on_event(event)
+        state = json.loads(json.dumps(prefix.checkpoint()))
+
+        pipeline = Pipeline.replay(events, TRACES)
+        monitor = pipeline.watch("ab", AB)
+        pipeline.restore(state)
+        pipeline.run()
+
+        oracle = Monitor.from_source(AB, TRACES)
+        for event in events:
+            oracle.on_event(event)
+        assert monitor.subset.signature() == oracle.subset.signature()
+        assert monitor.stats() == oracle.stats()
+
+    def test_pipeline_restore_single_checkpoint_needs_one_shard(self):
+        prefix = Monitor.from_source(AB, TRACES)
+        state = prefix.checkpoint()
+        pipeline = Pipeline.replay(_ab_stream(), TRACES)
+        pipeline.watch("ab", AB)
+        pipeline.watch("ba", BA)
+        with pytest.raises(ValueError, match="exactly one shard"):
+            pipeline.restore(state)
+
+
+class TestMonitorStatsFreshness:
+    """Regression: subset/history gauges must be fresh on every path."""
+
+    def _gauges(self, registry):
+        subset = registry.gauge(
+            "ocep_subset_matches",
+            "matches stored in the representative subset",
+        )
+        history = registry.gauge(
+            "ocep_history_events",
+            "events stored across all leaf histories",
+        )
+        return subset, history
+
+    def test_gauges_fresh_after_batch_delivery(self):
+        registry = MetricsRegistry()
+        monitor = Monitor.from_source(AB, TRACES, registry=registry)
+        monitor.on_batch(_ab_stream())
+        subset, history = self._gauges(registry)
+        stats = monitor.stats()
+        assert stats.subset_size > 0
+        assert subset.value == stats.subset_size
+        assert history.value == stats.history_size
+
+    def test_gauges_fresh_after_per_event_delivery(self):
+        registry = MetricsRegistry()
+        monitor = Monitor.from_source(AB, TRACES, registry=registry)
+        for event in _ab_stream():
+            monitor.on_event(event)
+        subset, history = self._gauges(registry)
+        stats = monitor.stats()
+        assert subset.value == stats.subset_size
+        assert history.value == stats.history_size
+
+    def test_gauges_fresh_immediately_after_restore(self):
+        events = _ab_stream()
+        source = Monitor.from_source(AB, TRACES)
+        for event in events:
+            source.on_event(event)
+        state = json.loads(json.dumps(source.checkpoint()))
+        assert source.stats().subset_size > 0
+
+        registry = MetricsRegistry()
+        recovered = Monitor.from_source(AB, TRACES, registry=registry)
+        recovered.restore(state)
+        subset, history = self._gauges(registry)
+        stats = recovered.stats()
+        assert stats.subset_size == source.stats().subset_size
+        assert subset.value == stats.subset_size
+        assert history.value == stats.history_size
+
+    def test_matches_reported_converges_after_restore(self):
+        events = _ab_stream()
+        uninterrupted = Monitor.from_source(AB, TRACES)
+        for event in events:
+            uninterrupted.on_event(event)
+        assert uninterrupted.stats().matches_reported == len(
+            uninterrupted.reports
+        )
+
+        prefix = Monitor.from_source(AB, TRACES)
+        for event in events[:5]:
+            prefix.on_event(event)
+        recovered = Monitor.from_source(AB, TRACES)
+        recovered.restore(json.loads(json.dumps(prefix.checkpoint())))
+        for event in events:  # full stream; restored prefix is skipped
+            recovered.on_event(event)
+        assert (
+            recovered.stats().matches_reported
+            == uninterrupted.stats().matches_reported
+        )
+        assert recovered.stats() == uninterrupted.stats()
+
+    def test_skip_delivered_applies_to_batches(self):
+        events = _ab_stream()
+        prefix = Monitor.from_source(AB, TRACES)
+        for event in events[:5]:
+            prefix.on_event(event)
+        recovered = Monitor.from_source(AB, TRACES)
+        recovered.restore(json.loads(json.dumps(prefix.checkpoint())))
+        recovered.on_batch(events)
+
+        uninterrupted = Monitor.from_source(AB, TRACES)
+        for event in events:
+            uninterrupted.on_event(event)
+        assert recovered.stats() == uninterrupted.stats()
+        assert (
+            recovered.subset.signature() == uninterrupted.subset.signature()
+        )
+
+
+class TestShardLabels:
+    def test_shard_metrics_labelled_by_pattern(self):
+        registry = MetricsRegistry()
+        pipeline = Pipeline.replay(_ab_stream(), TRACES, registry=registry)
+        pipeline.watch("ab", AB)
+        pipeline.run()
+        counter = registry.counter(
+            "ocep_monitor_events_total",
+            "events delivered to the monitor",
+            labels={"pattern": "ab"},
+        )
+        assert counter.value == len(_ab_stream())
+
+
+def test_matcher_config_passthrough():
+    events = _ab_stream()
+    pipeline = Pipeline.replay(events, TRACES)
+    monitor = pipeline.watch(
+        "ab", AB, config=MatcherConfig(prune_history=False)
+    )
+    pipeline.run()
+    assert monitor.matcher.config.prune_history is False
