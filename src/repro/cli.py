@@ -70,6 +70,7 @@ import sys
 from typing import Optional
 
 from repro.analysis import compute_boxplot, quartile_table
+from repro.clocks import CLOCK_BACKENDS
 from repro.analysis.runner import replay_through_monitor
 from repro.core.config import MatcherConfig
 from repro.engine import CASE_STUDY_NAMES, CASES, Pipeline, case_patterns
@@ -90,7 +91,10 @@ def _print_report(report, names) -> None:
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed,
+        clock_backend=args.clock_backend,
+    )
     recorder = pipeline.record()
     result = pipeline.run(max_events=args.max_events)
     names = pipeline.trace_names
@@ -105,7 +109,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 def cmd_match(args: argparse.Namespace) -> int:
     with open(args.pattern, "r", encoding="utf-8") as fh:
         pattern_source = fh.read()
-    pipeline = Pipeline.from_dump(args.dump)
+    pipeline = Pipeline.from_dump(args.dump, clock_backend=args.clock_backend)
     names = pipeline.trace_names
     monitor = pipeline.watch("pattern", pattern_source)
     pipeline.run()
@@ -138,7 +142,8 @@ def _write_trace(tracer: SpanTracer, path: str) -> dict:
 def cmd_case(args: argparse.Namespace) -> int:
     tracer = SpanTracer() if args.trace_out else None
     pipeline = Pipeline.for_case(
-        args.case, args.traces, args.seed, tracer=tracer
+        args.case, args.traces, args.seed, tracer=tracer,
+        clock_backend=args.clock_backend,
     )
     names = pipeline.trace_names
     monitor = pipeline.watch_case(
@@ -160,7 +165,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     tracer = SpanTracer()
     pipeline = Pipeline.for_case(
-        args.case, args.traces, args.seed, registry=registry, tracer=tracer
+        args.case, args.traces, args.seed, registry=registry, tracer=tracer,
+        clock_backend=args.clock_backend,
     )
     latency = track_detection_latency(pipeline.kernel, registry)
     monitor = pipeline.watch_case(
@@ -185,7 +191,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed,
+        clock_backend=args.clock_backend,
+    )
     recorder = pipeline.record()
     result = pipeline.run(max_events=args.max_events)
     timings, monitor = replay_through_monitor(
@@ -232,7 +241,8 @@ def _metrics_table(registry: MetricsRegistry) -> str:
 def cmd_stats(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     pipeline = Pipeline.for_case(
-        args.case, args.traces, args.seed, registry=registry
+        args.case, args.traces, args.seed, registry=registry,
+        clock_backend=args.clock_backend,
     )
     names = pipeline.trace_names
     latency = track_detection_latency(pipeline.kernel, registry)
@@ -299,7 +309,10 @@ def _parse_seeds(text: str) -> list:
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import DEFAULT_PLANS, run_fault_matrix
 
-    pipeline = Pipeline.for_case(args.case, args.traces, args.seed)
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed,
+        clock_backend=args.clock_backend,
+    )
     recorder = pipeline.record()
     result = pipeline.run(max_events=args.max_events)
     print(
@@ -483,6 +496,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0, help="simulation seed")
         p.add_argument("--max-events", type=int, default=50_000,
                        help="event budget for the simulation")
+        p.add_argument("--clock-backend", choices=CLOCK_BACKENDS,
+                       default="fidge",
+                       help="timestamp scheme: full Fidge/Mattern vectors "
+                            "or O(1) encoded clocks (identical matches)")
 
     p = sub.add_parser("simulate", help="run a case study and dump its events")
     p.add_argument("case", choices=sorted(CASES))
@@ -493,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("match", help="replay a dump through a pattern")
     p.add_argument("pattern", help="pattern source file")
     p.add_argument("dump", help="POET dump file")
+    p.add_argument("--clock-backend", choices=CLOCK_BACKENDS,
+                   default="fidge",
+                   help="transcode the dump's clocks before matching "
+                        "(identical matches either way)")
     p.set_defaults(func=cmd_match)
 
     p = sub.add_parser("case", help="simulate + monitor a case study live")

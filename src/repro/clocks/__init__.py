@@ -18,16 +18,32 @@ from repro.clocks.vector_clock import VectorClock
 from repro.clocks.lamport import LamportClock
 from repro.clocks.causality import (
     Ordering,
+    Timestamp,
     compare,
     concurrent,
     happens_before,
 )
+from repro.clocks.encoded import (
+    CLOCK_BACKENDS,
+    ClockFrame,
+    EncodedClock,
+    encode_events,
+    make_clock_bank,
+    validate_backend,
+)
 
 __all__ = [
-    "VectorClock",
+    "CLOCK_BACKENDS",
+    "ClockFrame",
+    "EncodedClock",
     "LamportClock",
     "Ordering",
+    "Timestamp",
+    "VectorClock",
     "compare",
     "concurrent",
+    "encode_events",
     "happens_before",
+    "make_clock_bank",
+    "validate_backend",
 ]

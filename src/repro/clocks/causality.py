@@ -9,13 +9,27 @@ All functions take the timestamp together with the trace the event
 occurred on; the event's index on its own trace is recoverable from the
 clock itself (``V[trace]`` under the Fidge/Mattern convention used
 throughout this library, see :mod:`repro.clocks.vector_clock`).
+
+The predicates are backend-agnostic: they only *index* the timestamp,
+so any :class:`Timestamp` — a full
+:class:`~repro.clocks.vector_clock.VectorClock` or an O(1)-per-event
+:class:`~repro.clocks.encoded.EncodedClock` — answers them with the
+same two integer comparisons.
 """
 
 from __future__ import annotations
 
 import enum
+from typing import Protocol
 
-from repro.clocks.vector_clock import VectorClock
+
+class Timestamp(Protocol):
+    """What the causality predicates need from a timestamp: component
+    lookup by trace and a width."""
+
+    def __getitem__(self, trace: int) -> int: ...
+
+    def __len__(self) -> int: ...
 
 
 class Ordering(enum.Enum):
@@ -35,7 +49,7 @@ class Ordering(enum.Enum):
         return self
 
 
-def happens_before(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> bool:
+def happens_before(va: Timestamp, trace_a: int, vb: Timestamp, trace_b: int) -> bool:
     """True when the event stamped ``va`` (on ``trace_a``) happens before
     the event stamped ``vb`` (on ``trace_b``).
 
@@ -49,12 +63,12 @@ def happens_before(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int)
     return va[trace_a] <= vb[trace_a]
 
 
-def concurrent(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> bool:
+def concurrent(va: Timestamp, trace_a: int, vb: Timestamp, trace_b: int) -> bool:
     """True when neither event happens before the other and they differ."""
     return compare(va, trace_a, vb, trace_b) is Ordering.CONCURRENT
 
 
-def compare(va: VectorClock, trace_a: int, vb: VectorClock, trace_b: int) -> Ordering:
+def compare(va: Timestamp, trace_a: int, vb: Timestamp, trace_b: int) -> Ordering:
     """Classify the relation between two stamped events.
 
     Equality is decided by trace number plus own-component (the event's

@@ -25,7 +25,7 @@ without defensive copying.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 
 class VectorClock:
@@ -56,11 +56,27 @@ class VectorClock:
             if c < 0:
                 raise ValueError(f"vector clock components must be >= 0, got {c}")
         self._components: Tuple[int, ...] = comps
-        self._hash = hash(comps)
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _trusted(cls, comps: Tuple[int, ...]) -> "VectorClock":
+        """Internal constructor for components already known valid.
+
+        :meth:`tick` and :meth:`merge` derive their output from clocks
+        that passed full validation, so re-running the per-component
+        checks (and the eager rehash the public constructor used to do)
+        on every event is pure overhead — on the hot path it showed up
+        as O(width) redundant work per tick.  Callers must pass a tuple
+        of non-negative ints.
+        """
+        clock = cls.__new__(cls)
+        clock._components = comps
+        clock._hash = None
+        return clock
 
     @classmethod
     def zero(cls, width: int) -> "VectorClock":
@@ -70,10 +86,23 @@ class VectorClock:
         return cls((0,) * width)
 
     def tick(self, trace: int) -> "VectorClock":
-        """Return a new clock with the ``trace`` component advanced by one."""
+        """Return a new clock with the ``trace`` component advanced by one.
+
+        Raises
+        ------
+        ValueError
+            If ``trace`` is not a valid 0-based trace number for this
+            clock's width.  (A negative index would silently wrap to
+            the last trace under tuple indexing, corrupting causality
+            for that trace.)
+        """
+        if not 0 <= trace < len(self._components):
+            raise ValueError(
+                f"trace must be in [0, {len(self._components)}), got {trace}"
+            )
         comps = list(self._components)
         comps[trace] += 1
-        return VectorClock(comps)
+        return VectorClock._trusted(tuple(comps))
 
     def merge(self, other: "VectorClock") -> "VectorClock":
         """Return the component-wise maximum of two clocks (message join)."""
@@ -81,8 +110,8 @@ class VectorClock:
             raise ValueError(
                 f"cannot merge clocks of widths {len(self)} and {len(other)}"
             )
-        return VectorClock(
-            max(a, b) for a, b in zip(self._components, other._components)
+        return VectorClock._trusted(
+            tuple(map(max, self._components, other.components))
         )
 
     # ------------------------------------------------------------------
@@ -92,6 +121,15 @@ class VectorClock:
     @property
     def components(self) -> Tuple[int, ...]:
         """The raw component tuple."""
+        return self._components
+
+    @property
+    def knowledge(self) -> Tuple[int, ...]:
+        """Remote-knowledge view of the clock — for a full vector clock
+        this is just the component tuple (readers of the knowledge row
+        never look at the owner's own position, so no normalization is
+        needed; the encoded backend returns its interned row here
+        without materializing a vector)."""
         return self._components
 
     def __len__(self) -> int:
@@ -108,20 +146,25 @@ class VectorClock:
     # ------------------------------------------------------------------
 
     def __le__(self, other: "VectorClock") -> bool:
-        """Component-wise ``<=`` — the clock partial order."""
+        """Component-wise ``<=`` — the clock partial order.
+
+        Works against any clock-like exposing ``components`` (e.g. an
+        :class:`~repro.clocks.encoded.EncodedClock`), so mixed-backend
+        comparisons agree with the full-vector semantics.
+        """
         self._check_width(other)
-        return all(a <= b for a, b in zip(self._components, other._components))
+        return all(a <= b for a, b in zip(self._components, other.components))
 
     def __lt__(self, other: "VectorClock") -> bool:
         """Strictly less in the clock partial order (``<=`` and not equal)."""
-        return self <= other and self._components != other._components
+        return self <= other and self._components != tuple(other.components)
 
     def __ge__(self, other: "VectorClock") -> bool:
         self._check_width(other)
-        return all(a >= b for a, b in zip(self._components, other._components))
+        return all(a >= b for a, b in zip(self._components, other.components))
 
     def __gt__(self, other: "VectorClock") -> bool:
-        return self >= other and self._components != other._components
+        return self >= other and self._components != tuple(other.components)
 
     def concurrent_with(self, other: "VectorClock") -> bool:
         """True when neither clock dominates the other (incomparable)."""
@@ -140,10 +183,19 @@ class VectorClock:
     def __eq__(self, other: object) -> bool:
         if isinstance(other, VectorClock):
             return self._components == other._components
+        components = getattr(other, "components", None)
+        if components is not None:
+            return self._components == tuple(components)
         return NotImplemented
 
     def __hash__(self) -> int:
-        return self._hash
+        # Computed on first use: most clocks on the hot path are never
+        # hashed (events hash by identity), so hashing eagerly in every
+        # tick/merge was wasted O(width) work.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._components)
+        return h
 
     def __repr__(self) -> str:
         return f"VectorClock({', '.join(map(str, self._components))})"

@@ -70,14 +70,21 @@ class CausalIndex:
             clock = event.clock
             values_row = self._values[trace]
             positions_row = self._positions[trace]
-            for m in range(self.num_traces):
-                if m == trace:
+            # The knowledge row is the raw remote-component view for
+            # both backends: the encoded clock's interned row (own
+            # position 0) or the full vector's components (the loop
+            # skips the own position, so no normalization is needed).
+            comps = getattr(clock, "knowledge", None)
+            if comps is None:
+                comps = clock.components
+            index = event.index
+            for m, v in enumerate(comps):
+                if m == trace or v <= 0:
                     continue
-                v = clock[m]
                 col = values_row[m]
-                if v > 0 and (not col or v > col[-1]):
+                if not col or v > col[-1]:
                     col.append(v)
-                    positions_row[m].append(event.index)
+                    positions_row[m].append(index)
 
     # ------------------------------------------------------------------
     # Queries

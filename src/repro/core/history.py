@@ -33,17 +33,27 @@ class LeafHistory:
     binary search by trace position for domain slicing.
     """
 
-    __slots__ = ("leaf_id", "_by_trace", "_epochs", "_by_text", "_size")
+    __slots__ = ("leaf_id", "_by_trace", "_epochs", "_by_text", "_size",
+                 "_nonempty", "_indices")
 
     def __init__(self, leaf_id: int, num_traces: int):
         self.leaf_id = leaf_id
         self._by_trace: List[List[Event]] = [[] for _ in range(num_traces)]
         self._epochs: List[List[int]] = [[] for _ in range(num_traces)]
+        # parallel to _by_trace: the events' trace positions, as plain
+        # ints — domain slicing bisects these at C speed instead of
+        # calling a key function per probe.
+        self._indices: List[List[int]] = [[] for _ in range(num_traces)]
         # secondary index: per trace, text value -> events in order.
         # Enables O(log) candidate lookup when a pattern's text
         # attribute is exact or already bound (e.g. the request-id of
         # the ordering pattern).
         self._by_text: List[dict] = [{} for _ in range(num_traces)]
+        # sorted trace ids holding at least one event: lets the search
+        # sweep jump over empty traces instead of visiting each (a leaf
+        # usually matches on a few traces of a wide computation).
+        # Pruning replaces entries in place, so traces never re-empty.
+        self._nonempty: List[int] = []
         self._size = 0
 
     # ------------------------------------------------------------------
@@ -60,11 +70,13 @@ class LeafHistory:
         """
         events = self._by_trace[event.trace]
         epochs = self._epochs[event.trace]
+        indices = self._indices[event.trace]
         text_index = self._by_text[event.trace]
         if may_prune and events and epochs[-1] == epoch:
             replaced = events[-1]
             events[-1] = event
             epochs[-1] = epoch
+            indices[-1] = event.index
             bucket = text_index.get(replaced.text)
             if bucket and bucket[-1] is replaced:
                 bucket.pop()
@@ -72,8 +84,11 @@ class LeafHistory:
                     del text_index[replaced.text]
             text_index.setdefault(event.text, []).append(event)
             return
+        if not events:
+            bisect.insort(self._nonempty, event.trace)
         events.append(event)
         epochs.append(epoch)
+        indices.append(event.index)
         text_index.setdefault(event.text, []).append(event)
         self._size += 1
 
@@ -88,7 +103,12 @@ class LeafHistory:
     def slice(self, trace: int, lo: int, hi: Optional[int]) -> Sequence[Event]:
         """Stored events on ``trace`` with position in ``[lo, hi]``
         (``hi=None`` meaning unbounded), oldest first."""
-        return _position_slice(self._by_trace[trace], lo, hi)
+        indices = self._indices[trace]
+        left = bisect.bisect_left(indices, lo)
+        if hi is None:
+            return self._by_trace[trace][left:]
+        right = bisect.bisect_right(indices, hi, left)
+        return self._by_trace[trace][left:right]
 
     def slice_by_text(
         self, trace: int, lo: int, hi: Optional[int], text: str
@@ -99,6 +119,14 @@ class LeafHistory:
         if not bucket:
             return ()
         return _position_slice(bucket, lo, hi)
+
+    def next_nonempty(self, trace: int) -> Optional[int]:
+        """Smallest trace id ``>= trace`` holding at least one stored
+        event, or ``None`` when no such trace exists — the sweep's
+        skip-ahead query."""
+        nonempty = self._nonempty
+        pos = bisect.bisect_left(nonempty, trace)
+        return nonempty[pos] if pos < len(nonempty) else None
 
     def earliest_on(self, trace: int) -> Optional[Event]:
         events = self._by_trace[trace]
@@ -173,6 +201,9 @@ class LeafHistory:
                 )
             self._by_trace[trace] = events
             self._epochs[trace] = epochs
+            self._indices[trace] = [e.index for e in events]
+            if events:
+                bisect.insort(self._nonempty, trace)
             text_index = self._by_text[trace]
             for event in events:
                 text_index.setdefault(event.text, []).append(event)
@@ -180,9 +211,7 @@ class LeafHistory:
 
     def traces_with_events(self) -> Iterator[int]:
         """Trace ids on which this leaf has at least one stored event."""
-        for trace, events in enumerate(self._by_trace):
-            if events:
-                yield trace
+        yield from self._nonempty
 
     def __len__(self) -> int:
         return self._size

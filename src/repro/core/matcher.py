@@ -36,18 +36,19 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from bisect import bisect_left as _bisect_left
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.config import MatcherConfig, SweepMode
-from repro.core.domain import Interval, restrict
 from repro.core.gpls import CausalIndex
 from repro.core.history import HistorySet, LeafHistory
 from repro.core.subset import RepresentativeSubset
-from repro.events.event import Event
+from repro.events.event import Event, EventKind
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.obs.trace import SearchTrace
+from repro.patterns.ast import Exact
 from repro.patterns.classes import Bindings
 from repro.patterns.compile import CompiledPattern, Constraint
 
@@ -91,6 +92,51 @@ class _Conflict:
     level: int
     lo: Optional[int]
     hi: Optional[int]
+
+
+class _LazyConflict:
+    """A domain-conflict ``bt`` entry whose Figure-5 resolution bounds
+    are computed on first access.
+
+    Conflicts are recorded for every emptied interval but consulted
+    only when a back-jump actually fires, and the GP/LS index and the
+    leaf histories are frozen for the duration of a search — so
+    deferring the bound computation (gp/ls queries plus a history
+    lookup) gives identical bounds while skipping the work entirely in
+    the common never-consulted case.
+    """
+
+    __slots__ = ("level", "_matcher", "_constraint", "_assigned", "_leaf_id",
+                 "_trace", "_bounds")
+
+    def __init__(self, level, matcher, constraint, assigned, leaf_id, trace):
+        self.level = level
+        self._matcher = matcher
+        self._constraint = constraint
+        self._assigned = assigned
+        self._leaf_id = leaf_id
+        self._trace = trace
+        self._bounds: Optional[Tuple[Optional[int], Optional[int]]] = None
+
+    def _resolve(self) -> Tuple[Optional[int], Optional[int]]:
+        bounds = self._bounds
+        if bounds is None:
+            matcher = self._matcher
+            bounds = self._bounds = matcher._resolution_bounds(
+                self._constraint,
+                self._assigned,
+                matcher.history.leaf(self._leaf_id),
+                self._trace,
+            )
+        return bounds
+
+    @property
+    def lo(self) -> Optional[int]:
+        return self._resolve()[0]
+
+    @property
+    def hi(self) -> Optional[int]:
+        return self._resolve()[1]
 
 
 class _BudgetExhausted(Exception):
@@ -164,6 +210,32 @@ class OCEPMatcher:
         self.history = HistorySet(pattern.num_leaves, num_traces)
         self.subset = RepresentativeSubset(pattern.num_leaves, num_traces)
         self._terminating = frozenset(pattern.terminating_leaves())
+        # Hot-path tables: the dense constraint matrix (indexed instead
+        # of a method call per leaf pair) and per-leaf exact-attribute
+        # prefilter keys, so on_event skips the full class match for
+        # leaves whose exact type/process/text cannot match the event.
+        self._cmat = pattern.constraint_matrix
+        table = (
+            pattern.leaves[0].event_class.trace_names
+            if pattern.leaves else ()
+        )
+        self._trace_name_table = table
+        self._leaf_filters = []
+        for leaf in pattern.leaves:
+            event_class = leaf.event_class
+            exact_process = (
+                event_class.process.value
+                if isinstance(event_class.process, Exact)
+                and event_class.trace_names == table
+                else None
+            )
+            exact_text = (
+                event_class.text.value
+                if isinstance(event_class.text, Exact) else None
+            )
+            self._leaf_filters.append(
+                (leaf, event_class.exact_etype(), exact_process, exact_text)
+            )
         self.events_processed = 0
         self.searches_run = 0
         self.searches_truncated = 0
@@ -205,7 +277,27 @@ class OCEPMatcher:
             self.history.bump_comm_epoch(event.trace)
 
         triggered: List[Tuple[int, Bindings]] = []
-        for leaf in self.pattern.leaves:
+        etype = event.etype
+        text = event.text
+        trace = event.trace
+        table = self._trace_name_table
+        trace_name = (
+            table[trace] if 0 <= trace < len(table) else str(trace)
+        )
+        str_trace = str(trace)
+        for leaf, exact_etype, exact_process, exact_text in self._leaf_filters:
+            # Exact-attribute prefilter: replicate the failing checks of
+            # EventClass.matches without building a bindings dict.
+            if exact_etype is not None and exact_etype != etype:
+                continue
+            if exact_text is not None and exact_text != text:
+                continue
+            if (
+                exact_process is not None
+                and exact_process != trace_name
+                and exact_process != str_trace
+            ):
+                continue
             env = leaf.event_class.matches(event)
             if env is None:
                 continue
@@ -503,6 +595,32 @@ class OCEPMatcher:
             pinned = None
             required_text = None
 
+        # A PARTNER constraint against an assigned receive (or unary)
+        # event pins the candidate to one trace (Figure 4): every other
+        # trace fails that restriction outright, independently of the
+        # levels above it, so sweeping them one by one only manufactures
+        # identical unbounded conflicts.  Jump the sweep straight to the
+        # partner's trace and record a single representative conflict
+        # per skipped region (same back-jump target, no narrower hull).
+        partner_level = None
+        partner_trace = -1
+        if pinned is None:
+            cmat = self._cmat
+            leaf_id = level.leaf_id
+            for j in range(i):
+                if cmat[levels[j].leaf_id][leaf_id] is Constraint.PARTNER:
+                    assigned = levels[j].event
+                    if assigned.kind is not EventKind.SEND:
+                        partner = assigned.partner
+                        partner_level = j
+                        partner_trace = -1 if partner is None else partner.trace
+                        break
+
+        next_nonempty = leaf_history.next_nonempty
+        num_traces = self.num_traces
+        cover_check = (
+            self.subset.is_covered if coverage and found_any else None
+        )
         while True:
             if self._steps_left is not None:
                 self._steps_left -= 1
@@ -514,14 +632,38 @@ class OCEPMatcher:
                         return False
                     if level.trace < pinned:
                         level.trace = pinned
-                if level.trace >= self.num_traces:
+                elif partner_level is not None:
+                    if partner_trace < 0 or level.trace > partner_trace:
+                        if (
+                            self.config.backjump
+                            and next_nonempty(level.trace) is not None
+                        ):
+                            level.conflicts.append(
+                                _Conflict(level=partner_level, lo=None, hi=None)
+                            )
+                        return False
+                    if level.trace < partner_trace:
+                        if self.config.backjump:
+                            nxt = next_nonempty(level.trace)
+                            if nxt is not None and nxt < partner_trace:
+                                level.conflicts.append(
+                                    _Conflict(
+                                        level=partner_level, lo=None, hi=None
+                                    )
+                                )
+                        level.trace = partner_trace
+                else:
+                    # Jump the sweep over traces this leaf never
+                    # matched on: each would just fail the on_trace
+                    # check below and advance.
+                    nxt = next_nonempty(level.trace)
+                    if nxt is None:
+                        return False
+                    level.trace = nxt
+                if level.trace >= num_traces:
                     return False
                 trace = level.trace
-                if (
-                    coverage
-                    and found_any
-                    and self.subset.is_covered(level.leaf_id, trace)
-                ):
+                if cover_check is not None and cover_check(level.leaf_id, trace):
                     level.advance_trace()
                     continue
                 if not leaf_history.on_trace(trace):
@@ -531,15 +673,13 @@ class OCEPMatcher:
                 if domain is None:
                     level.advance_trace()
                     continue
-                interval, lo_level, hi_level = domain
+                lo, hi, lo_level, hi_level = domain
                 if required_text is not None:
                     level.candidates = leaf_history.slice_by_text(
-                        trace, interval.lo, interval.hi, required_text
+                        trace, lo, hi, required_text
                     )
                 else:
-                    level.candidates = leaf_history.slice(
-                        trace, interval.lo, interval.hi
-                    )
+                    level.candidates = leaf_history.slice(trace, lo, hi)
                 level.pos = len(level.candidates) - 1  # newest first
                 if not level.candidates:
                     # The interval is satisfiable but holds no stored
@@ -554,12 +694,12 @@ class OCEPMatcher:
                             i,
                             level.leaf_id,
                             trace,
-                            detail=f"[{interval.lo}, {interval.hi}]",
+                            detail=f"[{lo}, {hi}]",
                         )
                     if self.config.backjump:
                         self._record_slice_conflicts(
                             levels, level, leaf_history, trace,
-                            interval, lo_level, hi_level,
+                            lo, hi, lo_level, hi_level,
                         )
                     level.advance_trace()
                     continue
@@ -608,14 +748,24 @@ class OCEPMatcher:
 
     def _compute_domain(
         self, levels: List[_Level], i: int, trace: int
-    ) -> Optional[Tuple[Interval, Optional[int], Optional[int]]]:
+    ) -> Optional[Tuple[int, Optional[int], Optional[int], Optional[int]]]:
         """Intersect the Figure-4 restrictions of all instantiated
         events.  On interval emptiness, record the conflict (with
         Figure-5 resolution bounds) and return None; otherwise return
-        the interval together with the levels whose restrictions set
-        its binding lower and upper bounds (None = unbounded side)."""
+        ``(lo, hi, lo_level, hi_level)`` — the interval bounds together
+        with the levels whose restrictions set its binding lower and
+        upper bounds (None = unbounded side / no binding level).
+
+        The interval arithmetic of :func:`repro.core.domain.restrict`
+        is inlined on plain ints, and so are the GP/LS lookups of
+        :class:`~repro.core.gpls.CausalIndex` (against the assigned
+        events' cached component tuples): this is the innermost
+        per-trace loop of the search, and the per-restriction call
+        overhead dominated its cost.
+        """
         level = levels[i]
-        interval = Interval()
+        lo = 1
+        hi: Optional[int] = None
         lo_level: Optional[int] = None
         hi_level: Optional[int] = None
         # each restriction costs budget too, so the per-trigger bound
@@ -625,37 +775,122 @@ class OCEPMatcher:
             self._steps_left -= i
             if self._steps_left < 0:
                 raise _BudgetExhausted()
+        index = self.index
+        ivalues = index._values[trace]
+        ipositions = index._positions[trace]
+        trace_len = index._lengths[trace]
+        cmat = self._cmat
+        leaf_id = level.leaf_id
+        restrict_domains = self.config.restrict_domains
         for j in range(i):
-            assigned = levels[j].event
-            constraint = self.pattern.constraint(levels[j].leaf_id, level.leaf_id)
+            constraint = cmat[levels[j].leaf_id][leaf_id]
             if constraint is Constraint.NONE:
                 continue
-            if not self.config.restrict_domains and constraint is not Constraint.PARTNER:
+            if not restrict_domains and constraint is not Constraint.PARTNER:
                 # Chronological-backtracking ablation: scan everything,
                 # verify causality per candidate instead.
                 continue
-            before_lo, before_hi = interval.lo, interval.hi
-            if not restrict(interval, constraint, assigned, trace, self.index):
+            assigned = levels[j].event
+            atrace = assigned.trace
+            aindex = assigned.index
+            # Bounds contributed by this constraint (nhi None =
+            # unbounded above), or an outright failure.
+            failed = False
+            nlo = 1
+            nhi: Optional[int] = None
+            if constraint in (Constraint.BEFORE, Constraint.LIMITED):
+                # assigned -> candidate: candidate at or past LS
+                if atrace == trace:
+                    if aindex < trace_len:
+                        nlo = aindex + 1
+                    else:
+                        failed = True
+                else:
+                    col = ivalues[atrace]
+                    pos = _bisect_left(col, aindex)
+                    if pos < len(col):
+                        nlo = ipositions[atrace][pos]
+                    else:
+                        failed = True
+            elif constraint in (Constraint.AFTER, Constraint.LIMITED_REV):
+                # candidate -> assigned: candidate at or before GP
+                nhi = (
+                    aindex - 1 if atrace == trace
+                    else assigned.clock.components[trace]
+                )
+            elif constraint is Constraint.NOT_AFTER:
+                # not (candidate -> assigned): candidate strictly past GP
+                nlo = (
+                    aindex if atrace == trace
+                    else assigned.clock.components[trace] + 1
+                )
+            elif constraint is Constraint.NOT_BEFORE:
+                # not (assigned -> candidate): candidate strictly before LS
+                if atrace == trace:
+                    if aindex < trace_len:
+                        nhi = aindex
+                else:
+                    col = ivalues[atrace]
+                    pos = _bisect_left(col, aindex)
+                    if pos < len(col):
+                        nhi = ipositions[atrace][pos] - 1
+            elif constraint is Constraint.CONCURRENT:
+                if atrace == trace:
+                    nlo = aindex
+                    if aindex < trace_len:
+                        nhi = aindex
+                else:
+                    nlo = assigned.clock.components[trace] + 1
+                    col = ivalues[atrace]
+                    pos = _bisect_left(col, aindex)
+                    if pos < len(col):
+                        nhi = ipositions[atrace][pos] - 1
+            elif constraint is Constraint.PARTNER:
+                partner = assigned.partner
+                if assigned.kind is EventKind.RECEIVE and partner is not None:
+                    if partner.trace != trace:
+                        failed = True
+                    else:
+                        nlo = nhi = partner.index
+                elif assigned.kind is EventKind.SEND:
+                    # The matching receive causally follows the send;
+                    # identity is checked per candidate by the matcher.
+                    ls = index.ls(assigned, trace)
+                    if ls is None:
+                        failed = True
+                    else:
+                        nlo = ls
+                else:
+                    failed = True  # a unary event has no partner
+            else:
+                raise ValueError(f"unhandled constraint {constraint!r}")
+
+            if not failed:
+                if nlo > lo:
+                    lo = nlo
+                    lo_level = j
+                if nhi is not None and (hi is None or nhi < hi):
+                    hi = nhi
+                    hi_level = j
+                if hi is not None and lo > hi:
+                    failed = True
+            if failed:
                 self.domain_conflicts += 1
                 if self.search_trace is not None:
                     self.search_trace.record(
                         obs_trace.DOMAIN_CONFLICT,
                         self.searches_run,
                         i,
-                        level.leaf_id,
+                        leaf_id,
                         trace,
                         detail=f"{constraint.value} vs level {j}",
                     )
                 if self.config.backjump:
                     level.conflicts.append(
-                        self._make_conflict(j, constraint, assigned, level.leaf_id, trace)
+                        self._make_conflict(j, constraint, assigned, leaf_id, trace)
                     )
                 return None
-            if interval.lo != before_lo:
-                lo_level = j
-            if interval.hi != before_hi:
-                hi_level = j
-        return interval, lo_level, hi_level
+        return lo, hi, lo_level, hi_level
 
     def _record_slice_conflicts(
         self,
@@ -663,35 +898,32 @@ class OCEPMatcher:
         level: _Level,
         leaf_history: LeafHistory,
         trace: int,
-        interval: Interval,
+        interval_lo: int,
+        interval_hi: Optional[int],
         lo_level: Optional[int],
         hi_level: Optional[int],
     ) -> None:
         """Figure 5 for an empty candidate slice: every stored event on
-        ``trace`` lies outside ``interval``, so a different choice at a
-        binding contributor could admit one.  For the lower bound the
-        nearest admissible candidate is the latest event below it; for
-        the upper bound, the earliest event above it."""
+        ``trace`` lies outside ``[interval_lo, interval_hi]``, so a
+        different choice at a binding contributor could admit one.  For
+        the lower bound the nearest admissible candidate is the latest
+        event below it; for the upper bound, the earliest event above
+        it."""
         if lo_level is not None and lo_level >= 1:
-            below = leaf_history.slice(trace, 1, interval.lo - 1)
+            below = leaf_history.slice(trace, 1, interval_lo - 1)
             if below:
                 target = below[-1]
                 assigned = levels[lo_level].event
-                constraint = self.pattern.constraint(
-                    levels[lo_level].leaf_id, level.leaf_id
-                )
+                constraint = self._cmat[levels[lo_level].leaf_id][level.leaf_id]
                 lo, hi = self._admit_bounds_lower(constraint, assigned, target)
                 level.conflicts.append(_Conflict(level=lo_level, lo=lo, hi=hi))
 
-        if hi_level is not None and hi_level >= 1 and interval.hi is not None:
-            above_start = interval.hi + 1
-            above = leaf_history.slice(trace, above_start, None)
+        if hi_level is not None and hi_level >= 1 and interval_hi is not None:
+            above = leaf_history.slice(trace, interval_hi + 1, None)
             if above:
                 target = above[0]
                 assigned = levels[hi_level].event
-                constraint = self.pattern.constraint(
-                    levels[hi_level].leaf_id, level.leaf_id
-                )
+                constraint = self._cmat[levels[hi_level].leaf_id][level.leaf_id]
                 lo, hi = self._admit_bounds_upper(constraint, assigned, target)
                 level.conflicts.append(_Conflict(level=hi_level, lo=lo, hi=hi))
 
@@ -733,11 +965,10 @@ class OCEPMatcher:
         assigned: Event,
         leaf_id: int,
         trace: int,
-    ) -> _Conflict:
-        lo, hi = self._resolution_bounds(
-            constraint, assigned, self.history.leaf(leaf_id), trace
-        )
-        return _Conflict(level=j, lo=lo, hi=hi)
+    ) -> _LazyConflict:
+        # Bounds resolve lazily (see _LazyConflict): domain conflicts
+        # vastly outnumber the back-jumps that read them.
+        return _LazyConflict(j, self, constraint, assigned, leaf_id, trace)
 
     def _resolution_bounds(
         self,
@@ -786,8 +1017,13 @@ class OCEPMatcher:
         success and flags the rejection kind for back-jump safety."""
         level = levels[i]
 
+        # Distinctness by event id: within one computation (trace,
+        # index) is the event's identity, so this equals full-field
+        # equality without comparing clocks.
+        ctrace, cindex = candidate.trace, candidate.index
         for j in range(i):
-            if levels[j].event == candidate:
+            assigned = levels[j].event
+            if assigned.trace == ctrace and assigned.index == cindex:
                 level.filter_rejected = True
                 return None
 
@@ -801,7 +1037,7 @@ class OCEPMatcher:
         verify_all = self.config.paranoid or not self.config.restrict_domains
         for j in range(i):
             assigned = levels[j].event
-            constraint = self.pattern.constraint(levels[j].leaf_id, level.leaf_id)
+            constraint = self._cmat[levels[j].leaf_id][level.leaf_id]
             if constraint is Constraint.NONE:
                 continue
             if constraint is Constraint.PARTNER:

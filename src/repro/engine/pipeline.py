@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
+from repro.clocks.encoded import EncodedClock, encode_events, validate_backend
 from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport
 from repro.core.monitor import MatchCallback, Monitor, MonitorStats
@@ -216,16 +217,20 @@ class Pipeline:
         seed: int = 0,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        clock_backend: str = "fidge",
     ) -> "Pipeline":
         """Build a named case study (see :data:`repro.engine.CASES`) as
         the live source; its detection pattern is left unwatched —
         attach it with :meth:`watch_case` (or any pattern with
-        :meth:`watch`)."""
+        :meth:`watch`).  ``clock_backend`` selects the workload
+        kernel's timestamp scheme (see :data:`repro.clocks.CLOCK_BACKENDS`)."""
         if name not in CASES:
             raise KeyError(
                 f"unknown case {name!r}; known: {sorted(CASES)}"
             )
-        workload, pattern_source = build_case(name, traces, seed)
+        workload, pattern_source = build_case(
+            name, traces, seed, clock_backend=clock_backend
+        )
         pipeline = cls.for_workload(workload, registry=registry, tracer=tracer)
         pipeline.case_name = name
         pipeline.case_pattern = pattern_source
@@ -239,21 +244,39 @@ class Pipeline:
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        clock_backend: str = "fidge",
     ) -> "Pipeline":
         """Use a recorded stream (a valid linearization, e.g. from
         :meth:`record` or a dump file) as the source; delivery is
-        batch-first."""
+        batch-first.
+
+        With ``clock_backend="encoded"`` the recorded stream is
+        transcoded once at construction — every non-receive event gets
+        an O(1) encoded timestamp sharing interned knowledge rows —
+        and the server keeps the struct-of-arrays store.  Matcher
+        output is bit-identical either way.
+        """
+        backend = validate_backend(clock_backend)
+        events = list(events)
+        event_store = "object"
+        if backend == "encoded":
+            if not (events and isinstance(events[0].clock, EncodedClock)):
+                # Streams recorded from an encoded kernel are already
+                # stamped; only full-clock recordings need transcoding.
+                events, _frame = encode_events(events, len(trace_names))
+            event_store = "array"
         server = POETServer(
             num_traces=len(trace_names),
             trace_names=trace_names,
             verify=verify,
             registry=registry,
             tracer=tracer,
+            event_store=event_store,
         )
         return cls(
             server=server,
             trace_names=trace_names,
-            events=list(events),
+            events=events,
             registry=registry,
             tracer=tracer,
         )
@@ -265,12 +288,14 @@ class Pipeline:
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        clock_backend: str = "fidge",
     ) -> "Pipeline":
         """Load a POET dump file and replay it (the paper's reload
         methodology)."""
         events, _num_traces, names = load_events(path)
         return cls.replay(
-            events, names, verify=verify, registry=registry, tracer=tracer
+            events, names, verify=verify, registry=registry, tracer=tracer,
+            clock_backend=clock_backend,
         )
 
     # ------------------------------------------------------------------

@@ -54,6 +54,18 @@ class EventStore:
         self._traces[event.trace].append(event)
         self._count += 1
 
+    def add_batch(self, events) -> None:
+        """Append a contiguous slice of the linearization.
+
+        A convenience loop over :meth:`add` — the store protocol the
+        server's batch-first delivery targets; the struct-of-arrays
+        store (:class:`~repro.events.soa.ArrayEventStore`) overrides it
+        with a columnar fast path.
+        """
+        add = self.add
+        for event in events:
+            add(event)
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
@@ -69,7 +81,20 @@ class EventStore:
         return self._count
 
     def trace(self, trace_id: int) -> Trace:
-        """Return the :class:`Trace` with the given id."""
+        """Return the :class:`Trace` with the given id.
+
+        Raises
+        ------
+        ValueError
+            If ``trace_id`` is out of range.  (A negative id would
+            silently wrap to a trace at the other end of the store
+            under list indexing.)
+        """
+        if not 0 <= trace_id < len(self._traces):
+            raise ValueError(
+                f"trace {trace_id} out of range "
+                f"(store has {len(self._traces)} traces)"
+            )
         return self._traces[trace_id]
 
     def traces(self) -> Sequence[Trace]:
@@ -77,8 +102,19 @@ class EventStore:
         return tuple(self._traces)
 
     def get(self, event_id: EventId) -> Event:
-        """Resolve an :class:`EventId` to the stored event."""
-        return self._traces[event_id.trace].at(event_id.index)
+        """Resolve an :class:`EventId` to the stored event.
+
+        The trace is range-checked (not merely looked up), so a
+        corrupted or hand-built id with a negative trace raises
+        ``ValueError`` instead of silently wrapping to the last trace.
+        """
+        trace = event_id.trace
+        if not 0 <= trace < len(self._traces):
+            raise ValueError(
+                f"event trace {trace} out of range "
+                f"(store has {len(self._traces)} traces)"
+            )
+        return self._traces[trace].at(event_id.index)
 
     def partner_of(self, event: Event) -> Optional[Event]:
         """Resolve an event's communication partner, if recorded."""

@@ -16,6 +16,7 @@ number as a string.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, Optional, Sequence
 
 from repro.events.event import Event
@@ -99,6 +100,17 @@ class EventClass:
     # Search hints
     # ------------------------------------------------------------------
 
+    @functools.cached_property
+    def _trace_ids(self) -> Dict[str, int]:
+        """Name (and stringified number) -> trace id, first wins —
+        mirrors the linear scan :meth:`pinned_trace` used to do, at
+        dict-lookup cost per resolution."""
+        ids: Dict[str, int] = {}
+        for trace, name in enumerate(self.trace_names):
+            ids.setdefault(name, trace)
+            ids.setdefault(str(trace), trace)
+        return ids
+
     def pinned_trace(self, bindings: Optional[Bindings]) -> Optional[int]:
         """The only trace this class can match on, when the process
         attribute is exact or already bound — lets the matcher skip the
@@ -110,10 +122,14 @@ class EventClass:
             value = bindings.get(self.process.name)
         if value is None:
             return None
-        for trace, name in enumerate(self.trace_names):
-            if value == name or value == str(trace):
-                return trace
-        return -1  # resolved to a nonexistent trace: matches nowhere
+        # -1 = resolved to a nonexistent trace: matches nowhere
+        return self._trace_ids.get(value, -1)
+
+    def exact_etype(self) -> Optional[str]:
+        """The exact event type this class requires, or ``None`` when
+        the type attribute is a wildcard or variable — a cheap
+        prefilter key for per-event leaf dispatch."""
+        return self.etype.value if isinstance(self.etype, Exact) else None
 
     def required_text(self, bindings: Optional[Bindings]) -> Optional[str]:
         """The exact text a candidate must carry, when determinable —

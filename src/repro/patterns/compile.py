@@ -295,6 +295,14 @@ class CompiledPattern:
             raise ValueError("no constraint between a leaf and itself")
         return self._dense[i][j]
 
+    @property
+    def constraint_matrix(self) -> Sequence[Sequence[Constraint]]:
+        """The dense leaf-pair constraint table (``[i][j]`` is leaf
+        ``i``'s requirement relative to leaf ``j``; the diagonal is
+        ``NONE``).  Hot loops index this directly instead of paying a
+        :meth:`constraint` call per pair."""
+        return self._dense
+
     def terminating_leaves(self) -> Tuple[int, ...]:
         """Leaves whose match can be the last event of a complete match.
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.events.event import Event
-from repro.events.store import EventStore
+from repro.events.soa import make_event_store
 from repro.obs.log import get_logger
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.spans import NULL_TRACER, SpanTracer
@@ -48,6 +48,11 @@ class POETServer:
         each collected event's fan-out is recorded as a
         ``poet.deliver`` span on the server's wall-clock track.
         Defaults to the no-op tracer.
+    event_store:
+        Server-side store layout: ``"object"`` (one ``Event`` per
+        collected event, the historical default) or ``"array"`` (the
+        struct-of-arrays :class:`~repro.events.soa.ArrayEventStore`,
+        whose appends cost O(1) for encoded clocks).
     """
 
     def __init__(
@@ -57,8 +62,9 @@ class POETServer:
         verify: bool = False,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        event_store: str = "object",
     ):
-        self.store = EventStore(num_traces, trace_names)
+        self.store = make_event_store(event_store, num_traces, trace_names)
         self._clients: List[POETClient] = []
         self._verify = verify
         self._delivered = [0] * num_traces
@@ -169,9 +175,7 @@ class POETServer:
         if self._verify:
             for event in events:
                 self._check_order(event)
-        add = self.store.add
-        for event in events:
-            add(event)
+        self.store.add_batch(events)
         self._collected_counter.inc(len(events))
         if self._tracer.enabled:
             with self._tracer.span(

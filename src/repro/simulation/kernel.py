@@ -29,6 +29,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.clocks.lamport import LamportClock
+from repro.clocks.encoded import make_clock_bank, validate_backend
 from repro.clocks.vector_clock import VectorClock
 from repro.events.event import Event, EventId, EventKind
 from repro.obs.spans import NULL_TRACER, SpanTracer
@@ -118,6 +119,12 @@ class Kernel:
     trace_blocking:
         Emit a ``SendBlock`` event when a send enters the blocked
         state (the instrumented activity deadlock patterns match on).
+    clock_backend:
+        Timestamp scheme for emitted events: ``"fidge"`` (full
+        Fidge/Mattern vectors) or ``"encoded"`` (O(1)-per-event
+        encoded clocks, see :mod:`repro.clocks.encoded`).  Both answer
+        the causality predicates identically; only the cost profile
+        differs.
     """
 
     def __init__(
@@ -130,6 +137,7 @@ class Kernel:
         mean_delay: float = 1.0,
         action_delay: float = 0.1,
         trace_blocking: bool = True,
+        clock_backend: str = "fidge",
     ):
         if num_processes <= 0:
             raise ValueError(f"need at least one process, got {num_processes}")
@@ -154,9 +162,10 @@ class Kernel:
             for i in range(num_semaphores)
         ]
 
-        self._clocks: List[VectorClock] = [
-            VectorClock.zero(self.num_traces) for _ in range(self.num_traces)
-        ]
+        self.clock_backend = validate_backend(clock_backend)
+        self._clocks, self.clock_frame = make_clock_bank(
+            clock_backend, self.num_traces
+        )
         self._lamports: List[LamportClock] = [
             LamportClock() for _ in range(self.num_traces)
         ]

@@ -27,19 +27,27 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+from repro.clocks.encoded import make_clock_bank, validate_backend
 from repro.clocks.lamport import LamportClock
-from repro.clocks.vector_clock import VectorClock
 from repro.events.event import Event, EventKind
 
 
 class Weaver:
-    """Builds a causally consistent event stream by hand."""
+    """Builds a causally consistent event stream by hand.
 
-    def __init__(self, num_traces: int):
+    ``clock_backend`` selects the timestamp scheme (``"fidge"`` full
+    vectors, ``"encoded"`` O(1)-per-event encoded clocks); both weave
+    causally identical streams.
+    """
+
+    def __init__(self, num_traces: int, clock_backend: str = "fidge"):
         if num_traces <= 0:
             raise ValueError(f"need at least one trace, got {num_traces}")
         self.num_traces = num_traces
-        self._clocks = [VectorClock.zero(num_traces) for _ in range(num_traces)]
+        self.clock_backend = validate_backend(clock_backend)
+        self._clocks, self.clock_frame = make_clock_bank(
+            clock_backend, num_traces
+        )
         self._lamports = [LamportClock() for _ in range(num_traces)]
         self.events: List[Event] = []
 
@@ -124,6 +132,7 @@ def random_computation(
     texts: Sequence[str] = ("",),
     local_probability: float = 0.45,
     send_probability: float = 0.30,
+    clock_backend: str = "fidge",
 ) -> Weaver:
     """Weave a random-but-valid computation from a seed.
 
@@ -136,7 +145,7 @@ def random_computation(
     if not 0 <= local_probability + send_probability <= 1:
         raise ValueError("probabilities must sum to at most 1")
     rng = random.Random(seed)
-    weaver = Weaver(num_traces)
+    weaver = Weaver(num_traces, clock_backend=clock_backend)
     pending: List[Event] = []
     for _ in range(steps):
         roll = rng.random()

@@ -41,6 +41,7 @@ def build_message_race(
     seed: int = 0,
     messages_per_sender: int = 50,
     verify_delivery: bool = False,
+    clock_backend: str = "fidge",
 ) -> MessageRaceResult:
     """Build the message-race case-study workload.
 
@@ -53,7 +54,12 @@ def build_message_race(
             f"a race needs >= 2 senders plus a collector, got {num_traces}"
         )
 
-    kernel = Kernel(num_processes=num_traces, seed=seed, buffer_capacity=None)
+    kernel = Kernel(
+        num_processes=num_traces,
+        seed=seed,
+        buffer_capacity=None,
+        clock_backend=clock_backend,
+    )
     server = instrument(kernel, verify=verify_delivery)
     collector = 0
     total_messages = (num_traces - 1) * messages_per_sender

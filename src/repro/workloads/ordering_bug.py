@@ -53,6 +53,7 @@ def build_ordering_bug(
     bug_probability: float = 0.01,
     updates_between: int = 2,
     verify_delivery: bool = False,
+    clock_backend: str = "fidge",
 ) -> OrderingBugResult:
     """Build the ordering-bug case-study workload.
 
@@ -72,7 +73,12 @@ def build_ordering_bug(
     if num_traces < 2:
         raise ValueError(f"need a leader and >= 1 follower, got {num_traces}")
 
-    kernel = Kernel(num_processes=num_traces, seed=seed, buffer_capacity=None)
+    kernel = Kernel(
+        num_processes=num_traces,
+        seed=seed,
+        buffer_capacity=None,
+        clock_backend=clock_backend,
+    )
     server = instrument(kernel, verify=verify_delivery)
     leader = 0
     total_requests = (num_traces - 1) * synchs_per_follower

@@ -61,6 +61,7 @@ def build_traffic_light(
     cycles: int = 20,
     fault_probability: float = 0.02,
     verify_delivery: bool = False,
+    clock_backend: str = "fidge",
 ) -> TrafficLightResult:
     """Build the traffic-light workload.
 
@@ -72,7 +73,12 @@ def build_traffic_light(
     if num_lights < 2:
         raise ValueError(f"need >= 2 lights for a conflict, got {num_lights}")
 
-    kernel = Kernel(num_processes=num_lights + 1, seed=seed, buffer_capacity=None)
+    kernel = Kernel(
+        num_processes=num_lights + 1,
+        seed=seed,
+        buffer_capacity=None,
+        clock_backend=clock_backend,
+    )
     server = instrument(kernel, verify=verify_delivery)
     controller = 0
     faults: List[Tuple[int, int]] = []

@@ -1,0 +1,90 @@
+"""Property tests: encoded timestamps are indistinguishable from full
+Fidge/Mattern clocks.
+
+Two copies of every random computation are woven — one stamped with
+full vector clocks, one with encoded clocks — and all three causality
+predicates (``happens_before`` / ``concurrent`` / ``compare``) must
+return the same verdict on every event pair, regardless of backend
+mixing.  This is the oracle that licenses the O(1) fast paths inside
+:class:`~repro.clocks.encoded.EncodedClock`.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import EncodedClock, compare, concurrent, happens_before
+from repro.clocks.encoded import encode_events
+from repro.testing import Weaver
+
+
+@st.composite
+def paired_computations(draw, max_traces=5, max_steps=40):
+    """The same random schedule woven under both clock backends."""
+    num_traces = draw(st.integers(min_value=1, max_value=max_traces))
+    steps = draw(st.integers(min_value=1, max_value=max_steps))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    weavers = []
+    for backend in ("fidge", "encoded"):
+        rng = random.Random(seed)
+        weaver = Weaver(num_traces, clock_backend=backend)
+        pending = []
+        for _ in range(steps):
+            roll = rng.random()
+            trace = rng.randrange(num_traces)
+            if roll < 0.4 or num_traces == 1:
+                weaver.local(trace, rng.choice("ABC"))
+            elif roll < 0.7:
+                pending.append(weaver.send(trace))
+            elif pending:
+                send = pending.pop(rng.randrange(len(pending)))
+                choices = [t for t in range(num_traces) if t != send.trace]
+                weaver.recv(rng.choice(choices), send)
+            else:
+                weaver.local(trace)
+        weavers.append(weaver)
+    return weavers
+
+
+class TestPredicateEquivalence:
+    @given(paired_computations())
+    @settings(max_examples=50, deadline=None)
+    def test_all_three_predicates_agree(self, weavers):
+        full, enc = weavers
+        assert len(full.events) == len(enc.events)
+        pairs = [
+            (a, b, x, y)
+            for a, x in zip(full.events, enc.events)
+            for b, y in zip(full.events, enc.events)
+        ]
+        for a, b, x, y in pairs:
+            assert isinstance(x.clock, EncodedClock)
+            expect = compare(a.clock, a.trace, b.clock, b.trace)
+            # encoded vs encoded (the production fast paths)
+            assert compare(x.clock, x.trace, y.clock, y.trace) is expect
+            # mixed backends (transcode boundaries)
+            assert compare(x.clock, x.trace, b.clock, b.trace) is expect
+            assert compare(a.clock, a.trace, y.clock, y.trace) is expect
+            assert happens_before(x.clock, x.trace, y.clock, y.trace) == \
+                happens_before(a.clock, a.trace, b.clock, b.trace)
+            assert concurrent(x.clock, x.trace, y.clock, y.trace) == \
+                concurrent(a.clock, a.trace, b.clock, b.trace)
+
+    @given(paired_computations(max_steps=30))
+    @settings(max_examples=50, deadline=None)
+    def test_components_hash_and_equality_agree(self, weavers):
+        full, enc = weavers
+        for a, x in zip(full.events, enc.events):
+            assert x.clock.components == a.clock.components
+            assert x.clock == a.clock
+            assert a.clock == x.clock
+            assert hash(x.clock) == hash(a.clock)
+
+    @given(paired_computations(max_steps=30))
+    @settings(max_examples=50, deadline=None)
+    def test_transcoded_stream_matches_native_encoding(self, weavers):
+        full, enc = weavers
+        transcoded, _frame = encode_events(full.events, full.num_traces)
+        for native, coded in zip(enc.events, transcoded):
+            assert coded.clock.components == native.clock.components

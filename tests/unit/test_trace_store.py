@@ -97,6 +97,28 @@ class TestEventStore:
         with pytest.raises(ValueError):
             store.add(event)
 
+    def test_negative_trace_lookup_rejected(self):
+        # A negative trace id used to wrap under list indexing and
+        # silently return the store's LAST trace; a corrupted or
+        # hand-built id must be a hard error instead.
+        _, events = _two_trace_events()
+        store = EventStore(2)
+        for e in events:
+            store.add(e)
+        with pytest.raises(ValueError, match="out of range"):
+            store.trace(-1)
+        # EventId itself refuses construction with a negative trace,
+        # so a wrapped lookup can never even be expressed.
+        with pytest.raises(ValueError, match="trace must be >= 0"):
+            store.get(EventId(trace=-1, index=1))
+
+    def test_out_of_range_trace_lookup_rejected(self):
+        store = EventStore(2)
+        with pytest.raises(ValueError, match="out of range"):
+            store.trace(2)
+        with pytest.raises(ValueError, match="out of range"):
+            store.get(EventId(trace=2, index=1))
+
     def test_iteration_groups_by_trace(self):
         _, events = _two_trace_events()
         store = EventStore(2)

@@ -38,6 +38,36 @@ class TestTickAndMerge:
         merged = VectorClock([1, 5, 0]).merge(VectorClock([3, 2, 0]))
         assert merged.components == (3, 5, 0)
 
+    def test_tick_rejects_negative_trace(self):
+        # tick(-1) used to wrap under python list indexing and silently
+        # advance the LAST trace's component — a corrupted causality
+        # record, not an error.
+        clock = VectorClock([1, 2, 3])
+        with pytest.raises(ValueError, match="must be in"):
+            clock.tick(-1)
+        assert clock.components == (1, 2, 3)
+
+    def test_tick_rejects_out_of_range_trace(self):
+        with pytest.raises(ValueError, match="must be in"):
+            VectorClock([1, 2, 3]).tick(3)
+
+    def test_tick_result_has_full_value_semantics(self):
+        # tick/merge construct through the trusted fast path; the
+        # results must still validate, hash, and compare like clocks
+        # built through __init__.
+        ticked = VectorClock([1, 2]).tick(0)
+        rebuilt = VectorClock([2, 2])
+        assert ticked == rebuilt
+        assert hash(ticked) == hash(rebuilt)
+        assert ticked.tick(1).components == (2, 3)
+
+    def test_merge_result_has_full_value_semantics(self):
+        merged = VectorClock([1, 5]).merge(VectorClock([3, 2]))
+        rebuilt = VectorClock([3, 5])
+        assert merged == rebuilt
+        assert hash(merged) == hash(rebuilt)
+        assert {merged: "a"}[rebuilt] == "a"
+
     def test_merge_width_mismatch_rejected(self):
         with pytest.raises(ValueError):
             VectorClock([1]).merge(VectorClock([1, 2]))
