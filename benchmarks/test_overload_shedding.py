@@ -1,0 +1,124 @@
+"""Overload control: disabled-path overhead gate and recall curves.
+
+Two acceptance bargains from the overload-control PR:
+
+* **disabled means free** — a pipeline wired with
+  ``with_overload_control()`` whose detector never engages must stay
+  within 3% of a plain pipeline (min-of-repetitions, retried before a
+  breach is declared real; tolerance overridable via
+  ``OCEP_OVERLOAD_TOLERANCE``) *and* produce bit-identical monitor
+  output;
+* **utility beats random** — at matched drop rates the pattern-aware
+  shedder must preserve strictly more oracle matches than a uniform
+  random dropper, on every case study (seeds and rates scaled down by
+  default; ``OCEP_FULL_SCALE=1`` runs the full 10-seed grid).
+
+Recall curves and overhead ratios land in ``BENCH_overload.json`` for
+the cross-PR perf trajectory.
+"""
+
+import os
+import time
+
+from common import emit_json, emit_text, record_stream, scaled
+from repro.engine import Pipeline
+from repro.resilience import OverloadState, run_shedding_sweep
+from repro.workloads import build_message_race, message_race_pattern
+
+#: Relative overhead allowed for the never-engaged shedder stage.
+TOLERANCE = float(os.environ.get("OCEP_OVERLOAD_TOLERANCE", "0.03"))
+
+#: Re-measurements before declaring a tolerance breach real.
+MAX_ATTEMPTS = 4
+
+MIN_OF = 5
+
+FULL_SCALE = os.environ.get("OCEP_FULL_SCALE") == "1"
+
+
+def _record_stream():
+    events, names, _workload, _outcome = record_stream(
+        ("race-overhead", 6, 3),
+        lambda: build_message_race(
+            num_traces=6, seed=3, messages_per_sender=25
+        ),
+        max_events=scaled(4000),
+    )
+    return events, names, message_race_pattern()
+
+
+def _best_replay_seconds(events, names, pattern, overload) -> float:
+    """Min-of-N total replay wall time (min filters scheduler noise
+    out of CPU-bound identical work)."""
+    best = float("inf")
+    for _ in range(MIN_OF):
+        started = time.perf_counter()
+        pipeline = Pipeline.replay(events, names)
+        if overload:
+            pipeline.with_overload_control()
+        pipeline.watch("bench", pattern, record_timings=False)
+        pipeline.run()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_overload_overhead():
+    events, names, pattern = _record_stream()
+
+    # Identity first: the guarded stage must be invisible, not merely
+    # cheap.
+    plain = Pipeline.replay(events, names)
+    plain_monitor = plain.watch("bench", pattern, record_timings=False)
+    plain.run()
+    wired = Pipeline.replay(events, names)
+    wired.with_overload_control()
+    wired_monitor = wired.watch("bench", pattern, record_timings=False)
+    result = wired.run()
+    assert result.overload_detector.state is OverloadState.NORMAL
+    assert result.shedder.shed_total == 0
+    assert wired_monitor.reports == plain_monitor.reports
+    assert (
+        wired_monitor.subset.signature() == plain_monitor.subset.signature()
+    )
+
+    measurements = {}
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        off = _best_replay_seconds(events, names, pattern, overload=False)
+        wired_s = _best_replay_seconds(events, names, pattern, overload=True)
+        overhead = wired_s / off - 1.0
+        measurements = {
+            "events": len(events),
+            "attempt": attempt,
+            "off_seconds": off,
+            "wired_seconds": wired_s,
+            "overhead": overhead,
+            "tolerance": TOLERANCE,
+        }
+        if overhead < TOLERANCE:
+            break
+
+    emit_json("overload_overhead", measurements)
+    emit_text(
+        "overload_overhead",
+        "Disabled overload-control overhead (message-race stream, "
+        f"{len(events)} events, min of {MIN_OF} replays):\n"
+        f"  off   (no shedder stage):     {measurements['off_seconds'] * 1e3:8.2f} ms\n"
+        f"  wired (never-engaged stage):  {measurements['wired_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['overhead'] * 100:+.2f}%)",
+    )
+
+    assert measurements["overhead"] < TOLERANCE, (
+        f"never-engaged shedder stage is {measurements['overhead']:.1%} "
+        f"slower than no stage at all (tolerance {TOLERANCE:.0%}) "
+        f"after {MAX_ATTEMPTS} attempts"
+    )
+
+
+def test_utility_recall_beats_random():
+    seeds = range(10) if FULL_SCALE else range(3)
+    report = run_shedding_sweep(seeds=seeds)
+    emit_json("overload", report.to_dict())
+    emit_text("overload", report.summary())
+    assert report.ok, report.summary()

@@ -78,6 +78,10 @@ from repro.obs import MetricsRegistry, to_json, to_prometheus
 from repro.obs.latency import track_detection_latency
 from repro.obs.spans import SpanTracer, to_chrome_json, validate_trace_events
 from repro.poet.dumpfile import dump_events, load_events
+from repro.resilience.shedding import (
+    DEFAULT_RATES as DEFAULT_SHED_RATES,
+    DEFAULT_SHED_EVENTS,
+)
 
 
 def _print_report(report, names) -> None:
@@ -294,6 +298,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_rates(text: str) -> list:
+    """Drop-rate spec: comma-separated floats in (0, 1)."""
+    rates = [float(part) for part in text.split(",") if part.strip()]
+    if not rates or any(not 0.0 < rate < 1.0 for rate in rates):
+        raise argparse.ArgumentTypeError(
+            f"rates must be floats in (0, 1), got {text!r}"
+        )
+    return rates
+
+
 def _parse_seeds(text: str) -> list:
     """Seed spec: ``0..9`` (inclusive range), ``1,4,7``, or ``5``."""
     text = text.strip()
@@ -339,6 +353,49 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seeds=args.seeds,
         stall_watermark=args.stall_watermark,
         tracer=tracer,
+        shedding=args.shed,
+    )
+    print(report.summary())
+    payload = report.to_dict()
+    scenario_ok = True
+    if args.overload:
+        from repro.resilience import run_overload_scenario
+
+        runs = run_overload_scenario(
+            recorder.events,
+            pipeline.case_pattern,
+            pipeline.trace_names,
+            seeds=args.seeds,
+            tracer=tracer,
+        )
+        print("overload scenario (burst -> shed -> recover):")
+        for run in runs:
+            status = "ok  " if run.ok else "FAIL"
+            print(f"  {status} seed={run.seed:<3} {run.detail}")
+        scenario_ok = all(run.ok for run in runs)
+        payload["overload_scenario"] = [run.to_dict() for run in runs]
+        payload["ok"] = payload["ok"] and scenario_ok
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace_out)
+    return 0 if report.ok and scenario_ok else 1
+
+
+def cmd_shed(args: argparse.Namespace) -> int:
+    from repro.resilience import run_shedding_sweep
+
+    cases = list(CASE_STUDY_NAMES) if args.case == "all" else [args.case]
+    report = run_shedding_sweep(
+        cases=cases,
+        seeds=args.seeds,
+        rates=args.rates,
+        traces=args.traces,
+        max_events=args.max_events,
+        clock_backend=args.clock_backend,
     )
     print(report.summary())
     if args.json:
@@ -346,8 +403,6 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), fh, indent=2)
             fh.write("\n")
         print(f"wrote JSON report to {args.json}")
-    if tracer is not None:
-        _write_trace(tracer, args.trace_out)
     return 0 if report.ok else 1
 
 
@@ -573,8 +628,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the full report as JSON")
     p.add_argument("--trace-out", metavar="FILE",
                    help="also record a Chrome trace-event timeline to FILE")
+    p.add_argument("--shed", action="store_true",
+                   help="also run every repairable plan through a "
+                        "shedding pipeline (shed+<kind> cells)")
+    p.add_argument("--overload", action="store_true",
+                   help="also run the overload scenario: a latency burst "
+                        "must engage shedding and then fully recover")
     add_common(p, 6)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "shed",
+        help="recall/precision sweep: utility-aware vs random load shedding",
+    )
+    p.add_argument("case", choices=sorted(CASE_STUDY_NAMES) + ["all"],
+                   help="one case study, or 'all' four")
+    p.add_argument("--seeds", type=_parse_seeds, default=list(range(10)),
+                   metavar="SPEC",
+                   help="workload seeds: '0..9', '1,4,7', or a single int")
+    p.add_argument("--rates", type=_parse_rates,
+                   default=list(DEFAULT_SHED_RATES), metavar="SPEC",
+                   help="target drop rates, e.g. '0.1,0.2,0.3'")
+    p.add_argument("--traces", type=int, default=4,
+                   help="number of traces / processes")
+    p.add_argument("--max-events", type=int, default=DEFAULT_SHED_EVENTS,
+                   help="event budget per recorded stream (the oracle is "
+                        "brute force; keep this small)")
+    p.add_argument("--clock-backend", choices=CLOCK_BACKENDS,
+                   default="fidge",
+                   help="timestamp scheme of the recorded workload")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON "
+                        "(the BENCH_overload.json payload)")
+    p.set_defaults(func=cmd_shed)
 
     p = sub.add_parser(
         "pipeline",

@@ -86,6 +86,19 @@ class MatcherConfig:
         ``OCEPMatcher.search_trace`` — see :mod:`repro.obs.trace`.
         ``None`` (default) disables recording; the hot path then pays
         one pointer comparison per decision point.
+    complete_stream:
+        ``True`` (default) promises the matcher sees *every* event of
+        the computation, so per-trace indices arrive contiguously and
+        the GP/LS domains are exact.  ``False`` tolerates holes in the
+        delivered stream (load shedding, sampled delivery): the causal
+        index accepts forward index jumps, and once a gap has actually
+        been observed every accepted candidate is re-verified against
+        its vector clock — missing least-successor entries can only
+        *widen* a domain, so verification restores soundness while
+        the lost events cost recall, never false matches (except via
+        ``~>`` immediacy, whose in-between witness may itself have
+        been shed — which is why the shedding harness measures
+        precision too).
     """
 
     sweep: SweepMode = SweepMode.COVERAGE
@@ -96,3 +109,4 @@ class MatcherConfig:
     max_forward_steps: Optional[int] = 100_000
     indexed_histories: bool = True
     search_trace_size: Optional[int] = None
+    complete_stream: bool = True

@@ -35,10 +35,19 @@ class CausalIndex:
     O(log messages) respectively.
     """
 
-    def __init__(self, num_traces: int):
+    def __init__(self, num_traces: int, allow_gaps: bool = False):
         if num_traces <= 0:
             raise ValueError(f"need at least one trace, got {num_traces}")
         self.num_traces = num_traces
+        #: Accept forward index jumps (a shed/sampled stream); regressions
+        #: and duplicates still raise.  ``gaps`` counts the missing
+        #: positions actually skipped over, which callers use to decide
+        #: whether domains are still exact (a pure trace-suffix loss
+        #: leaves every answerable query exact; only an interior hole —
+        #: a counted gap — can leave a least-successor column
+        #: under-informed).
+        self.allow_gaps = allow_gaps
+        self.gaps = 0
         # _columns[l][m]: increase points of clock column m along trace
         # l, as parallel lists (values, positions), both strictly
         # increasing.  Own columns (l == m) are implicit.
@@ -59,9 +68,12 @@ class CausalIndex:
         trace = event.trace
         expected = self._lengths[trace] + 1
         if event.index != expected:
-            raise ValueError(
-                f"trace {trace}: observed event {event.index}, expected {expected}"
-            )
+            if not self.allow_gaps or event.index < expected:
+                raise ValueError(
+                    f"trace {trace}: observed event {event.index}, "
+                    f"expected {expected}"
+                )
+            self.gaps += event.index - expected
         self._lengths[trace] = event.index
 
         # Only a clock merge can raise a remote column; merges happen
@@ -139,6 +151,7 @@ class CausalIndex:
             "positions": [
                 [list(col) for col in row] for row in self._positions
             ],
+            "gaps": self.gaps,
         }
 
     def restore(self, state: dict) -> None:
@@ -156,3 +169,6 @@ class CausalIndex:
         self._positions = [
             [[int(p) for p in col] for col in row] for row in state["positions"]
         ]
+        # Older snapshots predate gap accounting; they were taken from
+        # complete streams, so zero is exact.
+        self.gaps = int(state.get("gaps", 0))

@@ -206,7 +206,9 @@ class OCEPMatcher:
         self.pattern = pattern
         self.num_traces = num_traces
         self.config = config or MatcherConfig()
-        self.index = CausalIndex(num_traces)
+        self.index = CausalIndex(
+            num_traces, allow_gaps=not self.config.complete_stream
+        )
         self.history = HistorySet(pattern.num_leaves, num_traces)
         self.subset = RepresentativeSubset(pattern.num_leaves, num_traces)
         self._terminating = frozenset(pattern.terminating_leaves())
@@ -1034,7 +1036,19 @@ class OCEPMatcher:
             level.filter_rejected = True
             return None
 
-        verify_all = self.config.paranoid or not self.config.restrict_domains
+        # A gapped stream (complete_stream=False after actual sheds)
+        # can leave least-successor columns under-informed, which only
+        # ever *widens* the GP/LS domains — so re-verifying each
+        # candidate against its vector clock restores exactness.  A
+        # pure trace-suffix loss records no gap and needs no
+        # verification: no delivered event can causally follow an
+        # undelivered one whose LS entry is missing.
+        gapped = self.index.gaps > 0
+        verify_all = (
+            self.config.paranoid
+            or not self.config.restrict_domains
+            or gapped
+        )
         for j in range(i):
             assigned = levels[j].event
             constraint = self._cmat[levels[j].leaf_id][level.leaf_id]
@@ -1059,7 +1073,7 @@ class OCEPMatcher:
                     level.filter_rejected = True
                     return None
             if verify_all and not _satisfies(constraint, assigned, candidate):
-                if self.config.restrict_domains:
+                if self.config.restrict_domains and not gapped:
                     raise AssertionError(
                         "exact domain restriction admitted a causally "
                         f"invalid candidate {candidate.event_id} "

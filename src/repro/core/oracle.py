@@ -134,6 +134,38 @@ def _exist_checks_pass(pattern: CompiledPattern, assignment: Match) -> bool:
     return True
 
 
+def verify_match(
+    pattern: CompiledPattern, match: Match, events: Iterable[Event]
+) -> bool:
+    """Ground-truth check of one reported match against the *full*
+    event collection: every leaf class, every pairwise constraint
+    (including ``~>`` immediacy, whose in-between witness pool comes
+    from ``events``, not from whatever subset the reporter saw), and
+    the compound existential/entanglement checks.  This is how the
+    shedding harness measures precision — a monitor fed a gapped
+    stream can only report a false match through a shed ``~>``
+    witness, and this predicate catches exactly that."""
+    ordered = sorted(events, key=lambda e: (e.trace, e.index))
+    candidates: List[List[Event]] = []
+    for leaf in pattern.leaves:
+        candidates.append(
+            [e for e in ordered if leaf.event_class.could_match(e)]
+        )
+    env: Bindings = {}
+    assignment: Match = {}
+    for leaf_id in range(pattern.num_leaves):
+        event = match.get(leaf_id)
+        if event is None:
+            return False
+        env = pattern.leaves[leaf_id].event_class.matches(event, env)
+        if env is None:
+            return False
+        if not _pairwise_ok(pattern, assignment, leaf_id, event, candidates):
+            return False
+        assignment[leaf_id] = event
+    return _exist_checks_pass(pattern, assignment)
+
+
 def covered_slots(matches: Iterable[Match]) -> set:
     """The full set of (leaf, trace) slots any match covers — what a
     perfect representative subset must cover."""

@@ -4,7 +4,7 @@ Every entry point of this reproduction runs the same detection
 pipeline::
 
     source -> POETServer -> [FaultInjector] -> [HoldbackBuffer]
-           -> ShardedDispatcher -> { Monitor, Monitor, ... }
+           -> [LoadShedder] -> ShardedDispatcher -> { Monitor, ... }
 
 Historically each CLI subcommand, benchmark, and example hand-assembled
 that chain; :class:`Pipeline` makes it an explicit, composable object
@@ -24,8 +24,9 @@ detection).  A pipeline is built from a *source* —
   clients before simulated time advances past it) —
 
 then configured fluently: :meth:`watch` adds pattern shards,
-:meth:`with_faults` and :meth:`with_holdback` insert the resilience
-stages, :meth:`record` taps the collection order, :meth:`restore`
+:meth:`with_faults`, :meth:`with_holdback`, and
+:meth:`with_overload_control` insert the resilience stages,
+:meth:`record` taps the collection order, :meth:`restore`
 resumes from a checkpoint.  :meth:`run` wires the stages, drives the
 source to completion, flushes the resilience stages in order, and
 returns a :class:`PipelineResult`.
@@ -52,6 +53,13 @@ from repro.poet.holdback import HoldbackBuffer
 from repro.poet.instrument import instrument
 from repro.poet.server import POETServer
 from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.overload import (
+    BAND_CHAFF,
+    BAND_STRUCTURAL,
+    EventUtilityScorer,
+    LoadShedder,
+    OverloadDetector,
+)
 from repro.simulation.kernel import Kernel
 
 #: Default contiguous-slice size for replay sources.
@@ -90,6 +98,7 @@ class PipelineResult:
     leftover: List[Event]
     injector: Optional[FaultInjector]
     holdback: Optional[HoldbackBuffer]
+    shedder: Optional[LoadShedder] = None
 
     def __getitem__(self, name: str) -> Monitor:
         return self.dispatcher[name]
@@ -118,9 +127,18 @@ class PipelineResult:
     def signatures(self) -> Dict[str, tuple]:
         return self.dispatcher.signatures()
 
+    @property
+    def overload_detector(self) -> Optional[OverloadDetector]:
+        return self.shedder.detector if self.shedder is not None else None
+
     def checkpoint(self) -> dict:
-        """Sharded snapshot of the end-of-run matcher states."""
-        return self.dispatcher.checkpoint()
+        """Sharded snapshot of the end-of-run matcher states; when an
+        overload stage ran, its shedder/detector snapshot rides along
+        under the ``overload`` key (the v1 format tolerates it)."""
+        state = self.dispatcher.checkpoint()
+        if self.shedder is not None:
+            state["overload"] = self.shedder.snapshot()
+        return state
 
 
 class Pipeline:
@@ -153,6 +171,12 @@ class Pipeline:
         self._fault_plan: Optional[FaultPlan] = None
         self._fault_seed = 0
         self._holdback_config: Optional[dict] = None
+        self._overload_config: Optional[dict] = None
+        self._overload_restore: Optional[dict] = None
+        #: Set by :meth:`with_overload_control` (public so callers can
+        #: feed it latency observations, e.g. from the detection
+        #: latency tracker).
+        self.overload_detector: Optional[OverloadDetector] = None
         self._restore_state: Optional[dict] = None
         self._ran = False
         #: Set by :meth:`for_case`: the case's pattern source, sized
@@ -325,6 +349,14 @@ class Pipeline:
         if self._ran:
             raise RuntimeError("cannot watch() after run(): the shard "
                                "would have missed the whole stream")
+        if self._overload_config is not None:
+            # Shards downstream of a shedder must tolerate stream
+            # holes; while no event is actually shed the matcher's
+            # behaviour (and output) is unchanged.
+            config = dataclasses.replace(
+                config if config is not None else MatcherConfig(),
+                complete_stream=False,
+            )
         return self.dispatcher.watch(
             name,
             pattern_source,
@@ -380,6 +412,56 @@ class Pipeline:
         }
         return self
 
+    def with_overload_control(
+        self,
+        detector: Optional[OverloadDetector] = None,
+        scorer: Optional[EventUtilityScorer] = None,
+        shed_band: int = BAND_CHAFF,
+        critical_band: int = BAND_STRUCTURAL,
+        max_drop_rate: Optional[float] = None,
+        latency_profile=None,
+        record_kept: bool = False,
+    ) -> "Pipeline":
+        """Insert a :class:`~repro.resilience.overload.LoadShedder`
+        stage between the hold-back buffer (when present) and the
+        dispatcher.  Must be called before the first :meth:`watch`:
+        shards downstream of a shedder run with
+        ``complete_stream=False``, so their matchers tolerate the holes
+        shedding leaves and re-verify candidates once a gap is seen
+        (match output is bit-identical while the detector never
+        engages).
+
+        ``detector`` defaults to a fresh
+        :class:`~repro.resilience.overload.OverloadDetector` with
+        default thresholds; ``scorer`` defaults to an
+        :class:`~repro.resilience.overload.EventUtilityScorer` over
+        every watched shard, and is also handed to the hold-back
+        buffer so its ``shed`` overflow policy evicts least-useful
+        first.  See :class:`~repro.resilience.overload.LoadShedder`
+        for the remaining knobs.
+        """
+        if self._overload_config is not None:
+            raise RuntimeError("pipeline already has an overload stage")
+        if self._dispatcher is not None:
+            raise RuntimeError(
+                "with_overload_control() must be set before the first "
+                "watch(): shards must be built gap-tolerant"
+            )
+        if detector is None:
+            detector = OverloadDetector(
+                registry=self.registry, tracer=self.tracer
+            )
+        self._overload_config = {
+            "scorer": scorer,
+            "shed_band": shed_band,
+            "critical_band": critical_band,
+            "max_drop_rate": max_drop_rate,
+            "latency_profile": latency_profile,
+            "record_kept": record_kept,
+        }
+        self.overload_detector = detector
+        return self
+
     def record(self) -> RecordingClient:
         """Tap the server's collection order (the true linearization,
         upstream of any fault stage); returns the recorder."""
@@ -395,6 +477,10 @@ class Pipeline:
         converges to the uninterrupted run."""
         if self._dispatcher is None or len(self.dispatcher) == 0:
             raise RuntimeError("restore() needs the shards watched first")
+        if "overload" in state:
+            # The shedder is built during run(); stash its snapshot.
+            self._overload_restore = state["overload"]
+            state = {k: v for k, v in state.items() if k != "overload"}
         if state.get("format") == CHECKPOINT_FORMAT:
             self.dispatcher.restore(state)
         else:
@@ -455,18 +541,47 @@ class Pipeline:
         dispatcher = self._dispatcher
         holdback: Optional[HoldbackBuffer] = None
         injector: Optional[FaultInjector] = None
+        shedder: Optional[LoadShedder] = None
 
         tail: Optional[POETClient] = dispatcher
+        scorer: Optional[EventUtilityScorer] = None
+        if self._overload_config is not None:
+            if dispatcher is None or len(dispatcher) == 0:
+                raise RuntimeError("an overload stage needs a watched shard")
+            overload = self._overload_config
+            scorer = overload["scorer"]
+            if scorer is None:
+                scorer = EventUtilityScorer(
+                    [monitor for _, monitor in dispatcher]
+                )
+            shedder = LoadShedder(
+                dispatcher,
+                scorer,
+                self.overload_detector,
+                shed_band=overload["shed_band"],
+                critical_band=overload["critical_band"],
+                max_drop_rate=overload["max_drop_rate"],
+                latency_profile=overload["latency_profile"],
+                record_kept=overload["record_kept"],
+                registry=self.registry,
+                tracer=self.tracer,
+            )
+            if self._overload_restore is not None:
+                shedder.restore(self._overload_restore)
+            tail = shedder
         if self._holdback_config is not None:
-            if dispatcher is None:
+            if tail is None:
                 raise RuntimeError("a hold-back stage needs a watched shard")
             holdback = HoldbackBuffer(
                 self.num_traces,
-                dispatcher.on_event,
+                tail.on_event,
                 registry=self.registry,
                 tracer=self.tracer,
+                utility_scorer=scorer,
                 **self._holdback_config,
             )
+            if shedder is not None:
+                shedder.set_backlog_probe(lambda: holdback.pending_count)
             tail = holdback
         if self._fault_plan is not None:
             if tail is None:
@@ -516,6 +631,7 @@ class Pipeline:
             leftover=leftover,
             injector=injector,
             holdback=holdback,
+            shedder=shedder,
         )
 
 

@@ -43,6 +43,14 @@ DETECTION_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
 #: units; one unlabelled series plus one per pattern leaf).
 DETECTION_LATENCY_METRIC = "ocep_detection_latency_sim_time"
 
+#: Default cap on retained occurrence stamps.  Stamps for events that
+#: never appear in a match were historically kept forever (an unbounded
+#: leak on long streams); the tracker now evicts oldest-first past this
+#: bound.  An evicted event that later shows up in a match contributes
+#: zero latency — the same (exact-at-the-margin) convention as an event
+#: never stamped.
+DEFAULT_MAX_PENDING_STAMPS = 65_536
+
 _HELP = (
     "simulated time from an event's occurrence to the first match "
     "report containing it"
@@ -60,14 +68,23 @@ class DetectionLatencyTracker:
     registry:
         Metrics registry receiving the histograms; defaults to the
         shared no-op registry.
+    max_pending:
+        Retention bound on occurrence stamps (oldest evicted first;
+        ``None`` restores the historical unbounded behaviour).  The
+        current retention level is exported as the
+        ``ocep_detection_pending_stamps`` gauge.
     """
 
     def __init__(
         self,
         clock: Callable[[], float],
         registry: Optional[MetricsRegistry] = None,
+        max_pending: Optional[int] = DEFAULT_MAX_PENDING_STAMPS,
     ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self._clock = clock
+        self._max_pending = max_pending
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._occurred: Dict[Tuple[int, int], float] = {}
         self._total = self.registry.histogram(
@@ -78,17 +95,36 @@ class DetectionLatencyTracker:
             "ocep_detection_reports_total",
             "match reports folded into the detection-latency histograms",
         )
+        self._pending_gauge = self.registry.gauge(
+            "ocep_detection_pending_stamps",
+            "occurrence stamps retained while awaiting a match report",
+        )
+        #: Latency listeners: called with every observed latency value
+        #: (e.g. ``OverloadDetector.observe_latency``).
+        self._listeners: list = []
         #: Plain-int mirrors, live under the no-op registry too.
         self.reports_observed = 0
         self.latencies_observed = 0
+        self.stamps_evicted = 0
 
     # ------------------------------------------------------------------
     # Hooks
     # ------------------------------------------------------------------
 
+    def add_listener(self, callback: Callable[[float], None]) -> None:
+        """Forward every observed latency value to ``callback`` (how
+        the overload detector taps the live latency signal)."""
+        self._listeners.append(callback)
+
     def observe_event(self, event) -> None:
-        """Kernel sink hook: stamp ``event``'s occurrence time."""
-        self._occurred[(event.trace, event.index)] = self._clock()
+        """Kernel sink hook: stamp ``event``'s occurrence time
+        (bounded: the oldest stamp is evicted past ``max_pending``)."""
+        occurred = self._occurred
+        occurred[(event.trace, event.index)] = self._clock()
+        if self._max_pending is not None and len(occurred) > self._max_pending:
+            occurred.pop(next(iter(occurred)))
+            self.stamps_evicted += 1
+        self._pending_gauge.set(len(occurred))
 
     def observe_report(self, report) -> None:
         """Match callback hook: observe the occurrence-to-now latency
@@ -113,6 +149,8 @@ class DetectionLatencyTracker:
                 self._per_leaf[leaf_id] = histogram
             histogram.observe(latency)
             self.latencies_observed += 1
+            for listener in self._listeners:
+                listener(latency)
 
     # ------------------------------------------------------------------
     # Introspection

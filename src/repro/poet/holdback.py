@@ -61,13 +61,15 @@ OVERFLOW_POLICIES = ("raise", "shed", "block")
 
 class _Held:
     """One held-back event plus its arrival sequence number (slotted:
-    a faulty burst can hold thousands of these at once)."""
+    a faulty burst can hold thousands of these at once).  ``band``
+    caches the utility score, computed lazily on the first overflow."""
 
-    __slots__ = ("event", "arrived_at")
+    __slots__ = ("event", "arrived_at", "band")
 
     def __init__(self, event: Event, arrived_at: int):
         self.event = event
         self.arrived_at = arrived_at
+        self.band: Optional[int] = None
 
 
 class HoldbackOverflowError(RuntimeError):
@@ -100,8 +102,19 @@ class HoldbackBuffer(POETClient):
     raise_on_stall:
         When true, a detected stall raises :class:`HoldbackStallError`
         from :meth:`offer` instead of only being recorded.
+    utility_scorer:
+        Optional :class:`~repro.resilience.overload.EventUtilityScorer`.
+        When set, the ``shed`` overflow policy becomes pattern-aware:
+        instead of always dropping the arriving event, it evicts the
+        *least useful* one — lowest utility band first, newest arrival
+        among ties (evicting the oldest would re-order survivors) —
+        considering both the pending entries and the arrival.  Without
+        a scorer the historical behaviour (drop the arrival) is kept.
     registry:
         Optional metrics registry; defaults to the shared no-op one.
+        The shed counter is labelled ``reason="overflow"`` — the load
+        shedder reports into the same series with
+        ``reason="overload"``, so ``ocep stats`` tells the two apart.
     tracer:
         Optional span tracer; when enabled, held-back arrivals,
         suppressed duplicates, sheds, and stalls become instant
@@ -117,6 +130,7 @@ class HoldbackBuffer(POETClient):
         overflow: str = "raise",
         stall_watermark: Optional[int] = None,
         raise_on_stall: bool = False,
+        utility_scorer=None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
     ):
@@ -134,6 +148,7 @@ class HoldbackBuffer(POETClient):
         self._overflow = overflow
         self._stall_watermark = stall_watermark
         self._raise_on_stall = raise_on_stall
+        self._utility_scorer = utility_scorer
 
         self._released = [0] * num_traces
         #: Held entries (event + arrival sequence number) keyed by
@@ -165,7 +180,9 @@ class HoldbackBuffer(POETClient):
             "poet_holdback_duplicates_total", "duplicate arrivals suppressed"
         )
         self._shed_counter = self.registry.counter(
-            "poet_holdback_shed_total", "arrivals dropped by the shed policy"
+            "poet_holdback_shed_total",
+            "arrivals dropped by the shed policy",
+            labels={"reason": "overflow"},
         )
         self._stalls_counter = self.registry.counter(
             "poet_holdback_stalls_total", "stall episodes detected"
@@ -223,19 +240,33 @@ class HoldbackBuffer(POETClient):
                     )
                 if self._overflow == "block":
                     return False
-                # shed: the arrival is lost; its successors will stall,
-                # which is the loud failure this policy trades for
-                # bounded memory.
+                # shed: something is lost and its successors will
+                # stall — the loud failure this policy trades for
+                # bounded memory.  With a utility scorer the victim is
+                # the least useful of (pending + arrival): lowest band
+                # first, newest arrival among ties.  Without one, the
+                # arrival (the historical behaviour).
+                victim_key = self._shed_victim(event)
                 self.shed_total += 1
                 self._shed_counter.inc()
+                if victim_key is None:
+                    if self._tracer.enabled:
+                        self._tracer.instant(
+                            "holdback.shed",
+                            track="poet.holdback",
+                            args={"event": repr(event.event_id)},
+                        )
+                    self._check_stall()
+                    return True
+                victim = self._pending.pop(victim_key)
                 if self._tracer.enabled:
                     self._tracer.instant(
                         "holdback.shed",
                         track="poet.holdback",
-                        args={"event": repr(event.event_id)},
+                        args={"event": repr(victim.event.event_id),
+                              "displaced_by": repr(event.event_id)},
                     )
-                self._check_stall()
-                return True
+                # The freed slot holds the (more useful) arrival.
             self._pending[key] = _Held(event, self._offers)
             self.reordered_total += 1
             self._reordered_counter.inc()
@@ -249,6 +280,24 @@ class HoldbackBuffer(POETClient):
                 )
         self._check_stall()
         return True
+
+    def _shed_victim(self, event: Event) -> Optional[Tuple[int, int]]:
+        """Pick the overflow victim: ``None`` means the arriving event
+        itself; otherwise the key of the pending entry to evict."""
+        scorer = self._utility_scorer
+        if scorer is None:
+            return None
+        victim_key: Optional[Tuple[int, int]] = None
+        # The arrival is by definition the newest (arrived_at ==
+        # self._offers), so ties on band fall on it.
+        victim_rank = (scorer.score(event), -self._offers)
+        for key, held in self._pending.items():
+            if held.band is None:
+                held.band = scorer.score(held.event)
+            rank = (held.band, -held.arrived_at)
+            if rank < victim_rank:
+                victim_key, victim_rank = key, rank
+        return victim_key
 
     def flush(self) -> List[Event]:
         """Final drain attempt; returns events still held back (empty

@@ -1,4 +1,4 @@
-"""Fault tolerance for the event-delivery pipeline.
+"""Fault tolerance and overload control for the delivery pipeline.
 
 The paper's substrate *assumes* clients "receive the arriving events in
 a linearization of the partial order" (Section V-A); this package makes
@@ -14,7 +14,17 @@ asserting on them:
   (plan, seed) run is checked against the fault-free oracle, drops
   must surface as hold-back stalls, and a mid-stream checkpoint/restore
   must converge to the identical representative subset.  Driven by the
-  ``ocep chaos`` CLI subcommand and the CI chaos job.
+  ``ocep chaos`` CLI subcommand and the CI chaos job;
+* :mod:`~repro.resilience.overload` — adaptive backpressure: an
+  EMA/variance :class:`OverloadDetector` with hysteresis, a
+  pattern-aware :class:`EventUtilityScorer`, and the
+  :class:`LoadShedder` pipeline stage that drops least-useful events
+  first when the monitor falls behind;
+* :mod:`~repro.resilience.shedding` — the measurement half of load
+  shedding: every shedding run is diffed against the brute-force
+  oracle on the unshedded stream (slot recall, match precision), and
+  utility-aware drops must beat count-matched random drops.  Driven by
+  the ``ocep shed`` subcommand and the CI ``overload-smoke`` job.
 
 The repair half — the causal hold-back buffer — lives with the
 delivery substrate as :mod:`repro.poet.holdback`.
@@ -29,9 +39,32 @@ from repro.resilience.faults import (
 from repro.resilience.chaos import (
     DEFAULT_PLANS,
     DEFAULT_STALL_WATERMARK,
+    SHED_CELL_RATE,
     ChaosReport,
     ChaosRun,
     run_fault_matrix,
+)
+from repro.resilience.overload import (
+    BAND_CHAFF,
+    BAND_COMPLETING,
+    BAND_LEAF,
+    BAND_NAMES,
+    BAND_STRUCTURAL,
+    EventUtilityScorer,
+    LoadShedder,
+    OverloadDetector,
+    OverloadState,
+)
+from repro.resilience.shedding import (
+    DEFAULT_RATES,
+    OverloadScenarioRun,
+    ShedCell,
+    ShedReport,
+    burst_latency_profile,
+    forced_shedding_detector,
+    replay_gapped_monitor,
+    run_overload_scenario,
+    run_shedding_sweep,
 )
 
 __all__ = [
@@ -43,5 +76,24 @@ __all__ = [
     "ChaosReport",
     "DEFAULT_PLANS",
     "DEFAULT_STALL_WATERMARK",
+    "SHED_CELL_RATE",
     "run_fault_matrix",
+    "BAND_CHAFF",
+    "BAND_STRUCTURAL",
+    "BAND_LEAF",
+    "BAND_COMPLETING",
+    "BAND_NAMES",
+    "OverloadState",
+    "OverloadDetector",
+    "EventUtilityScorer",
+    "LoadShedder",
+    "DEFAULT_RATES",
+    "ShedCell",
+    "ShedReport",
+    "OverloadScenarioRun",
+    "forced_shedding_detector",
+    "replay_gapped_monitor",
+    "burst_latency_profile",
+    "run_shedding_sweep",
+    "run_overload_scenario",
 ]

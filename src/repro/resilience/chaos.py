@@ -25,6 +25,16 @@ through every ``(plan, seed)`` cell of the matrix:
 Every cell is deterministic per ``(plan, seed)``; the ``ocep chaos``
 subcommand and the CI chaos job run the standard matrix over seeds
 ``0..9``.
+
+With ``shedding=True`` the matrix additionally runs every *repairable*
+plan through a pipeline that also sheds load (a pre-engaged
+:class:`~repro.resilience.overload.LoadShedder` behind the hold-back
+buffer).  Because hold-back repair restores the exact original
+linearization before the shedder sees it, the shedder must drop the
+*same* events as in a fault-free shedding run — the ``shed+<kind>``
+cell passes iff the kept-event ids, the subset signature, and a fresh
+gap-tolerant replay over the kept events all agree with the fault-free
+shedding baseline.
 """
 
 from __future__ import annotations
@@ -294,6 +304,101 @@ def _run_crash(
     )
 
 
+#: Drop-rate budget of the shed-under-faults cells (matches the middle
+#: of the recall sweep's rate grid).
+SHED_CELL_RATE = 0.2
+
+
+def _shed_cell_pipeline(
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+):
+    """A replay pipeline with a pre-engaged shedder in front of one
+    fresh shard; returns ``(pipeline, monitor)``."""
+    from repro.engine.pipeline import Pipeline
+    from repro.resilience.overload import BAND_STRUCTURAL
+    from repro.resilience.shedding import forced_shedding_detector
+
+    pipeline = Pipeline.replay(
+        events, trace_names, registry=registry, tracer=tracer
+    )
+    pipeline.with_overload_control(
+        detector=forced_shedding_detector(),
+        shed_band=BAND_STRUCTURAL,
+        max_drop_rate=SHED_CELL_RATE,
+        record_kept=True,
+    )
+    monitor = pipeline.watch("chaos", pattern_source, record_timings=False)
+    return pipeline, monitor
+
+
+def _run_shed_under_faults(
+    plan: FaultPlan,
+    seed: int,
+    events: Sequence[Event],
+    pattern_source: str,
+    trace_names: Sequence[str],
+    shed_signature,
+    shed_kept_ids: Sequence[Tuple[int, int]],
+    stall_watermark: int,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> ChaosRun:
+    """repairable plan + shedding: repair must be invisible to the
+    shedder (identical drops, identical subset) and the survivors must
+    converge with a fresh gap-tolerant replay of the kept events."""
+    from repro.resilience.shedding import replay_gapped_monitor
+
+    pipeline, monitor = _shed_cell_pipeline(
+        events, pattern_source, trace_names, registry=registry, tracer=tracer
+    )
+    pipeline.with_faults(plan, seed=seed)
+    pipeline.with_holdback(stall_watermark=stall_watermark)
+    result = pipeline.run()
+    injector, buffer, shedder = result.injector, result.holdback, result.shedder
+    leftover = result.leftover
+
+    injected = (
+        injector.delayed_total
+        + injector.duplicated_total
+        + injector.dropped_total
+    )
+    kept_ids = [(e.trace, e.index) for e in shedder.kept_events]
+    reference = replay_gapped_monitor(
+        shedder.kept_events, pattern_source, trace_names
+    )
+    if leftover:
+        ok, detail = False, f"{len(leftover)} events stuck in hold-back"
+    elif kept_ids != list(shed_kept_ids):
+        ok, detail = False, "shed different events than fault-free baseline"
+    elif monitor.subset.signature() != shed_signature:
+        ok, detail = False, "subset differs from fault-free shedding baseline"
+    elif (
+        reference.subset.signature() != monitor.subset.signature()
+        or reference.reports != monitor.reports
+    ):
+        ok, detail = False, "kept-events replay diverged from shedded pipeline"
+    else:
+        ok, detail = True, (
+            f"shed {shedder.shed_total}/{shedder.offered_total} "
+            "identically to fault-free baseline"
+        )
+    return ChaosRun(
+        kind=f"shed+{plan.kind}",
+        seed=seed,
+        ok=ok,
+        detail=detail,
+        subset_size=len(monitor.subset),
+        oracle_size=_sig_len(shed_signature),
+        injected=injected,
+        stalled=buffer.stalled,
+        pending=len(leftover),
+    )
+
+
 def _sig_len(signature) -> int:
     return len(signature)
 
@@ -307,6 +412,7 @@ def run_fault_matrix(
     stall_watermark: int = DEFAULT_STALL_WATERMARK,
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[SpanTracer] = None,
+    shedding: bool = False,
 ) -> ChaosReport:
     """Run every (plan, seed) cell over one recorded stream.
 
@@ -315,6 +421,10 @@ def run_fault_matrix(
     ``registry`` and ``tracer`` are shared across cells: fault
     injectors and hold-back buffers report into them (injection
     counters labelled by kind; per-cell ``chaos.cell`` spans).
+
+    With ``shedding=True``, every repairable plan is additionally run
+    through a shedding pipeline as a ``shed+<kind>`` cell checked
+    against a fault-free shedding baseline (see module docstring).
     """
     if not events:
         raise ValueError("chaos matrix needs a non-empty event stream")
@@ -327,7 +437,8 @@ def run_fault_matrix(
         oracle_subset_size=len(oracle.subset),
         oracle_matches=len(oracle.reports),
     )
-    for plan in plans if plans is not None else DEFAULT_PLANS:
+    selected = list(plans) if plans is not None else list(DEFAULT_PLANS)
+    for plan in selected:
         for seed in seeds:
             with span_tracer.span(
                 "chaos.cell",
@@ -352,12 +463,42 @@ def run_fault_matrix(
                         registry=registry, tracer=tracer,
                     )
             report.runs.append(run)
+    if shedding:
+        # Fault-free shedding baseline: what a deterministic shedder
+        # drops when the stream needs no repair.
+        baseline_pipeline, baseline = _shed_cell_pipeline(
+            events, pattern_source, trace_names
+        )
+        baseline_result = baseline_pipeline.run()
+        shed_signature = baseline.subset.signature()
+        shed_kept_ids = [
+            (e.trace, e.index)
+            for e in baseline_result.shedder.kept_events
+        ]
+        repairable = [
+            plan for plan in selected
+            if plan.kind not in ("crash", "drop")
+        ]
+        for plan in repairable:
+            for seed in seeds:
+                with span_tracer.span(
+                    "chaos.cell",
+                    track="chaos",
+                    args={"kind": f"shed+{plan.kind}", "seed": seed},
+                ):
+                    run = _run_shed_under_faults(
+                        plan, seed, events, pattern_source, trace_names,
+                        shed_signature, shed_kept_ids, stall_watermark,
+                        registry=registry, tracer=tracer,
+                    )
+                report.runs.append(run)
     return report
 
 
 __all__ = [
     "DEFAULT_PLANS",
     "DEFAULT_STALL_WATERMARK",
+    "SHED_CELL_RATE",
     "ChaosRun",
     "ChaosReport",
     "run_fault_matrix",

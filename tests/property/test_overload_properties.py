@@ -1,0 +1,116 @@
+"""Property tests for the overload detector's flap-free guarantees.
+
+Three contracts, over arbitrary observation sequences:
+
+* transitions are never closer than ``min_dwell`` observations apart
+  (the anti-flap dwell);
+* from any state, a sustained run of observations below the low-water
+  mark always returns the detector to ``NORMAL`` (shedding is never
+  sticky);
+* the detector is a pure function of its observation sequence — two
+  detectors fed the same values are bit-identical in state, EMA, and
+  transition count (this is what makes shedding replayable).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.resilience.overload import OverloadDetector, OverloadState
+
+#: Latency samples spanning calm (< disengage) to far past critical.
+SAMPLES = st.floats(min_value=0.0, max_value=100.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+def _detector(min_dwell=4, alpha=0.5):
+    return OverloadDetector(
+        engage_latency=8.0,
+        disengage_fraction=0.5,
+        critical_factor=4.0,
+        alpha=alpha,
+        min_dwell=min_dwell,
+    )
+
+
+class _TransitionLog(OverloadDetector):
+    """Detector recording the observation index of every transition."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.transition_points = []
+
+    def _transition(self, new_state):
+        super()._transition(new_state)
+        self.transition_points.append(self.observations)
+
+
+@given(values=st.lists(SAMPLES, min_size=1, max_size=300),
+       min_dwell=st.integers(min_value=1, max_value=20))
+@settings(max_examples=200)
+def test_transitions_never_closer_than_dwell(values, min_dwell):
+    detector = _TransitionLog(
+        engage_latency=8.0, disengage_fraction=0.5, critical_factor=4.0,
+        alpha=0.5, min_dwell=min_dwell,
+    )
+    for value in values:
+        detector.observe_latency(value)
+    points = detector.transition_points
+    for earlier, later in zip(points, points[1:]):
+        assert later - earlier > min_dwell, (
+            f"transitions {min_dwell=} apart: {points}"
+        )
+
+
+@given(values=st.lists(SAMPLES, min_size=1, max_size=200),
+       min_dwell=st.integers(min_value=1, max_value=16),
+       alpha=st.floats(min_value=0.05, max_value=1.0))
+@settings(max_examples=200)
+def test_always_disengages_below_low_water(values, min_dwell, alpha):
+    """However overloaded, a long-enough calm spell (observations at
+    zero, far below the low-water mark) always lands in NORMAL."""
+    detector = _detector(min_dwell=min_dwell, alpha=alpha)
+    for value in values:
+        detector.observe_latency(value)
+    # EMA decays geometrically toward 0 < disengage_latency; after the
+    # decay, at most two dwell periods (CRITICAL -> SHEDDING -> NORMAL)
+    # gate the walk back.  1000 zeros dominates both comfortably.
+    for _ in range(1000):
+        detector.observe_latency(0.0)
+    assert detector.state is OverloadState.NORMAL
+    assert detector.latency_ema <= detector.disengage_latency
+
+
+@given(values=st.lists(st.tuples(st.booleans(), SAMPLES),
+                       min_size=1, max_size=300))
+@settings(max_examples=200)
+def test_deterministic_for_fixed_sequence(values):
+    """Interleaved latency/backlog observations drive two detectors
+    identically."""
+    first = OverloadDetector(engage_latency=8.0, engage_backlog=16.0,
+                             alpha=0.25, min_dwell=4)
+    second = OverloadDetector(engage_latency=8.0, engage_backlog=16.0,
+                              alpha=0.25, min_dwell=4)
+    for is_backlog, value in values:
+        for detector in (first, second):
+            if is_backlog:
+                detector.observe_backlog(value)
+            else:
+                detector.observe_latency(value)
+    assert first.state is second.state
+    assert first.latency_ema == second.latency_ema
+    assert first.latency_variance == second.latency_variance
+    assert first.backlog_ema == second.backlog_ema
+    assert first.transitions_total == second.transitions_total
+    assert first.snapshot() == second.snapshot()
+
+
+@given(values=st.lists(SAMPLES, min_size=1, max_size=300))
+@settings(max_examples=100)
+def test_state_changes_are_single_steps(values):
+    """The gauge never jumps NORMAL <-> CRITICAL directly."""
+    detector = _detector()
+    previous = detector.state
+    for value in values:
+        detector.observe_latency(value)
+        assert abs(int(detector.state) - int(previous)) <= 1
+        previous = detector.state

@@ -2,13 +2,26 @@
 
 import pytest
 
+from repro.core import MatcherConfig, OCEPMatcher
 from repro.obs import MetricsRegistry
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
 from repro.poet.holdback import (
     HoldbackBuffer,
     HoldbackOverflowError,
     HoldbackStallError,
 )
+from repro.resilience import EventUtilityScorer
 from repro.testing import Weaver, random_computation
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+
+def _ab_scorer(num_traces=2):
+    names = [f"P{i}" for i in range(num_traces)]
+    compiled = compile_pattern(PatternTree(parse_pattern(AB), names))
+    return EventUtilityScorer(
+        [OCEPMatcher(compiled, num_traces, MatcherConfig())]
+    )
 
 
 def _stream(num_traces=3):
@@ -178,6 +191,90 @@ class TestOverflow:
     def test_bad_capacity_rejected(self):
         with pytest.raises(ValueError, match="capacity"):
             HoldbackBuffer(2, lambda e: None, capacity=0)
+
+
+class TestUtilityShedding:
+    """With a utility scorer, overflow evicts the *least useful* of
+    (pending + arrival) instead of blindly dropping the arrival."""
+
+    def test_pending_chaff_displaced_by_leaf_arrival(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        s, r = w.message(0, 1)  # s withheld: trace-1 tail pends
+        noise = w.local(1, "Noise")
+        b = w.local(1, "B")
+        buf, out = _buffer(
+            num_traces=2, capacity=1, overflow="shed",
+            utility_scorer=_ab_scorer(),
+        )
+        buf.offer(a)
+        buf.offer(r)             # pends (s missing): capacity now full
+        assert buf.offer(noise)  # chaff loses to everything pending
+        assert buf.offer(b)
+        assert buf.stats()["shed"] >= 1
+        assert noise not in out and noise not in buf.flush()
+        # The leaf-band arrival was retained (held, awaiting repair).
+        assert b in buf.flush()
+
+    def test_leaf_pending_survives_chaff_arrival(self):
+        w = Weaver(2)
+        x = w.local(0, "X")  # withheld predecessor
+        b = w.local(0, "B")
+        noise = w.local(0, "Noise")
+        buf, out = _buffer(
+            num_traces=2, capacity=1, overflow="shed",
+            utility_scorer=_ab_scorer(),
+        )
+        buf.offer(b)          # pends (x missing)
+        assert buf.offer(noise)  # overflow: chaff arrival is the victim
+        assert buf.stats()["shed"] == 1
+        buf.offer(x)          # repair: the held leaf event drains
+        assert out == [x, b]
+        assert buf.pending_count == 0
+
+    def test_band_tie_falls_on_the_arrival(self):
+        w = Weaver(2)
+        x = w.local(0, "X")  # withheld
+        c1 = w.local(0, "Noise")
+        c2 = w.local(0, "Hum")
+        buf, out = _buffer(
+            num_traces=2, capacity=1, overflow="shed",
+            utility_scorer=_ab_scorer(),
+        )
+        buf.offer(c1)         # pends
+        assert buf.offer(c2)  # same band: newest (arrival) dropped
+        buf.offer(x)
+        assert out == [x, c1]
+        assert c2 not in out
+
+    def test_shed_counter_labelled_overflow(self):
+        registry = MetricsRegistry()
+        w = Weaver(2)
+        w.local(0, "X")  # withheld (index 0 of w.events)
+        b = w.local(0, "B")
+        noise = w.local(0, "Noise")
+        out = []
+        buf = HoldbackBuffer(
+            2, out.append, capacity=1, overflow="shed",
+            utility_scorer=_ab_scorer(), registry=registry,
+        )
+        buf.offer(b)
+        buf.offer(noise)
+        snapshot = {(m.name, m.labels): m.value for m in registry.metrics()}
+        assert snapshot[
+            ("poet_holdback_shed_total", (("reason", "overflow"),))
+        ] == 1
+
+    def test_without_scorer_arrival_still_dropped(self):
+        w = Weaver(2)
+        x = w.local(0, "X")  # withheld
+        b = w.local(0, "B")
+        noise = w.local(0, "Noise")
+        buf, out = _buffer(num_traces=2, capacity=1, overflow="shed")
+        buf.offer(b)
+        assert buf.offer(noise)  # legacy policy: arrival absorbed
+        buf.offer(x)
+        assert out == [x, b]
 
 
 class TestStalls:

@@ -1,0 +1,431 @@
+"""Unit tests for overload control: detector, scorer, shedder."""
+
+import json
+
+import pytest
+
+from repro.core import MatcherConfig, OCEPMatcher
+from repro.obs import MetricsRegistry
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.resilience.overload import (
+    BAND_CHAFF,
+    BAND_COMPLETING,
+    BAND_LEAF,
+    BAND_STRUCTURAL,
+    EventUtilityScorer,
+    LoadShedder,
+    OverloadDetector,
+    OverloadState,
+)
+from repro.testing import Weaver
+
+AB = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+SR = "S := ['', Send, '']; R := ['', Receive, '']; pattern := S <> R;"
+
+
+def build_matcher(source, num_traces, **config_kwargs):
+    names = [f"P{i}" for i in range(num_traces)]
+    compiled = compile_pattern(PatternTree(parse_pattern(source), names))
+    return OCEPMatcher(compiled, num_traces, MatcherConfig(**config_kwargs))
+
+
+class TestDetectorValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"engage_latency": 0.0},
+            {"engage_backlog": -1.0},
+            {"disengage_fraction": 0.0},
+            {"disengage_fraction": 1.0},
+            {"critical_factor": 1.0},
+            {"alpha": 0.0},
+            {"alpha": 1.5},
+            {"min_dwell": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            OverloadDetector(**kwargs)
+
+
+class TestDetectorStateMachine:
+    def test_starts_normal_with_no_pressure(self):
+        d = OverloadDetector()
+        assert d.state is OverloadState.NORMAL
+        assert d.pressure == 0.0
+        assert d.latency_ema is None
+
+    def test_cold_detector_engages_immediately_on_burst(self):
+        d = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=8)
+        d.observe_latency(2.0)
+        assert d.state is OverloadState.SHEDDING
+        assert d.transitions_total == 1
+
+    def test_transitions_are_one_step(self):
+        """A huge burst ramps NORMAL -> SHEDDING -> CRITICAL, never
+        skipping the middle state."""
+        d = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=1,
+                             critical_factor=4.0)
+        d.observe_latency(100.0)
+        assert d.state is OverloadState.SHEDDING
+        d.observe_latency(100.0)  # within dwell
+        assert d.state is OverloadState.SHEDDING
+        d.observe_latency(100.0)
+        assert d.state is OverloadState.CRITICAL
+
+    def test_hysteresis_holds_between_low_water_and_engage(self):
+        """Pressure in (disengage, 1.0) neither engages nor disengages."""
+        d = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=1,
+                             disengage_fraction=0.5)
+        for _ in range(10):
+            d.observe_latency(0.8)
+        assert d.state is OverloadState.NORMAL
+        d.observe_latency(2.0)
+        assert d.state is OverloadState.SHEDDING
+        for _ in range(10):
+            d.observe_latency(0.8)  # above low water: stays engaged
+        assert d.state is OverloadState.SHEDDING
+        for _ in range(3):
+            d.observe_latency(0.2)  # below low water: disengages
+        assert d.state is OverloadState.NORMAL
+
+    def test_dwell_blocks_rapid_disengage(self):
+        d = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=16)
+        d.observe_latency(2.0)
+        assert d.state is OverloadState.SHEDDING
+        for _ in range(16):
+            d.observe_latency(0.0)
+        # 16 observations since the transition: still inside the dwell.
+        assert d.state is OverloadState.SHEDDING
+        d.observe_latency(0.0)
+        assert d.state is OverloadState.NORMAL
+
+    def test_backlog_component_engages(self):
+        d = OverloadDetector(engage_latency=100.0, engage_backlog=10.0,
+                             alpha=1.0, min_dwell=1)
+        d.observe_latency(1.0)
+        assert d.state is OverloadState.NORMAL
+        d.observe_backlog(50.0)
+        assert d.pressure == 5.0
+        assert d.state is OverloadState.SHEDDING
+
+    def test_backlog_ignored_without_threshold(self):
+        d = OverloadDetector(engage_latency=100.0, alpha=1.0)
+        d.observe_backlog(1e9)
+        assert d.pressure == 0.0
+        assert d.state is OverloadState.NORMAL
+
+    def test_ema_and_variance_converge_on_constant_input(self):
+        d = OverloadDetector(engage_latency=1e9, alpha=0.25)
+        for _ in range(200):
+            d.observe_latency(5.0)
+        assert d.latency_ema == pytest.approx(5.0)
+        assert d.latency_variance == pytest.approx(0.0, abs=1e-9)
+        assert d.latency_std == pytest.approx(0.0, abs=1e-4)
+
+    def test_variance_positive_under_jitter(self):
+        d = OverloadDetector(engage_latency=1e9, alpha=0.25)
+        for i in range(100):
+            d.observe_latency(float(i % 2) * 10.0)
+        assert d.latency_variance > 1.0
+
+    def test_snapshot_restore_round_trip(self):
+        d = OverloadDetector(engage_latency=1.0, alpha=0.5, min_dwell=2)
+        for value in (2.0, 3.0, 0.1, 0.2, 5.0):
+            d.observe_latency(value)
+        d.observe_backlog(7.0)
+        state = json.loads(json.dumps(d.snapshot()))
+        twin = OverloadDetector(engage_latency=1.0, alpha=0.5, min_dwell=2)
+        twin.restore(state)
+        assert twin.state is d.state
+        assert twin.latency_ema == d.latency_ema
+        assert twin.latency_variance == d.latency_variance
+        assert twin.backlog_ema == d.backlog_ema
+        assert twin.observations == d.observations
+        assert twin.transitions_total == d.transitions_total
+        # And the twin keeps evolving identically.
+        for value in (0.0, 0.0, 0.0, 0.0, 0.0, 0.0):
+            d.observe_latency(value)
+            twin.observe_latency(value)
+        assert twin.state is d.state
+        assert twin.latency_ema == d.latency_ema
+
+    def test_instrumentation_gauge_and_transition_counter(self):
+        registry = MetricsRegistry()
+        d = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=1,
+                             registry=registry)
+        d.observe_latency(2.0)
+        for _ in range(5):
+            d.observe_latency(0.0)
+        snapshot = {
+            (m.name, m.labels): m.value
+            for m in registry.metrics()
+            if m.kind != "histogram"
+        }
+        assert snapshot[("ocep_overload_state", ())] == 0
+        key = ("ocep_overload_transitions_total",
+               (("from", "normal"), ("to", "shedding")))
+        assert snapshot[key] == 1
+        key = ("ocep_overload_transitions_total",
+               (("from", "shedding"), ("to", "normal")))
+        assert snapshot[key] == 1
+
+
+class TestUtilityScorer:
+    def test_requires_a_monitor(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EventUtilityScorer([])
+
+    def test_chaff_band_for_unmatched_local_event(self):
+        w = Weaver(2)
+        noise = w.local(0, "Noise")
+        scorer = EventUtilityScorer([build_matcher(AB, 2)])
+        assert scorer.score(noise) == BAND_CHAFF
+
+    def test_structural_band_for_communication(self):
+        """Only-order-leaves pattern: comm events match no leaf but
+        carry the clock merges — structural, never chaff."""
+        w = Weaver(2)
+        s, r = w.message(0, 1)
+        scorer = EventUtilityScorer([build_matcher(AB, 2)])
+        assert scorer.score(s) == BAND_STRUCTURAL
+        assert scorer.score(r) == BAND_STRUCTURAL
+
+    def test_leaf_band_with_empty_other_histories(self):
+        """A terminating-leaf hit caps at BAND_LEAF while any other
+        leaf history is still empty: no search could complete."""
+        w = Weaver(2)
+        b = w.local(1, "B")
+        matcher = build_matcher(AB, 2)
+        scorer = EventUtilityScorer([matcher])
+        assert scorer.score(b) == BAND_LEAF
+
+    def test_nonterminating_leaf_hit_is_leaf_band(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        matcher = build_matcher(AB, 2)
+        for event in w.events:
+            matcher.on_event(event)
+        scorer = EventUtilityScorer([matcher])
+        # A has a BEFORE-outgoing edge: not terminating, so another A
+        # can never complete a search by itself.
+        assert scorer.score(a) == BAND_LEAF
+
+    def test_completing_band_once_other_histories_fill(self):
+        w = Weaver(2)
+        a = w.local(0, "A")
+        matcher = build_matcher(AB, 2)
+        matcher.on_event(a)
+        b = w.local(1, "B")
+        scorer = EventUtilityScorer([matcher])
+        assert scorer.score(b) == BAND_COMPLETING
+
+    def test_fully_pinned_partner_trace(self):
+        """<> pattern with the send already stored: its receive is
+        pinned (dropping it would orphan the pair) -> BAND_LEAF even
+        though Receive-typed leaves are exhausted."""
+        w = Weaver(2)
+        s, r = w.message(0, 1)
+        matcher = build_matcher(SR, 2)
+        matcher.on_event(s)
+        scorer = EventUtilityScorer([matcher])
+        # r matches the R leaf class outright (hit); but a *second*
+        # message's receive whose partner is NOT stored stays
+        # structural, which is the refinement under test.
+        assert scorer.score(r) == BAND_COMPLETING
+        s2, r2 = w.message(0, 1)
+        assert scorer.score(r2) == BAND_COMPLETING  # class hit dominates
+
+    def test_partner_pin_refinement_without_class_hit(self):
+        """A comm event that matches no leaf class but whose partner
+        sits in a PARTNER-constrained history scores BAND_LEAF."""
+        source = (
+            "S := ['', Ping, '']; R := ['', Receive, '']; "
+            "pattern := S <> R;"
+        )
+        w = Weaver(2)
+        s = w.send(0, "Ping")
+        r = w.recv(1, s)  # etype Receive
+        matcher = build_matcher(source, 2)
+        matcher.on_event(s)
+        scorer = EventUtilityScorer([matcher])
+        # A send that matches no leaf (etype Send != Ping) and whose
+        # partner is absent: structural.
+        s_other = w.send(0)  # etype Send
+        assert scorer.score(s_other) == BAND_STRUCTURAL
+
+    def test_empty_histories_everywhere_never_completing(self):
+        """Edge case: fresh matcher, every history empty — no event
+        can score BAND_COMPLETING."""
+        w = Weaver(2)
+        a = w.local(0, "A")
+        b = w.local(1, "B")
+        scorer = EventUtilityScorer([build_matcher(AB, 2)])
+        assert scorer.score(a) == BAND_LEAF
+        assert scorer.score(b) == BAND_LEAF
+        assert all(
+            scorer.score(e) < BAND_COMPLETING for e in (a, b)
+        )
+
+    def test_max_across_shards(self):
+        """With several watched patterns the score is the most
+        optimistic one."""
+        w = Weaver(2)
+        b = w.local(1, "B")
+        only_c = "C := ['', C, '']; D := ['', D, '']; pattern := C -> D;"
+        scorer = EventUtilityScorer(
+            [build_matcher(only_c, 2), build_matcher(AB, 2)]
+        )
+        assert scorer.score(b) == BAND_LEAF
+
+
+class _Collector:
+    """Minimal POET client capturing deliveries."""
+
+    def __init__(self):
+        self.events = []
+        self.batches = 0
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def on_batch(self, events):
+        self.batches += 1
+        self.events.extend(events)
+
+
+class _ExplodingScorer:
+    def score(self, event):  # pragma: no cover - must not run
+        raise AssertionError("scorer consulted on the NORMAL fast path")
+
+
+def _forced(state=OverloadState.SHEDDING):
+    detector = OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=1,
+                                critical_factor=1.5)
+    detector.observe_latency(2.0)
+    if state is OverloadState.CRITICAL:
+        detector.observe_latency(10.0)
+        detector.observe_latency(10.0)
+    assert detector.state is state
+    return detector
+
+
+class TestLoadShedder:
+    def _stream_and_matcher(self):
+        w = Weaver(2)
+        w.local(0, "A")
+        w.local(0, "Noise")
+        w.message(0, 1)
+        w.local(1, "Noise")
+        w.local(1, "B")
+        return w.events, build_matcher(AB, 2)
+
+    def test_band_validation(self):
+        events, matcher = self._stream_and_matcher()
+        scorer = EventUtilityScorer([matcher])
+        sink = _Collector()
+        with pytest.raises(ValueError, match="shed_band"):
+            LoadShedder(sink, scorer, OverloadDetector(),
+                        shed_band=BAND_COMPLETING)
+        with pytest.raises(ValueError, match="critical_band"):
+            LoadShedder(sink, scorer, OverloadDetector(),
+                        shed_band=BAND_LEAF, critical_band=BAND_CHAFF)
+        with pytest.raises(ValueError, match="max_drop_rate"):
+            LoadShedder(sink, scorer, OverloadDetector(), max_drop_rate=0.0)
+
+    def test_normal_state_is_unscored_batch_pass_through(self):
+        events, _ = self._stream_and_matcher()
+        sink = _Collector()
+        shedder = LoadShedder(sink, _ExplodingScorer(), OverloadDetector())
+        shedder.on_batch(events)
+        assert sink.events == list(events)
+        assert sink.batches == 1
+        assert shedder.offered_total == len(events)
+        assert shedder.shed_total == 0
+
+    def test_shedding_drops_chaff_keeps_leaves(self):
+        events, matcher = self._stream_and_matcher()
+        sink = _Collector()
+        shedder = LoadShedder(
+            sink, EventUtilityScorer([matcher]), _forced(),
+            shed_band=BAND_CHAFF, record_kept=True,
+        )
+        shedder.on_batch(events)
+        kept_types = [e.etype for e in sink.events]
+        assert "Noise" not in kept_types
+        assert "A" in kept_types and "B" in kept_types
+        assert shedder.shed_total == 2
+        assert shedder.kept_events == sink.events
+        assert [i.trace for i in shedder.dropped_ids] == [0, 1]
+
+    def test_critical_band_drops_structural_too(self):
+        events, matcher = self._stream_and_matcher()
+        sink = _Collector()
+        shedder = LoadShedder(
+            sink, EventUtilityScorer([matcher]),
+            _forced(OverloadState.CRITICAL),
+            shed_band=BAND_CHAFF, critical_band=BAND_STRUCTURAL,
+        )
+        shedder.on_batch(events)
+        kinds = {e.etype for e in sink.events}
+        assert "Send" not in kinds and "Receive" not in kinds
+        assert shedder.shed_total == 4  # 2 noise + send + recv
+
+    def test_max_drop_rate_budget(self):
+        events, matcher = self._stream_and_matcher()
+        # Everything is chaff for an unrelated pattern, but the budget
+        # caps drops at ~25% of offered.
+        other = build_matcher(
+            "X := ['', X, '']; Y := ['', Y, '']; pattern := X -> Y;", 2
+        )
+        sink = _Collector()
+        shedder = LoadShedder(
+            sink, EventUtilityScorer([other]), _forced(),
+            shed_band=BAND_STRUCTURAL, max_drop_rate=0.25,
+        )
+        for _ in range(4):
+            shedder.on_batch(events)
+        assert shedder.offered_total == 4 * len(events)
+        assert shedder.drop_rate <= 0.25
+
+    def test_shed_metrics_labelled_by_reason_band_state(self):
+        registry = MetricsRegistry()
+        events, matcher = self._stream_and_matcher()
+        sink = _Collector()
+        shedder = LoadShedder(
+            sink, EventUtilityScorer([matcher]), _forced(),
+            shed_band=BAND_CHAFF, registry=registry,
+        )
+        shedder.on_batch(events)
+        snapshot = {
+            (m.name, m.labels): m.value
+            for m in registry.metrics()
+            if m.kind != "histogram"
+        }
+        assert snapshot[
+            ("poet_holdback_shed_total", (("reason", "overload"),))
+        ] == 2
+        assert snapshot[
+            ("ocep_overload_shed_total",
+             (("band", "chaff"), ("state", "shedding")))
+        ] == 2
+
+    def test_snapshot_restore_round_trip(self):
+        events, matcher = self._stream_and_matcher()
+        sink = _Collector()
+        shedder = LoadShedder(
+            sink, EventUtilityScorer([matcher]), _forced(),
+            shed_band=BAND_CHAFF,
+        )
+        shedder.on_batch(events)
+        state = json.loads(json.dumps(shedder.snapshot()))
+        twin = LoadShedder(
+            _Collector(), EventUtilityScorer([matcher]),
+            OverloadDetector(engage_latency=1.0, alpha=1.0, min_dwell=1,
+                             critical_factor=1.5),
+        )
+        twin.restore(state)
+        assert twin.offered_total == shedder.offered_total
+        assert twin.shed_total == shedder.shed_total
+        assert twin.detector.state is shedder.detector.state
+        assert twin.stats() == shedder.stats()

@@ -294,6 +294,72 @@ class TestDetectionLatency:
             )
 
 
+class TestPendingStampRetention:
+    """Regression: occurrence stamps were retained forever; the
+    tracker now evicts oldest-first past ``max_pending``."""
+
+    @staticmethod
+    def _event(trace, index):
+        return type("_Event", (), {"trace": trace, "index": index})()
+
+    def test_retention_bounded_and_gauge_exported(self):
+        registry = MetricsRegistry()
+        tracker = DetectionLatencyTracker(
+            clock=lambda: 1.0, registry=registry, max_pending=4
+        )
+        for index in range(10):
+            tracker.observe_event(self._event(0, index + 1))
+        assert tracker.events_stamped == 4
+        assert tracker.stamps_evicted == 6
+        gauge = next(
+            m for m in registry.metrics()
+            if m.name == "ocep_detection_pending_stamps"
+        )
+        assert gauge.value == 4
+
+    def test_evicted_stamp_contributes_zero(self):
+        clock_value = [1.0]
+        tracker = DetectionLatencyTracker(
+            clock=lambda: clock_value[0], max_pending=1
+        )
+        first = self._event(0, 1)
+        tracker.observe_event(first)
+        tracker.observe_event(self._event(0, 2))  # evicts first's stamp
+        observed = []
+        tracker.add_listener(observed.append)
+        clock_value[0] = 9.0
+        report = type("_Report", (), {"assignment": ((0, first),)})()
+        tracker.observe_report(report)
+        assert observed == [0.0]
+
+    def test_unbounded_mode_still_available(self):
+        tracker = DetectionLatencyTracker(clock=lambda: 0.0, max_pending=None)
+        for index in range(100_000 // 500):
+            tracker.observe_event(self._event(0, index + 1))
+        assert tracker.stamps_evicted == 0
+        assert tracker.events_stamped == 200
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            DetectionLatencyTracker(clock=lambda: 0.0, max_pending=0)
+
+    def test_listeners_receive_every_latency(self):
+        clock_value = [0.0]
+        tracker = DetectionLatencyTracker(clock=lambda: clock_value[0])
+        a, b = self._event(0, 1), self._event(1, 1)
+        tracker.observe_event(a)
+        clock_value[0] = 2.0
+        tracker.observe_event(b)
+        observed = []
+        tracker.add_listener(observed.append)
+        clock_value[0] = 5.0
+        report = type(
+            "_Report", (), {"assignment": ((0, a), (1, b))}
+        )()
+        tracker.observe_report(report)
+        assert observed == [5.0, 3.0]
+
+
 class TestStructuredLog:
     def test_json_lines_format(self):
         stream = io.StringIO()
