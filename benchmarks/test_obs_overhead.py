@@ -16,6 +16,12 @@ and requiring the ``noop`` path to stay within 5% of ``off``
 ``OCEP_OVERHEAD_TOLERANCE`` for noisy shared runners).  The measured
 ratios land in ``BENCH_obs_overhead.json`` for the cross-PR perf
 trajectory.
+
+A second gate covers the live-telemetry runtime: a pipeline replay
+with the embedded scrape server bound (stage links + HTTP thread
+parked on accept) must stay within 3% of the same replay with only the
+live registry, and its match output must be bit-identical to an
+entirely uninstrumented run (``OCEP_SERVE_TOLERANCE`` overrides).
 """
 
 import os
@@ -23,11 +29,16 @@ import time
 
 from common import emit_json, emit_text, record_stream, scaled
 from repro.core import MatcherConfig, Monitor
+from repro.engine import Pipeline
 from repro.obs import MetricsRegistry
 from repro.workloads import build_message_race, message_race_pattern
 
 #: Relative overhead allowed for the default (no-op registry) path.
 TOLERANCE = float(os.environ.get("OCEP_OVERHEAD_TOLERANCE", "0.05"))
+
+#: Relative overhead allowed for serving /metrics while running,
+#: measured against the registry-enabled pipeline it extends.
+SERVE_TOLERANCE = float(os.environ.get("OCEP_SERVE_TOLERANCE", "0.03"))
 
 #: Re-measurements before declaring a tolerance breach real.
 MAX_ATTEMPTS = 4
@@ -106,4 +117,82 @@ def test_noop_instrumentation_overhead():
         f"default (no-op registry) path is "
         f"{measurements['noop_overhead']:.1%} slower than the disabled "
         f"path (tolerance {TOLERANCE:.0%}) after {MAX_ATTEMPTS} attempts"
+    )
+
+
+def _best_pipeline_seconds(events, names, serve: bool):
+    """Min-of-N wall time of a batched pipeline replay with a live
+    registry, optionally with the scrape server bound; returns the
+    timing plus the last run's match output for the identity check."""
+    pattern = message_race_pattern()
+    best = float("inf")
+    reports = signature = None
+    for _ in range(MIN_OF):
+        pipeline = Pipeline.replay(events, names,
+                                   registry=MetricsRegistry())
+        if serve:
+            pipeline.with_server(port=0)
+        monitor = pipeline.watch("race", pattern, record_timings=False)
+        started = time.perf_counter()
+        result = pipeline.run()
+        elapsed = time.perf_counter() - started
+        if result.obs_server is not None:
+            result.obs_server.stop()
+        if elapsed < best:
+            best = elapsed
+        reports = monitor.reports
+        signature = monitor.subset.signature()
+    return best, reports, signature
+
+
+def test_serve_enabled_overhead_and_identical_output():
+    events, names = _record_stream()
+
+    # The uninstrumented oracle for the bit-identical check.
+    plain = Pipeline.replay(events, names)
+    plain_monitor = plain.watch("race", message_race_pattern(),
+                                record_timings=False)
+    plain.run()
+
+    measurements = {}
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        base, _, _ = _best_pipeline_seconds(events, names, serve=False)
+        serve, reports, signature = _best_pipeline_seconds(
+            events, names, serve=True
+        )
+        serve_overhead = serve / base - 1.0
+        measurements = {
+            "events": len(events),
+            "attempt": attempt,
+            "registry_seconds": base,
+            "serve_seconds": serve,
+            "serve_overhead": serve_overhead,
+            "serve_tolerance": SERVE_TOLERANCE,
+        }
+        if serve_overhead < SERVE_TOLERANCE:
+            break
+
+    assert reports == plain_monitor.reports, (
+        "serving-enabled pipeline changed the match reports"
+    )
+    assert signature == plain_monitor.subset.signature(), (
+        "serving-enabled pipeline changed the representative subset"
+    )
+
+    emit_json("serve_overhead", measurements)
+    emit_text(
+        "serve_overhead",
+        f"Scrape-server overhead (message-race stream, {len(events)} "
+        f"events, min of {MIN_OF} batched pipeline replays):\n"
+        f"  registry only:    {measurements['registry_seconds'] * 1e3:8.2f} ms\n"
+        f"  registry + serve: {measurements['serve_seconds'] * 1e3:8.2f} ms "
+        f"({measurements['serve_overhead'] * 100:+.2f}%)\n"
+        f"  match output identical to the uninstrumented run",
+    )
+
+    assert measurements["serve_overhead"] < SERVE_TOLERANCE, (
+        f"serving-enabled pipeline is "
+        f"{measurements['serve_overhead']:.1%} slower than the "
+        f"registry-only pipeline (tolerance {SERVE_TOLERANCE:.0%}) "
+        f"after {MAX_ATTEMPTS} attempts"
     )

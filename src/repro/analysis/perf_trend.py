@@ -1,0 +1,206 @@
+"""Perf-regression sentinel over the ``BENCH_*.json`` trajectory.
+
+Every benchmark run writes a machine-readable ``BENCH_<name>.json``
+under ``benchmarks/results/`` (git-tracked, so the history rides the
+repo), but until now nothing *read* them back — a perf regression
+only surfaced if a human compared numbers across PRs.  This module
+closes the loop:
+
+* :func:`collect_indicators` flattens every ``BENCH_*.json`` into
+  named scalar **cost indicators** (medians/means of the boxplot
+  groups, ``*_seconds`` wall times, ``*_overhead`` ratios) where
+  *lower is better* for every one of them;
+* :func:`build_trend` / :func:`write_trend` snapshot the indicators
+  into ``BENCH_trend.json`` — the document a CI job regenerates and
+  uploads each run;
+* :func:`diff_trends` compares two trend documents and returns the
+  indicators that regressed beyond a threshold; ``ocep perf diff
+  --baseline`` turns a non-empty answer into exit status 1 (the CI
+  gate).
+
+The regression rule handles the two indicator shapes we emit:
+
+* positive costs (durations): regressed when the relative increase
+  exceeds ``threshold`` (``current/baseline - 1 > threshold``);
+* near-zero ratios (overheads, which can legitimately be negative):
+  regressed when the absolute increase crosses ``threshold`` into
+  positive territory (``current > 0 and current - baseline >
+  threshold``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Schema tag of a trend document.
+TREND_SCHEMA = 1
+
+#: File name of the trend snapshot (lives beside the BENCH files).
+TREND_FILENAME = "BENCH_trend.json"
+
+#: Top-level numeric fields treated as cost indicators, by suffix.
+_COST_SUFFIXES: Tuple[str, ...] = ("_seconds", "_overhead", "_us")
+
+#: Boxplot-group statistics carried into the trend.
+_GROUP_STATS: Tuple[str, ...] = ("median", "mean")
+
+
+@dataclasses.dataclass(frozen=True)
+class Regression:
+    """One indicator that got worse."""
+
+    indicator: str
+    baseline: float
+    current: float
+
+    @property
+    def delta(self) -> float:
+        return self.current - self.baseline
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.baseline > 0:
+            return self.current / self.baseline
+        return None
+
+    def describe(self) -> str:
+        if self.ratio is not None:
+            return (
+                f"{self.indicator}: {self.baseline:.6g} -> "
+                f"{self.current:.6g} ({(self.ratio - 1) * 100:+.1f}%)"
+            )
+        return (
+            f"{self.indicator}: {self.baseline:.6g} -> "
+            f"{self.current:.6g} ({self.delta:+.6g})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "indicator": self.indicator,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta": self.delta,
+        }
+
+
+def _iter_bench_files(results_dir: Path) -> Iterable[Path]:
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name != TREND_FILENAME:
+            yield path
+
+
+def _indicators_of(document: dict) -> Dict[str, float]:
+    """Flatten one BENCH document into cost indicators."""
+    bench = document.get("benchmark", "unknown")
+    indicators: Dict[str, float] = {}
+    for key, value in document.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if key == "tolerance":
+            continue
+        if any(key.endswith(suffix) for suffix in _COST_SUFFIXES):
+            indicators[f"{bench}/{key}"] = float(value)
+    groups = document.get("groups")
+    if isinstance(groups, dict):
+        for group, stats in groups.items():
+            if not isinstance(stats, dict):
+                continue
+            for stat in _GROUP_STATS:
+                value = stats.get(stat)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    indicators[f"{bench}/{group}/{stat}_us"] = float(value)
+    return indicators
+
+
+def collect_indicators(results_dir) -> Dict[str, float]:
+    """Cost indicators of every ``BENCH_*.json`` under
+    ``results_dir`` (unreadable files are skipped, not fatal: a
+    benchmark suite mid-write must not break the sentinel)."""
+    results_dir = Path(results_dir)
+    indicators: Dict[str, float] = {}
+    for path in _iter_bench_files(results_dir):
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(document, dict):
+            continue
+        indicators.update(_indicators_of(document))
+    return indicators
+
+
+def build_trend(results_dir) -> dict:
+    """The trend document: schema tag, source files, indicators."""
+    results_dir = Path(results_dir)
+    return {
+        "schema": TREND_SCHEMA,
+        "sources": [p.name for p in _iter_bench_files(results_dir)],
+        "indicators": collect_indicators(results_dir),
+    }
+
+
+def write_trend(results_dir, output=None) -> Path:
+    """Write ``BENCH_trend.json`` (into ``results_dir`` by default)."""
+    results_dir = Path(results_dir)
+    path = Path(output) if output is not None else results_dir / TREND_FILENAME
+    document = build_trend(results_dir)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_trend(path) -> dict:
+    """Load and validate a trend document."""
+    document = json.loads(Path(path).read_text())
+    if not isinstance(document, dict) or document.get("schema") != TREND_SCHEMA:
+        raise ValueError(
+            f"{path}: not a BENCH_trend document "
+            f"(schema={document.get('schema') if isinstance(document, dict) else None!r})"
+        )
+    indicators = document.get("indicators")
+    if not isinstance(indicators, dict):
+        raise ValueError(f"{path}: trend document has no indicators map")
+    return document
+
+
+def diff_trends(
+    baseline: dict,
+    current: dict,
+    threshold: float = 0.15,
+) -> List[Regression]:
+    """Indicators shared by both trends that regressed past
+    ``threshold`` (see the module docstring for the rule), sorted
+    worst first."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    regressions: List[Regression] = []
+    base = baseline["indicators"]
+    cur = current["indicators"]
+    for indicator in sorted(set(base) & set(cur)):
+        before, after = float(base[indicator]), float(cur[indicator])
+        if before > 0:
+            regressed = after / before - 1.0 > threshold
+        else:
+            regressed = after > 0 and after - before > threshold
+        if regressed:
+            regressions.append(Regression(indicator, before, after))
+    regressions.sort(
+        key=lambda r: -(r.ratio if r.ratio is not None else 1.0 + r.delta)
+    )
+    return regressions
+
+
+__all__ = [
+    "Regression",
+    "TREND_FILENAME",
+    "TREND_SCHEMA",
+    "build_trend",
+    "collect_indicators",
+    "diff_trends",
+    "load_trend",
+    "write_trend",
+]

@@ -35,6 +35,24 @@ patterns, and reporting:
     table, JSON, or Prometheus text, plus an optional tail of the
     search trace (embedded in the document with ``--format json``).
 
+``ocep serve <case>``
+    Run a case with the embedded scrape server bound (``/metrics``,
+    ``/snapshot``, ``/healthz``, ``/readyz``, ``/spans``) and keep
+    serving the end-of-run state afterwards (``--linger`` bounds it;
+    default is until Ctrl-C).  ``ocep case`` and ``ocep stats`` accept
+    ``--serve-port`` for a server scoped to the run itself.
+
+``ocep profile <case>``
+    Sample the pipeline run with the wall-clock profiler and print the
+    per-stage self-time split plus the hottest frames; ``-o FILE``
+    writes collapsed stacks for ``flamegraph.pl`` / speedscope.
+
+``ocep perf trend|diff``
+    The perf-regression sentinel: ``trend`` flattens the git-tracked
+    ``benchmarks/results/BENCH_*.json`` into ``BENCH_trend.json``;
+    ``diff --baseline FILE`` exits 1 when any current indicator
+    regressed past the threshold (the CI perf gate).
+
 ``ocep trace <case>``
     Run a case study with span tracing on and write the full causal
     timeline — per-trace simulated-time tracks with happens-before
@@ -67,6 +85,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Optional
 
 from repro.analysis import compute_boxplot, quartile_table
@@ -149,6 +168,8 @@ def cmd_case(args: argparse.Namespace) -> int:
         args.case, args.traces, args.seed, tracer=tracer,
         clock_backend=args.clock_backend,
     )
+    if args.serve_port is not None:
+        pipeline.with_server(port=args.serve_port)
     names = pipeline.trace_names
     monitor = pipeline.watch_case(
         on_match=None if args.quiet else (lambda r: _print_report(r, names)),
@@ -160,6 +181,10 @@ def cmd_case(args: argparse.Namespace) -> int:
         f"{' (deadlocked)' if result.deadlocked else ''}, "
         f"{stats.matches_reported} matches, subset {stats.subset_size}"
     )
+    if result.obs_server is not None:
+        print(f"served {result.obs_server.requests_served} requests on "
+              f"{result.obs_server.url}")
+        result.obs_server.stop()
     if tracer is not None:
         _write_trace(tracer, args.trace_out)
     return 0
@@ -248,18 +273,25 @@ def cmd_stats(args: argparse.Namespace) -> int:
         args.case, args.traces, args.seed, registry=registry,
         clock_backend=args.clock_backend,
     )
+    if args.serve_port is not None:
+        pipeline.with_server(port=args.serve_port)
     names = pipeline.trace_names
     latency = track_detection_latency(pipeline.kernel, registry)
     monitor = pipeline.watch_case(
         config=MatcherConfig(search_trace_size=args.trace_size),
         on_match=latency.observe_report,
     )
-    pipeline.run(max_events=args.max_events)
+    result = pipeline.run(max_events=args.max_events)
     monitor.publish_metrics()
+    if result.obs_server is not None:
+        result.obs_server.stop()
 
     show_trace = args.show_trace and monitor.search_trace is not None
 
-    if args.format == "json":
+    if args.describe:
+        text = _describe_metrics(registry)
+        show_trace = False
+    elif args.format == "json":
         # Structured output stays structured: the search-trace tail is
         # embedded in the document, not printed as text to stderr.
         document = json.loads(to_json(registry))
@@ -295,6 +327,137 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 f"leaf {record.leaf_id}{where}: {record.kind} {record.detail}",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _describe_metrics(registry: MetricsRegistry) -> str:
+    """Markdown reference table of every registered metric (the
+    auto-generated section of ``docs/observability.md``)."""
+    rows = {}
+    for metric in registry.metrics():
+        label_names = ",".join(k for k, _ in metric.labels)
+        key = (metric.name, label_names)
+        if key not in rows:
+            rows[key] = (
+                metric.name,
+                metric.kind,
+                label_names,
+                metric.help,
+                getattr(metric, "alias", None),
+            )
+    lines = [
+        "| metric | kind | labels | help |",
+        "| --- | --- | --- | --- |",
+    ]
+    for name, kind, labels, help_text, alias in sorted(rows.values()):
+        note = f" (legacy alias: `{alias}`)" if alias else ""
+        label_cell = f"`{labels}`" if labels else ""
+        lines.append(f"| `{name}` | {kind} | {label_cell} | {help_text}{note} |")
+    return "\n".join(lines)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    registry = MetricsRegistry()
+    tracer = SpanTracer()
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed, registry=registry, tracer=tracer,
+        clock_backend=args.clock_backend,
+    ).with_server(port=args.port, host=args.host)
+    latency = track_detection_latency(pipeline.kernel, registry)
+    monitor = pipeline.watch_case(on_match=latency.observe_report)
+    result = pipeline.run(max_events=args.max_events)
+    monitor.publish_metrics()
+    stats = monitor.stats()
+    server = pipeline.obs_server
+    print(
+        f"case={args.case} traces={args.traces}: {result.num_events} events"
+        f"{' (deadlocked)' if result.deadlocked else ''}, "
+        f"{stats.matches_reported} matches"
+    )
+    print(f"serving {server.url}  "
+          "(/metrics /snapshot /healthz /readyz /spans)")
+    try:
+        if args.linger is None:
+            print("Ctrl-C to stop")
+            while True:
+                time.sleep(3600)
+        else:
+            time.sleep(args.linger)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        served = server.requests_served
+        server.stop()
+    print(f"served {served} requests")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import SamplingProfiler
+
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed,
+        clock_backend=args.clock_backend,
+    )
+    monitor = pipeline.watch_case()
+    with SamplingProfiler(interval=args.interval) as profiler:
+        result = pipeline.run(max_events=args.max_events)
+    stats = monitor.stats()
+    print(
+        f"case={args.case} traces={args.traces}: {result.num_events} events"
+        f"{' (deadlocked)' if result.deadlocked else ''}, "
+        f"{stats.matches_reported} matches"
+    )
+    print(profiler.report(args.top))
+    if args.output:
+        lines = profiler.collapsed()
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines))
+            if lines:
+                fh.write("\n")
+        print(f"wrote {len(lines)} collapsed stacks to {args.output} "
+              "(flamegraph.pl / speedscope input)")
+    return 0
+
+
+def cmd_perf_trend(args: argparse.Namespace) -> int:
+    from repro.analysis import perf_trend
+
+    path = perf_trend.write_trend(args.results, args.output)
+    document = perf_trend.load_trend(path)
+    print(
+        f"wrote {len(document['indicators'])} indicators from "
+        f"{len(document['sources'])} benchmark files to {path}"
+    )
+    return 0
+
+
+def cmd_perf_diff(args: argparse.Namespace) -> int:
+    from repro.analysis import perf_trend
+
+    baseline = perf_trend.load_trend(args.baseline)
+    if args.current:
+        current = perf_trend.load_trend(args.current)
+    else:
+        current = perf_trend.build_trend(args.results)
+    shared = len(
+        set(baseline["indicators"]) & set(current["indicators"])
+    )
+    regressions = perf_trend.diff_trends(
+        baseline, current, threshold=args.threshold
+    )
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) past +{args.threshold:.0%} "
+            f"across {shared} shared indicators:"
+        )
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    print(
+        f"no regressions past +{args.threshold:.0%} "
+        f"({shared} shared indicators)"
+    )
     return 0
 
 
@@ -576,6 +739,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true", help="suppress per-match output")
     p.add_argument("--trace-out", metavar="FILE",
                    help="also record a Chrome trace-event timeline to FILE")
+    p.add_argument("--serve-port", type=_nonnegative_int, default=None,
+                   metavar="PORT",
+                   help="also serve live /metrics on PORT while the case "
+                        "runs (0 = auto-pick)")
     add_common(p, 10)
     p.set_defaults(func=cmd_case)
 
@@ -597,8 +764,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show-trace", type=_nonnegative_int, default=0,
                    metavar="K",
                    help="also print the last K search-trace records")
+    p.add_argument("--describe", action="store_true",
+                   help="emit the metric reference table (markdown) "
+                        "instead of the values")
+    p.add_argument("--serve-port", type=_nonnegative_int, default=None,
+                   metavar="PORT",
+                   help="also serve live /metrics on PORT while the case "
+                        "runs (0 = auto-pick)")
     add_common(p, 10)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a case with the embedded scrape server and keep serving",
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("--port", type=_nonnegative_int, default=0,
+                   help="bind port (0 = auto-pick; printed after the run)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--linger", type=float, default=None, metavar="SECONDS",
+                   help="keep serving this long after the run finishes "
+                        "(default: until Ctrl-C)")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "profile",
+        help="sample the pipeline run and report hot code per stage",
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write collapsed stacks (flamegraph.pl / "
+                        "speedscope input) to FILE")
+    p.add_argument("--interval", type=float, default=0.005,
+                   help="sampling interval in seconds")
+    p.add_argument("--top", type=_positive_int, default=10,
+                   help="hottest frames to print")
+    add_common(p, 10)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "perf",
+        help="perf-regression sentinel over benchmarks/results/BENCH_*.json",
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+    t = perf_sub.add_parser(
+        "trend", help="flatten the BENCH files into BENCH_trend.json"
+    )
+    t.add_argument("--results", default="benchmarks/results",
+                   help="directory holding the BENCH_*.json files")
+    t.add_argument("--output", default=None,
+                   help="trend file to write (default: "
+                        "<results>/BENCH_trend.json)")
+    t.set_defaults(func=cmd_perf_trend)
+    d = perf_sub.add_parser(
+        "diff",
+        help="exit 1 when current indicators regressed past the "
+             "threshold vs a baseline trend",
+    )
+    d.add_argument("--baseline", required=True,
+                   help="baseline BENCH_trend.json")
+    d.add_argument("--current", default=None,
+                   help="current trend file (default: rebuilt live from "
+                        "--results)")
+    d.add_argument("--results", default="benchmarks/results",
+                   help="directory holding the current BENCH_*.json files")
+    d.add_argument("--threshold", type=float, default=0.15,
+                   help="relative regression tolerance (0.15 = +15%%)")
+    d.set_defaults(func=cmd_perf_diff)
 
     p = sub.add_parser(
         "trace",

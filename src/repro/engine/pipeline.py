@@ -46,7 +46,9 @@ from repro.engine.cases import CASES, build_case
 from repro.engine.dispatch import CHECKPOINT_FORMAT, ShardedDispatcher
 from repro.events.event import Event
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import ObsServer
 from repro.obs.spans import SpanTracer
+from repro.obs.stages import PipelineTelemetry, attach_telemetry
 from repro.poet.client import POETClient, RecordingClient
 from repro.poet.dumpfile import load_events
 from repro.poet.holdback import HoldbackBuffer
@@ -59,6 +61,7 @@ from repro.resilience.overload import (
     EventUtilityScorer,
     LoadShedder,
     OverloadDetector,
+    OverloadState,
 )
 from repro.simulation.kernel import Kernel
 
@@ -99,6 +102,13 @@ class PipelineResult:
     injector: Optional[FaultInjector]
     holdback: Optional[HoldbackBuffer]
     shedder: Optional[LoadShedder] = None
+    #: Stage-axis telemetry surface (``None`` when observability is
+    #: disabled).
+    telemetry: Optional[PipelineTelemetry] = None
+    #: The embedded scrape server when :meth:`Pipeline.with_server`
+    #: configured one; still serving after the run so post-run scrapes
+    #: (and humans) can read the final state — stop it when done.
+    obs_server: Optional[ObsServer] = None
 
     def __getitem__(self, name: str) -> Monitor:
         return self.dispatcher[name]
@@ -177,6 +187,13 @@ class Pipeline:
         #: feed it latency observations, e.g. from the detection
         #: latency tracker).
         self.overload_detector: Optional[OverloadDetector] = None
+        self._server_config: Optional[dict] = None
+        #: Built during :meth:`run` when the registry is live.
+        self.telemetry: Optional[PipelineTelemetry] = None
+        #: Built during :meth:`run` when :meth:`with_server` was called.
+        self.obs_server: Optional[ObsServer] = None
+        #: Live stage references for the health endpoint (set in run()).
+        self._active_holdback: Optional[HoldbackBuffer] = None
         self._restore_state: Optional[dict] = None
         self._ran = False
         #: Set by :meth:`for_case`: the case's pattern source, sized
@@ -462,6 +479,66 @@ class Pipeline:
         self.overload_detector = detector
         return self
 
+    def with_server(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ) -> "Pipeline":
+        """Serve live observability over HTTP while the pipeline runs
+        (``/metrics``, ``/snapshot``, ``/healthz``, ``/readyz``,
+        ``/spans`` — see :class:`~repro.obs.server.ObsServer`).
+
+        Port ``0`` binds a free port (read it from
+        ``pipeline.obs_server.port`` once :meth:`run` has started the
+        server).  Must be called before the first :meth:`watch`: a
+        pipeline built without a registry gets one minted here, and the
+        shards must be born into it.  The server outlives :meth:`run`
+        so the end-of-run state stays scrapeable; call
+        ``obs_server.stop()`` (or let the daemon thread die with the
+        process) when done.
+        """
+        if self._server_config is not None:
+            raise RuntimeError("pipeline already has a scrape server")
+        if self._dispatcher is not None:
+            raise RuntimeError(
+                "with_server() must be set before the first watch(): "
+                "shards must be born into the served registry"
+            )
+        if self.registry is None or not self.registry.enabled:
+            self.registry = MetricsRegistry()
+            self.server.use_registry(self.registry)
+        self._server_config = {"port": port, "host": host}
+        return self
+
+    def _health_document(self) -> dict:
+        """The ``/healthz`` body; called from server threads, so it
+        only reads plain attributes (safe under the GIL)."""
+        telemetry = self.telemetry
+        started = bool(telemetry is not None and telemetry.started)
+        finished = bool(telemetry is not None and telemetry.finished)
+        quarantined = (
+            sorted(self._dispatcher.quarantined)
+            if self._dispatcher is not None
+            else []
+        )
+        stalled = bool(
+            self._active_holdback is not None and self._active_holdback.stalled
+        )
+        degraded = stalled or bool(quarantined)
+        document = {
+            "ready": started,
+            "running": started and not finished,
+            "finished": finished,
+            "events": self.server.num_events,
+            "stalled": stalled,
+            "quarantined": quarantined,
+            "stages": telemetry.stage_summary() if telemetry is not None else {},
+        }
+        if self.overload_detector is not None:
+            state = self.overload_detector.state
+            document["overload_state"] = state.name
+            degraded = degraded or state != OverloadState.NORMAL
+        document["status"] = "degraded" if degraded else "ok"
+        return document
+
     def record(self) -> RecordingClient:
         """Tap the server's collection order (the true linearization,
         upstream of any fault stage); returns the recorder."""
@@ -538,12 +615,17 @@ class Pipeline:
             raise RuntimeError("a Pipeline runs once; build a fresh one")
         self._ran = True
 
+        telemetry = attach_telemetry(self.registry)
+        self.telemetry = telemetry
+
         dispatcher = self._dispatcher
         holdback: Optional[HoldbackBuffer] = None
         injector: Optional[FaultInjector] = None
         shedder: Optional[LoadShedder] = None
 
         tail: Optional[POETClient] = dispatcher
+        if telemetry is not None and dispatcher is not None:
+            tail = telemetry.link("dispatcher", dispatcher)
         scorer: Optional[EventUtilityScorer] = None
         if self._overload_config is not None:
             if dispatcher is None or len(dispatcher) == 0:
@@ -555,7 +637,7 @@ class Pipeline:
                     [monitor for _, monitor in dispatcher]
                 )
             shedder = LoadShedder(
-                dispatcher,
+                tail,
                 scorer,
                 self.overload_detector,
                 shed_band=overload["shed_band"],
@@ -569,6 +651,8 @@ class Pipeline:
             if self._overload_restore is not None:
                 shedder.restore(self._overload_restore)
             tail = shedder
+            if telemetry is not None:
+                tail = telemetry.link("shedder", shedder)
         if self._holdback_config is not None:
             if tail is None:
                 raise RuntimeError("a hold-back stage needs a watched shard")
@@ -583,6 +667,8 @@ class Pipeline:
             if shedder is not None:
                 shedder.set_backlog_probe(lambda: holdback.pending_count)
             tail = holdback
+            if telemetry is not None:
+                tail = telemetry.link("holdback", holdback)
         if self._fault_plan is not None:
             if tail is None:
                 raise RuntimeError("a fault stage needs a watched shard")
@@ -594,8 +680,50 @@ class Pipeline:
                 tracer=self.tracer,
             )
             tail = _InjectorStage(injector)
+            if telemetry is not None:
+                tail = telemetry.link("faults", tail)
         if tail is not None:
             self.server.connect(tail)
+
+        self._active_holdback = holdback
+        if telemetry is not None:
+            poet_server = self.server
+            telemetry.set_count_probe(
+                "source", lambda: poet_server.num_events
+            )
+            telemetry.set_count_probe("poet", lambda: poet_server.num_events)
+            # The POET store retains the full collected stream — its
+            # size is the stage's "retained events" depth.
+            telemetry.set_queue_probe("poet", lambda: poet_server.num_events)
+            if dispatcher is not None:
+                telemetry.set_count_probe(
+                    "monitors",
+                    lambda: sum(
+                        mon.matcher.events_processed
+                        for _name, mon in dispatcher
+                    ),
+                )
+            if holdback is not None:
+                telemetry.set_queue_probe(
+                    "holdback", lambda: holdback.pending_count
+                )
+            if injector is not None:
+                telemetry.set_queue_probe(
+                    "faults", lambda: injector.pending_count
+                )
+
+        if self._server_config is not None:
+            self.obs_server = ObsServer(
+                self.registry,
+                tracer=self.tracer,
+                health=self._health_document,
+                refresh=telemetry.refresh if telemetry is not None else None,
+                host=self._server_config["host"],
+                port=self._server_config["port"],
+            )
+            self.obs_server.start()
+        if telemetry is not None:
+            telemetry.mark_started()
 
         outcome = None
         if self._events is not None:
@@ -624,6 +752,10 @@ class Pipeline:
             injector.flush()
         leftover = holdback.flush() if holdback is not None else []
 
+        if telemetry is not None:
+            telemetry.mark_finished()
+            telemetry.refresh()
+
         return PipelineResult(
             num_events=self.server.num_events,
             outcome=outcome,
@@ -632,6 +764,8 @@ class Pipeline:
             injector=injector,
             holdback=holdback,
             shedder=shedder,
+            telemetry=telemetry,
+            obs_server=self.obs_server,
         )
 
 

@@ -18,7 +18,17 @@ A dependency-free instrumentation layer for the OCEP stack:
 * :mod:`~repro.obs.log` — JSON-lines structured logging over stdlib
   :mod:`logging`, span-id correlated;
 * :mod:`~repro.obs.export` — JSON and Prometheus-text exporters over
-  a registry snapshot.
+  a registry snapshot;
+* :mod:`~repro.obs.stages` — the **stage axis**: uniform
+  ``ocep_stage_*`` throughput/queue-depth/latency/batch-size series
+  for the seven pipeline stages, live-measured via :class:`StageLink`
+  interposers;
+* :mod:`~repro.obs.server` — the embedded **scrape server**
+  (``/metrics``, ``/snapshot``, ``/healthz``, ``/readyz``,
+  ``/spans``) serving a running pipeline over HTTP;
+* :mod:`~repro.obs.profile` — the thread-sampling wall-clock
+  **profiler** with collapsed-stack (flamegraph) output and per-stage
+  self-time attribution.
 
 See ``docs/observability.md`` for the metric inventory and usage.
 """
@@ -27,6 +37,7 @@ from repro.obs.export import parse_json, to_json, to_prometheus
 from repro.obs.latency import (
     DETECTION_LATENCY_BUCKETS,
     DETECTION_LATENCY_METRIC,
+    DETECTION_LATENCY_METRIC_LEGACY,
     DetectionLatencyTracker,
     track_detection_latency,
 )
@@ -40,6 +51,17 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.profile import (
+    OTHER_STAGE,
+    STAGE_MODULES,
+    SamplingProfiler,
+    stage_of_stack,
+)
+from repro.obs.server import (
+    DEFAULT_SPANS_LIMIT,
+    ObsServer,
+    PROMETHEUS_CONTENT_TYPE,
+)
 from repro.obs.spans import (
     MONITOR_PID,
     NULL_TRACER,
@@ -49,6 +71,13 @@ from repro.obs.spans import (
     to_chrome_json,
     validate_chrome_trace,
     validate_trace_events,
+)
+from repro.obs.stages import (
+    BATCH_SIZE_BUCKETS,
+    STAGES,
+    PipelineTelemetry,
+    StageLink,
+    attach_telemetry,
 )
 from repro.obs.trace import KINDS, SearchTrace, TraceRecord
 
@@ -75,6 +104,19 @@ __all__ = [
     "track_detection_latency",
     "DETECTION_LATENCY_BUCKETS",
     "DETECTION_LATENCY_METRIC",
+    "DETECTION_LATENCY_METRIC_LEGACY",
+    "STAGES",
+    "BATCH_SIZE_BUCKETS",
+    "PipelineTelemetry",
+    "StageLink",
+    "attach_telemetry",
+    "ObsServer",
+    "PROMETHEUS_CONTENT_TYPE",
+    "DEFAULT_SPANS_LIMIT",
+    "SamplingProfiler",
+    "STAGE_MODULES",
+    "OTHER_STAGE",
+    "stage_of_stack",
     "JsonLinesFormatter",
     "bind_tracer",
     "configure",

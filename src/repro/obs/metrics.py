@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Canonical label form: sorted (key, value) pairs.
@@ -58,7 +59,7 @@ def _labels(labels: Optional[Mapping[str, str]]) -> LabelSet:
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("name", "help", "labels", "value")
+    __slots__ = ("name", "help", "labels", "value", "alias")
 
     kind = "counter"
 
@@ -67,6 +68,7 @@ class Counter:
         self.help = help
         self.labels = labels
         self.value = 0
+        self.alias: Optional[str] = None
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
@@ -95,7 +97,7 @@ class Counter:
 class Gauge:
     """A point-in-time value that can go up and down."""
 
-    __slots__ = ("name", "help", "labels", "value")
+    __slots__ = ("name", "help", "labels", "value", "alias")
 
     kind = "gauge"
 
@@ -104,6 +106,7 @@ class Gauge:
         self.help = help
         self.labels = labels
         self.value = 0.0
+        self.alias: Optional[str] = None
 
     def set(self, value: float) -> None:
         self.value = value
@@ -133,7 +136,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "help", "labels", "bounds", "bucket_counts",
-                 "count", "sum", "min", "max")
+                 "count", "sum", "min", "max", "alias")
 
     kind = "histogram"
 
@@ -156,6 +159,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.alias: Optional[str] = None
 
     def observe(self, value: float) -> None:
         self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
@@ -216,42 +220,61 @@ class MetricsRegistry:
     call mints the metric, later calls with the same ``(name, labels)``
     return the same object (kind mismatches raise).  ``snapshot``
     produces the JSON-ready structure consumed by the exporters.
+
+    Registration and snapshotting are guarded by an internal lock, so
+    a scrape-server thread can snapshot a registry while the pipeline
+    thread is still minting per-label series (the ``/metrics`` and
+    ``/snapshot`` endpoints of :mod:`repro.obs.server` do exactly
+    that).  Individual ``inc``/``set``/``observe`` calls are *not*
+    locked — under the GIL a concurrent reader sees a slightly stale
+    but structurally valid value, which is the usual scrape bargain.
+
+    ``alias`` names the metric's retired spelling: renamed metrics
+    keep one back-compat entry in the JSON snapshot (marked with
+    ``alias_of``) so downstream dashboards keyed on the old name keep
+    working; the Prometheus exposition only carries the new name.
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self._metrics: Dict[Tuple[str, LabelSet], object] = {}
+        self._lock = threading.RLock()
 
-    def _get(self, cls, name, help, labels, **kwargs):
+    def _get(self, cls, name, help, labels, alias=None, **kwargs):
         key = (name, _labels(labels))
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TypeError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, requested {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help=help, labels=key[1], **kwargs)
-        self._metrics[key] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, requested {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help=help, labels=key[1], **kwargs)
+            if alias is not None:
+                metric.alias = alias
+            self._metrics[key] = metric
+            return metric
 
     def counter(
         self,
         name: str,
         help: str = "",
         labels: Optional[Mapping[str, str]] = None,
+        alias: Optional[str] = None,
     ) -> Counter:
-        return self._get(Counter, name, help, labels)
+        return self._get(Counter, name, help, labels, alias=alias)
 
     def gauge(
         self,
         name: str,
         help: str = "",
         labels: Optional[Mapping[str, str]] = None,
+        alias: Optional[str] = None,
     ) -> Gauge:
-        return self._get(Gauge, name, help, labels)
+        return self._get(Gauge, name, help, labels, alias=alias)
 
     def histogram(
         self,
@@ -259,26 +282,42 @@ class MetricsRegistry:
         help: str = "",
         labels: Optional[Mapping[str, str]] = None,
         bounds: Optional[Sequence[float]] = None,
+        alias: Optional[str] = None,
     ) -> Histogram:
-        return self._get(Histogram, name, help, labels, bounds=bounds)
+        return self._get(Histogram, name, help, labels, alias=alias,
+                         bounds=bounds)
 
     def metrics(self) -> List[object]:
         """Every registered metric, in deterministic (name, labels)
-        order."""
-        return [self._metrics[key] for key in sorted(self._metrics)]
+        order (a point-in-time copy, safe against concurrent
+        registration)."""
+        with self._lock:
+            return [self._metrics[key] for key in sorted(self._metrics)]
 
     def get(
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> Optional[object]:
         """Look up a metric without creating it."""
-        return self._metrics.get((name, _labels(labels)))
+        with self._lock:
+            return self._metrics.get((name, _labels(labels)))
 
     def snapshot(self) -> List[dict]:
-        """JSON-ready dump of every metric."""
-        return [m.as_dict() for m in self.metrics()]
+        """JSON-ready dump of every metric; renamed metrics contribute
+        one extra entry under their retired name (``alias_of`` marks
+        it) so old dashboards keep resolving."""
+        entries = []
+        for metric in self.metrics():
+            entry = metric.as_dict()
+            entries.append(entry)
+            alias = getattr(metric, "alias", None)
+            if alias:
+                entries.append({**entry, "name": alias,
+                                "alias_of": metric.name})
+        return entries
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __iter__(self) -> Iterable[object]:
         return iter(self.metrics())
@@ -296,6 +335,7 @@ class _NullMetric:
     value = 0
     count = 0
     sum = 0.0
+    alias = None
 
     def inc(self, amount=1):  # noqa: D102 - no-op
         pass

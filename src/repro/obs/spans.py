@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -114,6 +115,11 @@ class SpanTracer:
 
     def __init__(self, sim_clock: Optional[Callable[[], float]] = None):
         self._events: List[dict] = []
+        # Guards the event buffer only: the pipeline thread is the sole
+        # writer, but the scrape server's /spans endpoint reads the
+        # buffer from its own thread mid-run, and a list being appended
+        # to must not be copied unlocked.
+        self._events_lock = threading.Lock()
         self._span_seq = itertools.count(1)
         self._flow_seq = itertools.count(1)
         self._flow_ids: Dict[Any, int] = {}
@@ -140,6 +146,10 @@ class SpanTracer:
         """Bind (or clear) the simulated-time clock source."""
         self._sim_clock = sim_clock
 
+    def _append(self, event: dict) -> None:
+        with self._events_lock:
+            self._events.append(event)
+
     @property
     def current_span_id(self) -> Optional[int]:
         """Id of the innermost open wall-clock span (log correlation)."""
@@ -152,7 +162,7 @@ class SpanTracer:
     def _ensure_pid(self, pid: int, name: str) -> None:
         if pid not in self._named_pids:
             self._named_pids.add(pid)
-            self._events.append(
+            self._append(
                 {
                     "ph": "M",
                     "pid": pid,
@@ -167,7 +177,7 @@ class SpanTracer:
         self._ensure_pid(SIM_PID, "simulation")
         if trace not in self._sim_tracks:
             self._sim_tracks[trace] = name
-            self._events.append(
+            self._append(
                 {
                     "ph": "M",
                     "pid": SIM_PID,
@@ -183,7 +193,7 @@ class SpanTracer:
             self._ensure_pid(MONITOR_PID, "monitor")
             tid = len(self._track_tids) + 1
             self._track_tids[track] = tid
-            self._events.append(
+            self._append(
                 {
                     "ph": "M",
                     "pid": MONITOR_PID,
@@ -226,7 +236,7 @@ class SpanTracer:
         payload = {"sim_time": sim_time}
         if args:
             payload.update(args)
-        self._events.append(
+        self._append(
             {
                 "ph": "X",
                 "name": name,
@@ -259,7 +269,7 @@ class SpanTracer:
         name: str = "message",
     ) -> None:
         """Open a flow (happens-before edge) at a simulated event."""
-        self._events.append(
+        self._append(
             {
                 "ph": "s",
                 "id": self.flow_id(key),
@@ -282,7 +292,7 @@ class SpanTracer:
         name: str = "message",
     ) -> None:
         """Close a flow at the causally succeeding simulated event."""
-        self._events.append(
+        self._append(
             {
                 "ph": "f",
                 "bp": "e",
@@ -318,7 +328,7 @@ class SpanTracer:
             payload["sim_time"] = self._sim_clock()
         if args:
             payload.update(args)
-        self._events.append(
+        self._append(
             {
                 "ph": "B",
                 "name": name,
@@ -338,7 +348,7 @@ class SpanTracer:
         if not self._stack:
             raise RuntimeError("SpanTracer.end() with no open span")
         self._stack.pop()
-        self._events.append(
+        self._append(
             {
                 "ph": "E",
                 "pid": MONITOR_PID,
@@ -382,7 +392,7 @@ class SpanTracer:
         }
         if args:
             event["args"] = dict(args)
-        self._events.append(event)
+        self._append(event)
         self.instants += 1
 
     # ------------------------------------------------------------------
@@ -391,7 +401,19 @@ class SpanTracer:
 
     def events(self) -> List[dict]:
         """The recorded trace events (a copy), in recording order."""
-        return list(self._events)
+        with self._events_lock:
+            return list(self._events)
+
+    def events_tail(self, limit: int = 256) -> List[dict]:
+        """The most recent ``limit`` trace events (a copy) — the span
+        ring served by the scrape server's ``/spans`` endpoint.  Safe
+        to call from another thread while the pipeline records."""
+        if limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        with self._events_lock:
+            if limit == 0:
+                return []
+            return list(self._events[-limit:])
 
     def chrome_trace(self) -> dict:
         """The full Chrome trace-event document (JSON object form)."""
@@ -402,11 +424,12 @@ class SpanTracer:
         }
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._events_lock:
+            return len(self._events)
 
     def __repr__(self) -> str:
         return (
-            f"SpanTracer({len(self._events)} events, "
+            f"SpanTracer({len(self)} events, "
             f"{self.spans_opened} spans, {self.flows_started} flows)"
         )
 
@@ -456,6 +479,9 @@ class NullTracer(SpanTracer):
         pass
 
     def events(self) -> List[dict]:
+        return []
+
+    def events_tail(self, limit: int = 256) -> List[dict]:
         return []
 
     def chrome_trace(self) -> dict:

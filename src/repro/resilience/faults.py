@@ -274,6 +274,12 @@ class FaultInjector:
         injected = self.delayed_total + self.duplicated_total + self.dropped_total
         return injected < self.plan.max_faults
 
+    @property
+    def pending_count(self) -> int:
+        """Events currently retained inside the injector: the deferred
+        stash plus scheduled duplicates (the stage's queue depth)."""
+        return (1 if self._stashed is not None else 0) + len(self._dup_queue)
+
     def stats(self) -> dict:
         """Plain-dict snapshot of the injected-fault accounting."""
         return {

@@ -314,20 +314,25 @@ class TestStatsTraceInJson:
         assert rc == 0
         document = json.loads(capsys.readouterr().out)
         metrics = {m["name"]: m for m in document["metrics"]}
-        latency = metrics["ocep_detection_latency_sim_time"]
+        latency = metrics["ocep_detection_latency_sim_time_units"]
         assert latency["kind"] == "histogram"
         assert latency["count"] > 0
         reports = metrics["ocep_detection_reports_total"]["value"]
         assert reports > 0
+        # The pre-rename name stays scrape-compatible in the JSON
+        # snapshot as an alias entry.
+        legacy = metrics["ocep_detection_latency_sim_time"]
+        assert legacy["alias_of"] == "ocep_detection_latency_sim_time_units"
+        assert legacy["count"] == latency["count"]
 
     def test_detection_latency_in_table_output(self, capsys):
         rc = main(self.ARGS)
         assert rc == 0
         out = capsys.readouterr().out
-        assert "ocep_detection_latency_sim_time" in out
+        assert "ocep_detection_latency_sim_time_units" in out
         # Sim-time histograms are not rendered in microseconds.
         line = next(
             line for line in out.splitlines()
-            if line.startswith("ocep_detection_latency_sim_time ")
+            if line.startswith("ocep_detection_latency_sim_time_units ")
         )
         assert "us" not in line

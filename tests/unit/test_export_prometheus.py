@@ -177,8 +177,8 @@ class TestPrometheusConformance:
         monitor.publish_metrics()
         samples, types, _ = parse_exposition(to_prometheus(registry))
         names = {name for name, _, _ in samples}
-        assert "ocep_detection_latency_sim_time_bucket" in names
-        assert types["ocep_detection_latency_sim_time"] == "histogram"
+        assert "ocep_detection_latency_sim_time_units_bucket" in names
+        assert types["ocep_detection_latency_sim_time_units"] == "histogram"
         # Every histogram family's buckets are cumulative.
         for family, kind in types.items():
             if kind != "histogram":

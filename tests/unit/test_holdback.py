@@ -339,7 +339,7 @@ class TestInstrumentation:
         snapshot = {m.name: m.value for m in registry.metrics()}
         assert snapshot["poet_holdback_released_total"] == len(events)
         assert snapshot["poet_holdback_duplicates_total"] == 1
-        assert snapshot["poet_holdback_pending"] == 0
+        assert snapshot["poet_holdback_pending_events"] == 0
 
     def test_stats_work_under_null_registry(self):
         events = _stream()

@@ -1,0 +1,169 @@
+"""Tests for the perf-regression sentinel (``repro.analysis.perf_trend``)
+and its ``ocep perf`` CLI surface."""
+
+import json
+
+import pytest
+
+from repro.analysis.perf_trend import (
+    TREND_FILENAME,
+    TREND_SCHEMA,
+    build_trend,
+    collect_indicators,
+    diff_trends,
+    load_trend,
+    write_trend,
+)
+from repro.cli import main
+
+
+def _write_bench(directory, name, payload):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"benchmark": name, **payload}))
+    return path
+
+
+class TestIndicatorCollection:
+    def test_cost_fields_and_group_stats_extracted(self, tmp_path):
+        _write_bench(tmp_path, "demo", {
+            "total_seconds": 1.5,
+            "noop_overhead": -0.02,
+            "tolerance": 0.05,          # config, not a cost
+            "events": 4000,             # count, not a cost
+            "groups": {
+                "10 traces": {"median": 2.5, "mean": 3.0, "n": 30},
+            },
+        })
+        indicators = collect_indicators(tmp_path)
+        assert indicators == {
+            "demo/total_seconds": 1.5,
+            "demo/noop_overhead": -0.02,
+            "demo/10 traces/median_us": 2.5,
+            "demo/10 traces/mean_us": 3.0,
+        }
+
+    def test_unreadable_and_foreign_files_skipped(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{nope")
+        (tmp_path / "notes.json").write_text('{"x_seconds": 9}')
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        assert collect_indicators(tmp_path) == {"ok/run_seconds": 2.0}
+
+    def test_trend_file_itself_is_excluded(self, tmp_path):
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        write_trend(tmp_path)
+        document = build_trend(tmp_path)
+        assert document["sources"] == ["BENCH_ok.json"]
+        assert TREND_FILENAME not in document["sources"]
+
+
+class TestTrendDocument:
+    def test_write_load_roundtrip(self, tmp_path):
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        path = write_trend(tmp_path)
+        assert path.name == TREND_FILENAME
+        document = load_trend(path)
+        assert document["schema"] == TREND_SCHEMA
+        assert document["indicators"] == {"ok/run_seconds": 2.0}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": 99, "indicators": {}}')
+        with pytest.raises(ValueError):
+            load_trend(bad)
+        worse = tmp_path / "worse.json"
+        worse.write_text('{"schema": 1}')
+        with pytest.raises(ValueError):
+            load_trend(worse)
+
+
+def _trend(**indicators):
+    return {"schema": TREND_SCHEMA, "indicators": indicators}
+
+
+class TestDiff:
+    def test_no_regression_within_threshold(self):
+        baseline = _trend(a=1.0, b=2.0)
+        current = _trend(a=1.1, b=1.5)
+        assert diff_trends(baseline, current, threshold=0.15) == []
+
+    def test_positive_baseline_relative_rule(self):
+        regressions = diff_trends(
+            _trend(a=1.0), _trend(a=1.2), threshold=0.15
+        )
+        assert [r.indicator for r in regressions] == ["a"]
+        assert regressions[0].ratio == pytest.approx(1.2)
+
+    def test_negative_baseline_absolute_rule(self):
+        # Overhead fractions hover around zero and can be negative; the
+        # relative rule is meaningless there.
+        baseline = _trend(overhead=-0.09)
+        assert diff_trends(baseline, _trend(overhead=0.02), 0.15) == []
+        hits = diff_trends(baseline, _trend(overhead=0.20), 0.15)
+        assert [r.indicator for r in hits] == ["overhead"]
+        assert hits[0].ratio is None
+        # Improving (more negative) never regresses.
+        assert diff_trends(baseline, _trend(overhead=-0.30), 0.15) == []
+
+    def test_unshared_indicators_ignored(self):
+        assert diff_trends(_trend(a=1.0), _trend(b=99.0), 0.15) == []
+
+    def test_sorted_worst_first(self):
+        regressions = diff_trends(
+            _trend(a=1.0, b=1.0), _trend(a=1.5, b=3.0), threshold=0.15
+        )
+        assert [r.indicator for r in regressions] == ["b", "a"]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            diff_trends(_trend(), _trend(), threshold=0.0)
+
+
+class TestCli:
+    def test_trend_then_clean_diff_exits_zero(self, tmp_path, capsys):
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        rc = main(["perf", "trend", "--results", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / TREND_FILENAME).exists()
+        rc = main([
+            "perf", "diff",
+            "--baseline", str(tmp_path / TREND_FILENAME),
+            "--results", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_seeded_regression_exits_one(self, tmp_path, capsys):
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        baseline = write_trend(tmp_path)
+        _write_bench(tmp_path, "ok", {"run_seconds": 3.0})
+        rc = main([
+            "perf", "diff",
+            "--baseline", str(baseline),
+            "--results", str(tmp_path),
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "ok/run_seconds" in out
+        assert "+50.0%" in out
+
+    def test_diff_against_explicit_current_file(self, tmp_path):
+        _write_bench(tmp_path, "ok", {"run_seconds": 2.0})
+        baseline = write_trend(tmp_path)
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(_trend(**{"ok/run_seconds": 10.0})))
+        rc = main([
+            "perf", "diff",
+            "--baseline", str(baseline),
+            "--current", str(current),
+        ])
+        assert rc == 1
+
+    def test_committed_baseline_matches_committed_benches(self, capsys):
+        # The repo-tracked trend must stay in sync with the BENCH files
+        # it was built from (regenerated by the CI perf-trend job).
+        rc = main([
+            "perf", "diff",
+            "--baseline", "benchmarks/results/BENCH_trend.json",
+            "--results", "benchmarks/results",
+        ])
+        assert rc == 0

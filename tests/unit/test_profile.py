@@ -1,0 +1,125 @@
+"""Tests for the sampling profiler (``repro.obs.profile``)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    OTHER_STAGE,
+    STAGE_MODULES,
+    SamplingProfiler,
+    stage_of_stack,
+)
+
+
+class TestStageOfStack:
+    def test_innermost_mapped_frame_wins(self):
+        # Outermost first: kernel (source) calling into the matcher
+        # (monitors) — the innermost mapped frame attributes the sample.
+        stack = ["repro.simulation.kernel", "repro.poet.server",
+                 "repro.core.matcher"]
+        assert stage_of_stack(stack) == "monitors"
+
+    def test_longest_prefix_beats_shorter(self):
+        # repro.poet.holdback is under repro.poet but owns its own stage.
+        assert stage_of_stack(["repro.poet.holdback"]) == "holdback"
+        assert stage_of_stack(["repro.poet.server"]) == "poet"
+
+    def test_prefix_requires_module_boundary(self):
+        # repro.poet_extras must not match the repro.poet prefix.
+        assert stage_of_stack(["repro.poet_extras"]) == OTHER_STAGE
+
+    def test_unmapped_stack_is_other(self):
+        assert stage_of_stack(["json", "threading"]) == OTHER_STAGE
+        assert stage_of_stack([]) == OTHER_STAGE
+
+    def test_every_pipeline_stage_is_reachable(self):
+        stages = set(STAGE_MODULES.values())
+        for stage in ("source", "poet", "faults", "holdback", "shedder",
+                      "dispatcher", "monitors"):
+            assert stage in stages
+
+
+def _busy_wait(seconds):
+    deadline = time.perf_counter() + seconds
+    total = 0
+    while time.perf_counter() < deadline:
+        total += sum(range(100))
+    return total
+
+
+class TestSamplingProfiler:
+    def test_samples_a_busy_loop(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.2)
+        assert profiler.total_samples > 10
+        collapsed = profiler.collapsed()
+        assert collapsed
+        # Collapsed format: semicolon-joined frames, space, count.
+        stack, count = collapsed[0].rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack
+        assert any("_busy_wait" in line for line in collapsed)
+
+    def test_stage_self_time_fractions_sum_to_one(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.1)
+        fractions = profiler.stage_self_time()
+        assert fractions
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        # A test-module busy loop is not pipeline code.
+        assert OTHER_STAGE in fractions
+
+    def test_report_mentions_hottest_frames(self):
+        with SamplingProfiler(interval=0.001) as profiler:
+            _busy_wait(0.1)
+        report = profiler.report(limit=3)
+        assert "stage self time" in report
+        assert "hottest frames" in report
+
+    def test_empty_profile_reports_gracefully(self):
+        profiler = SamplingProfiler(interval=10.0)
+        profiler.start()
+        profiler.stop()
+        assert profiler.total_samples == 0
+        assert profiler.collapsed() == []
+        assert profiler.stage_self_time() == {}
+        assert "no samples" in profiler.report()
+
+    def test_targets_an_explicit_thread(self):
+        stop = threading.Event()
+
+        def worker():
+            while not stop.is_set():
+                sum(range(50))
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        try:
+            profiler = SamplingProfiler(
+                interval=0.001, target_thread_id=thread.ident
+            )
+            profiler.start()
+            time.sleep(0.1)
+            profiler.stop()
+        finally:
+            stop.set()
+            thread.join()
+        assert profiler.total_samples > 0
+        assert any("worker" in line for line in profiler.collapsed())
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(interval=0.01)
+        profiler.start()
+        try:
+            with pytest.raises(RuntimeError):
+                profiler.start()
+        finally:
+            profiler.stop()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_depth=0)
