@@ -1,0 +1,162 @@
+"""Cluster scale-out: events/sec and detection latency at 1/2/4 workers.
+
+The cluster PR's performance claim: with the four case-study patterns
+sharded across worker processes, end-to-end throughput scales with
+cores, because each worker runs its matcher on its own interpreter (no
+GIL sharing) while the coordinator only serializes each event batch
+once and broadcasts it.
+
+One ≥10⁵-event message-race stream is recorded once, then driven
+through 1-, 2-, and 4-worker deployments.  Reported per fleet size:
+
+* wall-clock events/sec of the whole drive (the scale-out headline);
+* detection-latency percentiles, merged count-weighted from every
+  shard's exact per-terminating-event timings (shipped in the RESULT
+  frame as ``p50/p95/p99`` summaries).
+
+The ≥2x scaling assertion is gated on the machine actually having the
+cores: on a single-core runner the three fleets time-share one CPU and
+the run degenerates into a transport-overhead measurement (still
+recorded — the numbers stay honest, the assertion does not lie about
+hardware it never had).
+
+``BENCH_cluster.json`` feeds ``ocep perf trend``: the ``*_seconds``
+fields are cost indicators; throughput fields are deliberately named
+``*_events_per_sec`` so a faster run never trips the regression rule.
+"""
+
+import os
+import time
+
+from common import emit_json, emit_text, scaled
+from repro.engine import Pipeline, case_patterns
+from repro.workloads import build_message_race
+
+#: Laptop-size default; OCEP_FULL_SCALE/OCEP_EVENTS scale it up
+#: (the checked-in BENCH_cluster.json is produced at >= 1e5 events).
+DEFAULT_EVENTS = 20_000
+
+#: The message-race builder emits ~44 events per messages_per_sender
+#: unit at 12 traces.
+TRACES = 12
+EVENTS_PER_UNIT = 44
+
+FLEETS = (1, 2, 4)
+
+
+def _record_stream(target_events):
+    workload = build_message_race(
+        num_traces=TRACES,
+        seed=7,
+        messages_per_sender=max(10, target_events // EVENTS_PER_UNIT),
+    )
+    pipeline = Pipeline.for_workload(workload)
+    recorder = pipeline.record()
+    pipeline.run()
+    return list(recorder.events), list(pipeline.trace_names)
+
+
+def _merged_latency(result, patterns):
+    """Count-weighted merge of the per-shard timing summaries (exact
+    percentiles cannot be merged, so the weighted mean of each
+    percentile is reported — shards see identical streams, so the
+    approximation is tight)."""
+    total = sum(result[name].timings.get("count", 0) for name in patterns)
+    merged = {"count": total}
+    if not total:
+        return merged
+    for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+        merged[key] = sum(
+            result[name].timings.get(key, 0.0)
+            * result[name].timings.get("count", 0)
+            for name in patterns
+        ) / total
+    merged["max_seconds"] = max(
+        result[name].timings.get("max_seconds", 0.0) for name in patterns
+    )
+    return merged
+
+
+def test_cluster_throughput_scaling():
+    target = scaled(DEFAULT_EVENTS)
+    events, names = _record_stream(target)
+    patterns = case_patterns(len(names))
+    cores = os.cpu_count() or 1
+
+    rows = {}
+    baseline_reports = None
+    for workers in FLEETS:
+        cluster = Pipeline.distributed(events, names, workers=workers)
+        for name, source in patterns.items():
+            cluster.watch(name, source)
+        started = time.perf_counter()
+        result = cluster.run(batch_size=1024)
+        elapsed = time.perf_counter() - started
+        assert result.num_events == len(events)
+        assert result.restarts == 0
+        if baseline_reports is None:
+            baseline_reports = result.total_reports()
+        else:
+            # Same matches at every fleet size, or the speedup is fake.
+            assert result.total_reports() == baseline_reports
+        rows[workers] = {
+            "wall_seconds": elapsed,
+            "events_per_sec": len(events) / elapsed,
+            "latency": _merged_latency(result, patterns),
+        }
+
+    payload = {
+        "title": "cluster scale-out: events/sec at 1/2/4 workers",
+        "events": len(events),
+        "traces": TRACES,
+        "patterns": len(patterns),
+        "total_reports": baseline_reports,
+        "cores": cores,
+        "fleets": {str(w): rows[w] for w in FLEETS},
+    }
+    # Flattened cost indicators for ocep perf trend (suffix rule:
+    # *_seconds = cost; *_events_per_sec = informational rate).
+    for workers in FLEETS:
+        row = rows[workers]
+        payload[f"workers{workers}_wall_seconds"] = row["wall_seconds"]
+        payload[f"workers{workers}_events_per_sec"] = row["events_per_sec"]
+        for key in ("p50_seconds", "p95_seconds", "p99_seconds"):
+            if key in row["latency"]:
+                payload[f"workers{workers}_detect_{key}"] = (
+                    row["latency"][key]
+                )
+    emit_json("cluster", payload)
+
+    lines = [
+        "Cluster scale-out throughput "
+        f"({len(events)} events, {len(patterns)} patterns, "
+        f"{cores} core(s))",
+        "",
+    ]
+    for workers in FLEETS:
+        row = rows[workers]
+        latency = row["latency"]
+        lines.append(
+            f"  {workers} worker(s): {row['events_per_sec']:9.0f} ev/s  "
+            f"wall {row['wall_seconds']:6.2f}s  "
+            f"p95 detect {latency.get('p95_seconds', 0.0) * 1e6:7.1f} us"
+        )
+    speedup = rows[4]["events_per_sec"] / rows[1]["events_per_sec"]
+    lines += ["", f"  4-worker speedup over 1 worker: {speedup:.2f}x"]
+    if cores < 2:
+        lines.append(
+            "  (single-core host: scale-out assertion skipped, fleets "
+            "time-share one CPU)"
+        )
+    emit_text("cluster_throughput", "\n".join(lines))
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"4 workers only {speedup:.2f}x over 1 on {cores} cores"
+        )
+    elif cores >= 2:
+        two_way = rows[2]["events_per_sec"] / rows[1]["events_per_sec"]
+        assert two_way >= 1.3, (
+            f"2 workers only {two_way:.2f}x over 1 on {cores} cores"
+        )
+    # cores == 1: numbers recorded, no scale-out claim to gate.

@@ -645,6 +645,45 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0 if passed == len(cells) else 1
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.resilience.cluster_chaos import run_cluster_cell
+
+    cases = list(CASE_STUDY_NAMES) if args.case == "all" else [args.case]
+    cells = []
+    for case in cases:
+        for seed in args.seeds:
+            cell = run_cluster_cell(
+                case, seed,
+                traces=args.traces,
+                max_events=args.max_events,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                clock_backend=args.clock_backend,
+                kill=args.kill,
+            )
+            cells.append(cell)
+            status = "ok  " if cell["ok"] else "FAIL"
+            line = (
+                f"  {status} case={case:<9} seed={seed:<3} "
+                f"events={cell['events']:<6} matches={cell['matches']:<5} "
+                f"restarts={cell['restarts']}"
+            )
+            print(line)
+            for mismatch in cell["mismatches"]:
+                print(f"       {mismatch}")
+    passed = sum(cell["ok"] for cell in cells)
+    mode = "kill/recovery" if args.kill else "equivalence"
+    print(f"cluster {mode}: {passed}/{len(cells)} cells passed "
+          f"({args.workers} workers, batch={args.batch_size})")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"ok": passed == len(cells), "workers": args.workers,
+                       "kill": args.kill, "cells": cells}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote JSON report to {args.json}")
+    return 0 if passed == len(cells) else 1
+
+
 def cmd_diagram(args: argparse.Namespace) -> int:
     from repro.analysis.diagram import render_diagram
     from repro.analysis.export import to_dot
@@ -910,6 +949,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the full report as JSON")
     add_common(p, 4)
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-process deployment vs in-process equivalence check",
+    )
+    p.add_argument("case", choices=sorted(CASE_STUDY_NAMES) + ["all"],
+                   help="one case study, or 'all' four")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="worker processes in the deployment")
+    p.add_argument("--seeds", type=_parse_seeds, default=list(range(5)),
+                   metavar="SPEC",
+                   help="workload seeds: '0..9', '1,4,7', or a single int")
+    p.add_argument("--batch-size", type=_positive_int, default=128,
+                   help="events per EVENTS frame")
+    p.add_argument("--kill", action="store_true",
+                   help="SIGKILL a shard-owning worker mid-stream and "
+                        "require counter-exact convergence after recovery")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the full report as JSON")
+    add_common(p, 4)
+    # Every cell runs the stream twice (in-process oracle + cluster);
+    # default to a budget that keeps an 'all'-cases sweep snappy.
+    p.set_defaults(func=cmd_cluster, max_events=4000)
 
     p = sub.add_parser("diagram", help="render a dump as a diagram")
     p.add_argument("dump", help="POET dump file")

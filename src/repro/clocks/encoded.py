@@ -372,6 +372,66 @@ def make_clock_bank(backend: str, num_traces: int):
     return [VectorClock.zero(num_traces) for _ in range(num_traces)], None
 
 
+class StreamEncoder:
+    """Stateful transcoder: full-clock events in, encoded-clock out.
+
+    Holds the :class:`ClockFrame` plus per-trace epoch/length state
+    *across* calls, so a stream arriving in slices (the network POET
+    transport delivers batches) can be transcoded incrementally with
+    the exact same result as one-shot :func:`encode_events` over the
+    concatenation.
+    """
+
+    def __init__(self, num_traces: int, frame: Optional[ClockFrame] = None):
+        if frame is None:
+            frame = ClockFrame(num_traces)
+        elif frame.num_traces != num_traces:
+            raise ValueError(
+                f"frame has {frame.num_traces} traces, stream has {num_traces}"
+            )
+        self.frame = frame
+        self.num_traces = num_traces
+        self._epochs = [0] * num_traces
+        self._lengths = [0] * num_traces
+
+    def extend(self, events: Iterable[Event]) -> List[Event]:
+        """Transcode the next slice of the linearization."""
+        frame = self.frame
+        num_traces = self.num_traces
+        epochs = self._epochs
+        lengths = self._lengths
+        encoded: List[Event] = []
+        for event in events:
+            trace = event.trace
+            if not 0 <= trace < num_traces:
+                raise ValueError(
+                    f"event trace {trace} out of range for {num_traces} traces"
+                )
+            if event.index != lengths[trace] + 1:
+                raise ValueError(
+                    f"trace {trace}: event index {event.index} breaks the "
+                    f"linearization (expected {lengths[trace] + 1})"
+                )
+            lengths[trace] = event.index
+            if event.kind is EventKind.RECEIVE:
+                comps = tuple(event.clock.components)
+                row = comps[:trace] + (0,) + comps[trace + 1:]
+                epoch = frame.intern(row)
+                prev = epochs[trace]
+                if prev != epoch:
+                    # Verify the receive actually advanced this trace's
+                    # knowledge and certify the transition, so the event
+                    # store's append-time dominance check is a set lookup.
+                    # A non-dominating (corrupt) transition is left
+                    # uncertified — the store's full check still catches it.
+                    if all(a <= b for a, b in zip(frame.row(prev), row)):
+                        frame._dominated.add((prev, epoch))
+                epochs[trace] = epoch
+            clock = EncodedClock(frame, trace, event.index, epochs[trace])
+            encoded.append(dataclasses.replace(event, clock=clock))
+        return encoded
+
+
 def encode_events(
     events: Iterable[Event],
     num_traces: int,
@@ -386,52 +446,19 @@ def encode_events(
     amortized profile of generating the encoded stamps natively.
 
     Everything except the ``clock`` field is preserved, so match output
-    downstream is bit-identical to the full-clock stream.
+    downstream is bit-identical to the full-clock stream.  Incremental
+    callers (the cluster worker's streaming pipeline) keep a
+    :class:`StreamEncoder` instead.
     """
-    if frame is None:
-        frame = ClockFrame(num_traces)
-    elif frame.num_traces != num_traces:
-        raise ValueError(
-            f"frame has {frame.num_traces} traces, stream has {num_traces}"
-        )
-    epochs = [0] * num_traces
-    lengths = [0] * num_traces
-    encoded: List[Event] = []
-    for event in events:
-        trace = event.trace
-        if not 0 <= trace < num_traces:
-            raise ValueError(
-                f"event trace {trace} out of range for {num_traces} traces"
-            )
-        if event.index != lengths[trace] + 1:
-            raise ValueError(
-                f"trace {trace}: event index {event.index} breaks the "
-                f"linearization (expected {lengths[trace] + 1})"
-            )
-        lengths[trace] = event.index
-        if event.kind is EventKind.RECEIVE:
-            comps = tuple(event.clock.components)
-            row = comps[:trace] + (0,) + comps[trace + 1:]
-            epoch = frame.intern(row)
-            prev = epochs[trace]
-            if prev != epoch:
-                # Verify the receive actually advanced this trace's
-                # knowledge and certify the transition, so the event
-                # store's append-time dominance check is a set lookup.
-                # A non-dominating (corrupt) transition is left
-                # uncertified — the store's full check still catches it.
-                if all(a <= b for a, b in zip(frame.row(prev), row)):
-                    frame._dominated.add((prev, epoch))
-            epochs[trace] = epoch
-        clock = EncodedClock(frame, trace, event.index, epochs[trace])
-        encoded.append(dataclasses.replace(event, clock=clock))
-    return encoded, frame
+    encoder = StreamEncoder(num_traces, frame)
+    return encoder.extend(events), encoder.frame
 
 
 __all__ = [
     "CLOCK_BACKENDS",
     "ClockFrame",
     "EncodedClock",
+    "StreamEncoder",
     "encode_events",
     "make_clock_bank",
     "validate_backend",

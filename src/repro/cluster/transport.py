@@ -1,0 +1,130 @@
+"""Blocking framed connections over sockets.
+
+:class:`FrameConnection` wraps one connected ``socket.socket`` with the
+:mod:`repro.cluster.wire` envelope: ``send(type, payload)`` writes a
+whole frame with one ``sendall`` under a lock (the worker's heartbeat
+thread and its main loop share the connection), ``recv()`` blocks for
+exactly one frame.  Short reads are handled — TCP delivers a stream,
+not frames — and a clean EOF at a frame boundary raises
+:class:`ConnectionClosed` so callers can tell an orderly peer exit from
+a mid-frame crash (:class:`ClusterProtocolError`).
+
+``TCP_NODELAY`` is set where available: the protocol is
+request/response-shaped (EVENTS down, CREDIT back), exactly the shape
+Nagle's algorithm penalizes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Optional, Tuple
+
+from repro.cluster.wire import (
+    FRAME_HEADER_SIZE,
+    FrameType,
+    decode_json,
+    encode_json,
+    pack_frame,
+    unpack_header,
+)
+
+
+class ClusterProtocolError(RuntimeError):
+    """A peer violated the wire protocol (truncated frame, bad type,
+    version mismatch, out-of-order frame)."""
+
+
+class ConnectionClosed(ClusterProtocolError):
+    """The peer closed the connection at a frame boundary."""
+
+
+class FrameConnection:
+    """One framed, thread-safe-for-send connection."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except (OSError, AttributeError):  # pragma: no cover - non-TCP
+            pass
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, ftype: FrameType, payload: bytes = b"") -> None:
+        frame = pack_frame(ftype, payload)
+        with self._send_lock:
+            self._sock.sendall(frame)
+
+    def send_json(self, ftype: FrameType, document: Any) -> None:
+        self.send(ftype, encode_json(document))
+
+    # ------------------------------------------------------------------
+    # Receiving (single-reader; no lock needed)
+    # ------------------------------------------------------------------
+
+    def _recv_exact(self, count: int, *, at_boundary: bool) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(min(remaining, 1 << 20))
+            if not chunk:
+                if at_boundary and remaining == count:
+                    raise ConnectionClosed("peer closed the connection")
+                raise ClusterProtocolError(
+                    f"connection died mid-frame ({count - remaining}/{count}"
+                    " bytes read)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def recv(self) -> Tuple[FrameType, bytes]:
+        """Block for the next frame; ``(type, payload)``."""
+        header = self._recv_exact(FRAME_HEADER_SIZE, at_boundary=True)
+        length, ftype = unpack_header(header)
+        payload = (
+            self._recv_exact(length, at_boundary=False) if length else b""
+        )
+        return ftype, payload
+
+    def recv_json(self, expect: Optional[FrameType] = None) -> Any:
+        """Receive one frame, optionally asserting its type, and decode
+        its JSON payload."""
+        ftype, payload = self.recv()
+        if expect is not None and ftype is not expect:
+            raise ClusterProtocolError(
+                f"expected {expect.name} frame, got {ftype.name}"
+            )
+        return decode_json(payload)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "FrameConnection":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+__all__ = [
+    "ClusterProtocolError",
+    "ConnectionClosed",
+    "FrameConnection",
+]

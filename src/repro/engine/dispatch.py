@@ -20,7 +20,8 @@ crash and resume as one unit.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import zlib
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.multi import MultiMonitor, NamedMatchCallback
 from repro.events.event import Event
@@ -29,6 +30,35 @@ from repro.obs.spans import SpanTracer
 
 #: Format tag of a sharded checkpoint document.
 CHECKPOINT_FORMAT = "ocep-sharded-checkpoint-v1"
+
+
+def shard_worker(name: str, num_workers: int) -> int:
+    """The deployment's shard-routing policy: which worker owns shard
+    ``name`` in a ``num_workers``-wide deployment.
+
+    This is the single hash policy shared by every runtime that splits
+    a shard set across execution units — the in-process
+    :class:`ShardedDispatcher` (trivially: one unit owns everything)
+    and the multi-process :mod:`repro.cluster` coordinator.  It must be
+    **stable across processes and runs** (so a respawned worker claims
+    the same shards and a checkpoint re-shards deterministically),
+    which rules out the salted builtin ``hash``; CRC-32 of the UTF-8
+    shard name is used instead.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return zlib.crc32(name.encode("utf-8")) % num_workers
+
+
+def worker_shards(names: Sequence[str], num_workers: int) -> List[List[str]]:
+    """Apply :func:`shard_worker` to a whole shard set: the shard names
+    owned by each worker, in the input order.  Workers owning no shard
+    get an empty list (an *empty shard* — they still consume the stream
+    so an elastic re-shard can hand them patterns later)."""
+    assignment: List[List[str]] = [[] for _ in range(num_workers)]
+    for name in names:
+        assignment[shard_worker(name, num_workers)].append(name)
+    return assignment
 
 
 class ShardedDispatcher(MultiMonitor):
@@ -94,13 +124,21 @@ class ShardedDispatcher(MultiMonitor):
             "shards": {name: mon.checkpoint() for name, mon in self},
         }
 
-    def restore(self, state: dict) -> None:
+    def restore(self, state: dict, partial: bool = False) -> None:
         """Load a :meth:`checkpoint` into this dispatcher's shards.
 
         Every shard named in the snapshot must already be watched (with
         the same pattern), and none may have processed events.  Shards
         watched here but absent from the snapshot stay fresh — they
         will consume the stream from its start, like any new pattern.
+
+        With ``partial=True`` snapshot shards *not* watched here are
+        skipped instead of raising — the elastic re-sharding mode: a
+        whole-deployment checkpoint written at one shard layout can be
+        restored into a deployment where this dispatcher owns only a
+        subset of the shard set (each unit of the new layout restores
+        its own slice; slices restored nowhere are simply recomputed
+        from the stream by whichever fresh shard watches them).
         """
         if state.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(
@@ -109,11 +147,13 @@ class ShardedDispatcher(MultiMonitor):
             )
         shards = state["shards"]
         missing = [name for name in shards if name not in self]
-        if missing:
+        if missing and not partial:
             raise ValueError(
                 f"checkpoint names shards not watched here: {sorted(missing)}"
             )
         for name, shard_state in shards.items():
+            if partial and name not in self:
+                continue
             self[name].restore(shard_state)
 
     # ------------------------------------------------------------------
@@ -126,4 +166,9 @@ class ShardedDispatcher(MultiMonitor):
         return {name: mon.subset.signature() for name, mon in self}
 
 
-__all__ = ["CHECKPOINT_FORMAT", "ShardedDispatcher"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "ShardedDispatcher",
+    "shard_worker",
+    "worker_shards",
+]

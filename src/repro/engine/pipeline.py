@@ -35,9 +35,16 @@ returns a :class:`PipelineResult`.
 from __future__ import annotations
 
 import dataclasses
+import signal
+import threading
 from typing import Dict, List, Optional, Sequence
 
-from repro.clocks.encoded import EncodedClock, encode_events, validate_backend
+from repro.clocks.encoded import (
+    EncodedClock,
+    StreamEncoder,
+    encode_events,
+    validate_backend,
+)
 from repro.core.config import MatcherConfig
 from repro.core.matcher import MatchReport
 from repro.core.monitor import MatchCallback, Monitor, MonitorStats
@@ -102,6 +109,15 @@ class PipelineResult:
     injector: Optional[FaultInjector]
     holdback: Optional[HoldbackBuffer]
     shedder: Optional[LoadShedder] = None
+    #: True when the run was cut short by SIGTERM/``KeyboardInterrupt``
+    #: and the pipeline shut down gracefully instead of unwinding
+    #: mid-batch (obs server stopped, stage metrics flushed).
+    interrupted: bool = False
+    #: Set on an interrupted run when :meth:`Pipeline.record` was
+    #: configured: the dispatcher checkpoint taken at shutdown.  With
+    #: the recorded stream it is exactly a crash-recovery pair — restore
+    #: it into a fresh deployment and replay the recording to converge.
+    final_checkpoint: Optional[dict] = None
     #: Stage-axis telemetry surface (``None`` when observability is
     #: disabled).
     telemetry: Optional[PipelineTelemetry] = None
@@ -196,6 +212,14 @@ class Pipeline:
         self._active_holdback: Optional[HoldbackBuffer] = None
         self._restore_state: Optional[dict] = None
         self._ran = False
+        #: Streaming-source state (:meth:`stream` constructor): wired
+        #: lazily on the first :meth:`feed`, closed by :meth:`finish`.
+        self._streaming = False
+        self._stream_encoder: Optional[StreamEncoder] = None
+        self._wired = False
+        self._active_injector: Optional[FaultInjector] = None
+        self._active_shedder: Optional[LoadShedder] = None
+        self._recorders: List[RecordingClient] = []
         #: Set by :meth:`for_case`: the case's pattern source, sized
         #: for the workload (watch it via :meth:`watch_case`).
         self.case_name: Optional[str] = None
@@ -339,6 +363,80 @@ class Pipeline:
             clock_backend=clock_backend,
         )
 
+    @classmethod
+    def stream(
+        cls,
+        trace_names: Sequence[str],
+        verify: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+        clock_backend: str = "fidge",
+    ) -> "Pipeline":
+        """A pipeline over an *external* event source: slices of the
+        linearization are pushed with :meth:`feed` as they arrive, and
+        :meth:`finish` closes the stream and returns the result.
+
+        This is the shape a network transport needs — the cluster
+        worker's socket loop cannot hand the pipeline a finite source
+        up front.  Stages wire lazily on the first :meth:`feed` (so
+        every ``watch``/``with_*`` call still happens strictly before
+        delivery), and ``clock_backend="encoded"`` transcodes each fed
+        slice incrementally through one shared
+        :class:`~repro.clocks.encoded.StreamEncoder` — observably
+        identical to a one-shot :meth:`replay` of the concatenation.
+        """
+        backend = validate_backend(clock_backend)
+        server = POETServer(
+            num_traces=len(trace_names),
+            trace_names=trace_names,
+            verify=verify,
+            registry=registry,
+            tracer=tracer,
+            event_store="array" if backend == "encoded" else "object",
+        )
+        pipeline = cls(
+            server=server,
+            trace_names=trace_names,
+            registry=registry,
+            tracer=tracer,
+        )
+        pipeline._streaming = True
+        if backend == "encoded":
+            pipeline._stream_encoder = StreamEncoder(len(trace_names))
+        return pipeline
+
+    @classmethod
+    def distributed(
+        cls,
+        events: Sequence[Event],
+        trace_names: Sequence[str],
+        workers: int = 2,
+        clock_backend: str = "fidge",
+        **cluster_options,
+    ):
+        """A multi-process deployment over a recorded stream: the
+        :mod:`repro.cluster` coordinator spawns ``workers`` shard
+        processes (each running a :meth:`stream` pipeline with
+        ``clock_backend``), routes watched shards to them with the
+        :func:`~repro.engine.dispatch.shard_worker` hash policy, and
+        streams the events over the length-prefixed POET wire transport
+        with credit-based back-pressure.
+
+        Returns a :class:`~repro.cluster.coordinator.ClusterPipeline`
+        mirroring the fluent surface here (``watch`` / ``restore`` /
+        ``run``); extra keyword arguments reach the
+        :class:`~repro.cluster.coordinator.ClusterCoordinator`.
+        """
+        from repro.cluster.coordinator import ClusterPipeline
+
+        return ClusterPipeline(
+            events=events,
+            trace_names=trace_names,
+            workers=workers,
+            clock_backend=clock_backend,
+            **cluster_options,
+        )
+
     # ------------------------------------------------------------------
     # Stage configuration
     # ------------------------------------------------------------------
@@ -363,9 +461,9 @@ class Pipeline:
         on_match: Optional[MatchCallback] = None,
     ) -> Monitor:
         """Add a pattern shard; returns its monitor."""
-        if self._ran:
-            raise RuntimeError("cannot watch() after run(): the shard "
-                               "would have missed the whole stream")
+        if self._ran or self._wired:
+            raise RuntimeError("cannot watch() after run()/feed(): the "
+                               "shard would have missed the whole stream")
         if self._overload_config is not None:
             # Shards downstream of a shedder must tolerate stream
             # holes; while no event is actually shed the matcher's
@@ -544,6 +642,7 @@ class Pipeline:
         upstream of any fault stage); returns the recorder."""
         recorder = RecordingClient()
         self.server.connect(recorder)
+        self._recorders.append(recorder)
         return recorder
 
     def restore(self, state: dict) -> "Pipeline":
@@ -597,23 +696,13 @@ class Pipeline:
     # Execution
     # ------------------------------------------------------------------
 
-    def run(
-        self,
-        max_events: Optional[int] = None,
-        batch_size: Optional[int] = None,
-    ) -> PipelineResult:
-        """Wire the stages, drive the source to completion, flush the
-        resilience stages, and return the result.
-
-        ``max_events`` bounds the live simulation (or truncates a
-        replay).  ``batch_size`` sets the replay slice size
-        (default :data:`DEFAULT_BATCH_SIZE`; ``1`` forces the
-        per-event delivery path); live sources always deliver per
-        event.  A pipeline runs exactly once.
-        """
-        if self._ran:
-            raise RuntimeError("a Pipeline runs once; build a fresh one")
-        self._ran = True
+    def _wire(self) -> None:
+        """Build and connect the stage chain (exactly once): telemetry,
+        shedder, hold-back, fault injector, scrape server — everything
+        :meth:`run` historically assembled before driving the source."""
+        if self._wired:
+            return
+        self._wired = True
 
         telemetry = attach_telemetry(self.registry)
         self.telemetry = telemetry
@@ -725,36 +814,41 @@ class Pipeline:
         if telemetry is not None:
             telemetry.mark_started()
 
-        outcome = None
-        if self._events is not None:
-            events = self._events
-            if max_events is not None:
-                events = events[:max_events]
-            size = batch_size if batch_size is not None else DEFAULT_BATCH_SIZE
-            if size < 1:
-                raise ValueError(f"batch_size must be >= 1, got {size}")
-            if size == 1:
-                collect = self.server.collect
-                for event in events:
-                    collect(event)
-            else:
-                collect_batch = self.server.collect_batch
-                for start in range(0, len(events), size):
-                    collect_batch(events[start:start + size])
-        elif self.workload is not None:
-            outcome = self.workload.run(max_events=max_events)
-        elif self.kernel is not None:
-            outcome = self.kernel.run(max_events=max_events)
-        else:
-            raise RuntimeError("pipeline has no source")
+        self._active_injector = injector
+        self._active_shedder = shedder
 
-        if injector is not None:
-            injector.flush()
-        leftover = holdback.flush() if holdback is not None else []
+    def _finalize(
+        self,
+        outcome: Optional[object],
+        interrupted: bool = False,
+    ) -> PipelineResult:
+        """Flush the resilience stages (skipped on an interrupted run —
+        a repair flush mid-stream would deliver out of causal order),
+        flush stage metrics, and assemble the result."""
+        injector = self._active_injector
+        holdback = self._active_holdback
+        telemetry = self.telemetry
+
+        leftover: List[Event] = []
+        if not interrupted:
+            if injector is not None:
+                injector.flush()
+            if holdback is not None:
+                leftover = holdback.flush()
 
         if telemetry is not None:
             telemetry.mark_finished()
             telemetry.refresh()
+
+        final_checkpoint = None
+        if interrupted:
+            if self._recorders and self._dispatcher is not None:
+                final_checkpoint = self.checkpoint_document()
+            # A graceful shutdown leaves nothing listening: callers of
+            # an uninterrupted run may keep scraping the end-of-run
+            # state, but an interrupted process is on its way out.
+            if self.obs_server is not None:
+                self.obs_server.stop()
 
         return PipelineResult(
             num_events=self.server.num_events,
@@ -763,10 +857,150 @@ class Pipeline:
             leftover=leftover,
             injector=injector,
             holdback=holdback,
-            shedder=shedder,
+            shedder=self._active_shedder,
             telemetry=telemetry,
             obs_server=self.obs_server,
+            interrupted=interrupted,
+            final_checkpoint=final_checkpoint,
         )
+
+    def checkpoint_document(self) -> dict:
+        """Whole-deployment checkpoint of the current shard states
+        (the ``ocep-sharded-checkpoint-v1`` document)."""
+        state = self.dispatcher.checkpoint()
+        if self._active_shedder is not None:
+            state["overload"] = self._active_shedder.snapshot()
+        return state
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> PipelineResult:
+        """Wire the stages, drive the source to completion, flush the
+        resilience stages, and return the result.
+
+        ``max_events`` bounds the live simulation (or truncates a
+        replay).  ``batch_size`` sets the replay slice size
+        (default :data:`DEFAULT_BATCH_SIZE`; ``1`` forces the
+        per-event delivery path); live sources always deliver per
+        event.  A pipeline runs exactly once.
+
+        Shutdown is graceful: SIGTERM (when running on the main
+        thread) and ``KeyboardInterrupt`` stop the source at the next
+        delivery boundary instead of unwinding mid-batch — stage
+        metrics are flushed, the scrape server is stopped, and when
+        :meth:`record` was configured the result carries a final
+        whole-deployment checkpoint (``result.final_checkpoint``) that,
+        paired with the recording, recovers the run exactly.
+        """
+        if self._ran:
+            raise RuntimeError("a Pipeline runs once; build a fresh one")
+        if self._streaming:
+            raise RuntimeError(
+                "a stream() pipeline is driven with feed()/finish()"
+            )
+        self._ran = True
+        self._wire()
+
+        outcome = None
+        interrupted = False
+        with _graceful_sigterm():
+            try:
+                if self._events is not None:
+                    events = self._events
+                    if max_events is not None:
+                        events = events[:max_events]
+                    size = (batch_size if batch_size is not None
+                            else DEFAULT_BATCH_SIZE)
+                    if size < 1:
+                        raise ValueError(
+                            f"batch_size must be >= 1, got {size}"
+                        )
+                    if size == 1:
+                        collect = self.server.collect
+                        for event in events:
+                            collect(event)
+                    else:
+                        collect_batch = self.server.collect_batch
+                        for start in range(0, len(events), size):
+                            collect_batch(events[start:start + size])
+                elif self.workload is not None:
+                    outcome = self.workload.run(max_events=max_events)
+                elif self.kernel is not None:
+                    outcome = self.kernel.run(max_events=max_events)
+                else:
+                    raise RuntimeError("pipeline has no source")
+            except KeyboardInterrupt:
+                interrupted = True
+
+        return self._finalize(outcome, interrupted=interrupted)
+
+    # ------------------------------------------------------------------
+    # Streaming drive (stream() pipelines)
+    # ------------------------------------------------------------------
+
+    def feed(self, events: Sequence[Event]) -> int:
+        """Deliver the next slice of the linearization (stream mode).
+
+        Wires the stages on first use; a ``clock_backend="encoded"``
+        stream transcodes the slice through the pipeline's
+        :class:`~repro.clocks.encoded.StreamEncoder` unless the events
+        already carry encoded clocks.  Returns the number of events
+        delivered.
+        """
+        if not self._streaming:
+            raise RuntimeError("feed() needs a stream() pipeline")
+        if self._ran:
+            raise RuntimeError("stream already finished")
+        self._wire()
+        if not events:
+            return 0
+        if self._stream_encoder is not None and not isinstance(
+            events[0].clock, EncodedClock
+        ):
+            events = self._stream_encoder.extend(events)
+        self.server.collect_batch(events)
+        return len(events)
+
+    def finish(self) -> PipelineResult:
+        """Close a stream-mode pipeline: flush the resilience stages,
+        flush stage metrics, and return the result (idempotent guard —
+        a stream finishes once)."""
+        if not self._streaming:
+            raise RuntimeError("finish() needs a stream() pipeline")
+        if self._ran:
+            raise RuntimeError("stream already finished")
+        self._ran = True
+        self._wire()  # an empty stream still yields a well-formed result
+        return self._finalize(outcome=None)
+
+
+class _graceful_sigterm:
+    """Turn SIGTERM into ``KeyboardInterrupt`` for the duration of a
+    pipeline drive, so both interrupt paths share the graceful-shutdown
+    handling.  Installed only on the main thread (signal handlers
+    cannot be set elsewhere); a no-op otherwise, and the previous
+    handler is always restored."""
+
+    def __init__(self) -> None:
+        self._previous = None
+
+    def __enter__(self) -> "_graceful_sigterm":
+        if threading.current_thread() is threading.main_thread():
+            def _raise(signum, frame):
+                raise KeyboardInterrupt
+            try:
+                self._previous = signal.signal(signal.SIGTERM, _raise)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                self._previous = None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+            self._previous = None
+        return False
 
 
 __all__ = [

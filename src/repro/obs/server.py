@@ -100,6 +100,11 @@ class ObsServer:
         self._refresh = refresh
         self._host = host
         self._requested_port = port
+        #: The actually bound port, cached at :meth:`start` so the
+        #: ephemeral-port case (``port=0``) stays reportable even after
+        #: :meth:`stop` tears the socket down (result banners and
+        #: cluster workers read it post-run).
+        self._bound_port: Optional[int] = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
         #: Requests served per path (plain ints; scrape self-accounting
@@ -120,14 +125,24 @@ class ObsServer:
 
     @property
     def port(self) -> int:
-        """The bound port (after :meth:`start`)."""
-        if self._httpd is None:
-            raise RuntimeError("server not started")
-        return self._httpd.server_address[1]
+        """The actually bound port — with ``port=0`` this is the
+        ephemeral port the OS picked, never the requested ``0``.
+        Stays readable after :meth:`stop` (the last bound port)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        if self._bound_port is not None:
+            return self._bound_port
+        raise RuntimeError("server never started")
 
     @property
     def url(self) -> str:
-        return f"http://{self._host}:{self.port}"
+        """Scrape base URL with the actual bound port.  A wildcard bind
+        address is rendered as a loopback address (a URL containing
+        ``0.0.0.0`` is not fetchable)."""
+        host = self._host
+        if host in ("", "0.0.0.0", "::"):
+            host = "127.0.0.1"
+        return f"http://{host}:{self.port}"
 
     def start(self) -> int:
         """Bind, spawn the serving thread (daemon), return the port."""
@@ -137,6 +152,7 @@ class ObsServer:
         self._httpd = ThreadingHTTPServer(
             (self._host, self._requested_port), handler
         )
+        self._bound_port = self._httpd.server_address[1]
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,

@@ -24,7 +24,14 @@ asserting on them:
   shedding: every shedding run is diffed against the brute-force
   oracle on the unshedded stream (slot recall, match precision), and
   utility-aware drops must beat count-matched random drops.  Driven by
-  the ``ocep shed`` subcommand and the CI ``overload-smoke`` job.
+  the ``ocep shed`` subcommand and the CI ``overload-smoke`` job;
+* :mod:`~repro.resilience.cluster_chaos` — the same oracle-diff
+  discipline for the multi-process runtime: every ``(case, seed,
+  workers)`` cell diffs an ``ocep cluster`` deployment against the
+  in-process sharded run, and ``kill`` cells SIGKILL a shard-owning
+  worker mid-stream and require counter-exact convergence after
+  checkpoint recovery.  Driven by the ``ocep cluster`` subcommand and
+  the CI ``cluster-smoke`` job.
 
 The repair half — the causal hold-back buffer — lives with the
 delivery substrate as :mod:`repro.poet.holdback`.
@@ -54,6 +61,11 @@ from repro.resilience.overload import (
     LoadShedder,
     OverloadDetector,
     OverloadState,
+)
+from repro.resilience.cluster_chaos import (
+    DEFAULT_CELL_BATCH_SIZE,
+    pick_victim_worker,
+    run_cluster_cell,
 )
 from repro.resilience.shedding import (
     DEFAULT_RATES,
@@ -96,4 +108,7 @@ __all__ = [
     "burst_latency_profile",
     "run_shedding_sweep",
     "run_overload_scenario",
+    "DEFAULT_CELL_BATCH_SIZE",
+    "pick_victim_worker",
+    "run_cluster_cell",
 ]

@@ -1,0 +1,143 @@
+"""Integration: elastic re-sharding through the v1 checkpoint format.
+
+An ``ocep-sharded-checkpoint-v1`` document is written at one shard
+layout and restored at another — the elasticity story of the cluster
+runtime.  The invariants under test:
+
+* a whole-deployment checkpoint restores into a deployment with MORE
+  units (some of which then own no checkpointed shard, or no shard at
+  all) or FEWER units (one unit restores several slices), and the
+  resumed run converges counter-exactly to the uninterrupted baseline;
+* ``partial=True`` restores exactly the watched slice of a
+  foreign-layout snapshot, and ``partial=False`` keeps refusing
+  unknown shards (the safety check elastic mode deliberately lifts);
+* shards absent from the snapshot stay fresh and recompute from the
+  stream start.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import Pipeline, case_patterns
+from repro.engine.dispatch import CHECKPOINT_FORMAT
+
+TRACES = 4
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pipeline = Pipeline.for_case("race", traces=TRACES, seed=2)
+    recorder = pipeline.record()
+    pipeline.run(max_events=600)
+    return list(recorder.events), list(pipeline.trace_names)
+
+
+@pytest.fixture(scope="module")
+def baseline(workload):
+    """Uninterrupted in-process sharded run over all four patterns."""
+    events, names = workload
+    pipeline = Pipeline.replay(events, names)
+    for name, source in case_patterns(TRACES).items():
+        pipeline.watch(name, source)
+    return pipeline.run()
+
+
+@pytest.fixture(scope="module")
+def midpoint_checkpoint(workload):
+    """A four-shard v1 snapshot at the stream midpoint, serialized the
+    way it would actually survive a crash."""
+    events, names = workload
+    prefix = Pipeline.replay(events[: len(events) // 2], names)
+    for name, source in case_patterns(TRACES).items():
+        prefix.watch(name, source)
+    result = prefix.run()
+    state = json.loads(json.dumps(result.checkpoint()))
+    assert state["format"] == CHECKPOINT_FORMAT
+    assert len(state["shards"]) == 4
+    return state
+
+
+def _assert_converged(result, baseline, names):
+    for name in names:
+        assert result[name].subset.signature() == (
+            baseline[name].subset.signature()
+        )
+        assert result[name].stats() == baseline[name].stats()
+
+
+class TestInProcessResharding:
+    def test_partial_restore_of_a_slice(
+        self, workload, baseline, midpoint_checkpoint
+    ):
+        # A "unit" of a 2-way split: watches two of the four shards and
+        # restores only its slice of the 4-shard snapshot.
+        events, names = workload
+        patterns = case_patterns(TRACES)
+        mine = dict(list(patterns.items())[:2])
+        unit = Pipeline.replay(events, names)
+        for name, source in mine.items():
+            unit.watch(name, source)
+        unit.dispatcher.restore(midpoint_checkpoint, partial=True)
+        result = unit.run()
+        _assert_converged(result, baseline, mine)
+
+    def test_full_restore_refuses_foreign_shards(
+        self, workload, midpoint_checkpoint
+    ):
+        events, names = workload
+        patterns = case_patterns(TRACES)
+        unit = Pipeline.replay(events, names)
+        name, source = next(iter(patterns.items()))
+        unit.watch(name, source)
+        with pytest.raises(ValueError, match="not watched here"):
+            unit.dispatcher.restore(midpoint_checkpoint, partial=False)
+
+    def test_shard_missing_from_snapshot_stays_fresh(
+        self, workload, baseline, midpoint_checkpoint
+    ):
+        # Scale OUT in-process: the snapshot covers three shards; the
+        # fourth is a "new" pattern that must recompute from scratch
+        # and still land on the baseline.
+        events, names = workload
+        patterns = case_patterns(TRACES)
+        trimmed = json.loads(json.dumps(midpoint_checkpoint))
+        dropped = sorted(trimmed["shards"])[0]
+        del trimmed["shards"][dropped]
+        unit = Pipeline.replay(events, names)
+        for name, source in patterns.items():
+            unit.watch(name, source)
+        unit.dispatcher.restore(trimmed, partial=True)
+        result = unit.run()
+        _assert_converged(result, baseline, patterns)
+
+
+class TestClusterResharding:
+    @pytest.mark.parametrize("workers", [1, 3, 6])
+    def test_checkpoint_restores_into_any_worker_count(
+        self, workload, baseline, midpoint_checkpoint, workers
+    ):
+        # The same 4-shard snapshot feeds a 1-worker (fewer units: one
+        # process restores everything), 3-worker (slices split
+        # unevenly), and 6-worker (more units than shards — some
+        # workers restore nothing, some own no shard at all)
+        # deployment; each replays the full stream and must converge
+        # counter-exactly.
+        events, names = workload
+        pipeline = Pipeline.distributed(events, names, workers=workers)
+        for name, source in case_patterns(TRACES).items():
+            pipeline.watch(name, source)
+        pipeline.restore(midpoint_checkpoint)
+        result = pipeline.run(batch_size=128)
+        for name in case_patterns(TRACES):
+            assert result[name].signature == (
+                baseline[name].subset.signature()
+            )
+            assert result[name].stats == baseline[name].stats()
+
+    def test_restore_rejects_foreign_format(self, workload):
+        events, names = workload
+        pipeline = Pipeline.distributed(events, names, workers=2)
+        with pytest.raises(Exception, match="checkpoint"):
+            pipeline.restore({"format": "ocep-checkpoint-v999",
+                              "shards": {}})

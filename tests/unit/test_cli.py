@@ -336,3 +336,40 @@ class TestStatsTraceInJson:
             if line.startswith("ocep_detection_latency_sim_time_units ")
         )
         assert "us" not in line
+
+
+class TestClusterCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["cluster", "race"])
+        assert args.workers == 2
+        assert args.seeds == [0, 1, 2, 3, 4]
+        assert args.batch_size == 128
+        assert args.max_events == 4000
+        assert args.kill is False
+
+    def test_equivalence_cell_passes(self, tmp_path, capsys):
+        import json
+
+        report_file = tmp_path / "cluster.json"
+        rc = main(
+            ["cluster", "race", "--traces", "4", "--seeds", "0",
+             "--max-events", "400", "--workers", "2",
+             "--json", str(report_file)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster equivalence: 1/1 cells passed" in out
+        document = json.loads(report_file.read_text())
+        assert document["ok"] is True
+        assert document["workers"] == 2
+        assert document["cells"][0]["restarts"] == 0
+
+    def test_kill_cell_recovers(self, capsys):
+        rc = main(
+            ["cluster", "ordering", "--traces", "4", "--seeds", "0",
+             "--max-events", "400", "--workers", "2", "--kill"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster kill/recovery: 1/1 cells passed" in out
+        assert "restarts=1" in out

@@ -119,8 +119,9 @@ class TestEndpoints:
         server.stop()
         server.stop()
         assert not server.running
-        with pytest.raises(RuntimeError):
-            server.port  # noqa: B018 - the access is the assertion
+        # The last bound port stays reportable after stop (result
+        # banners and cluster RESULT frames read it post-run).
+        assert server.port == port
         assert port > 0
 
 
@@ -221,6 +222,44 @@ class TestMidRunScrape:
         late.watch("ab", AB)
         with pytest.raises(RuntimeError):
             late.with_server(port=0)
+
+
+class TestEphemeralPort:
+    """``port=0`` must always surface the *actual* bound port — the
+    cluster workers and result banners report it, sometimes after the
+    server already stopped."""
+
+    def test_port_zero_reports_bound_port(self):
+        registry = MetricsRegistry()
+        with ObsServer(registry, port=0) as server:
+            assert server.port != 0
+            assert f":{server.port}" in server.url
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+
+    def test_port_and_url_survive_stop(self):
+        registry = MetricsRegistry()
+        server = ObsServer(registry, port=0)
+        server.start()
+        bound = server.port
+        server.stop()
+        assert server.port == bound
+        assert server.url.endswith(f":{bound}")
+
+    def test_never_started_server_has_no_port(self):
+        server = ObsServer(MetricsRegistry(), port=0)
+        with pytest.raises(RuntimeError, match="never started"):
+            _ = server.port
+
+    def test_wildcard_bind_renders_fetchable_url(self):
+        server = ObsServer(MetricsRegistry(), host="0.0.0.0", port=0)
+        server.start()
+        try:
+            assert server.url.startswith("http://127.0.0.1:")
+            status, _, _ = _get(server.url + "/readyz")
+            assert status == 200
+        finally:
+            server.stop()
 
 
 class TestSpanRingUnderServer:
