@@ -190,6 +190,37 @@ def cmd_case(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Run a case, then explain the evaluation plan of every trigger
+    leaf — the cost-based order the planner derives from the live leaf
+    histories, next to the static legacy order it replaces."""
+    from repro.patterns.plan import plan_order
+
+    pipeline = Pipeline.for_case(
+        args.case, args.traces, args.seed,
+        clock_backend=args.clock_backend,
+    )
+    monitor = pipeline.watch_case(on_match=None)
+    result = pipeline.run(max_events=args.max_events)
+    matcher = monitor.matcher
+    pattern = matcher.pattern
+    print(
+        f"case={args.case} traces={args.traces}: {result.num_events} events"
+        f" processed, pattern has "
+        f"{'v2 operators' if pattern.has_v2_features else 'legacy operators only'}"
+    )
+    for history in matcher.history.histories:
+        leaf = pattern.leaves[history.leaf_id]
+        print(f"  leaf {history.leaf_id} [{leaf.label}]: history {history.size}")
+    for trigger_leaf in pattern.terminating_leaves():
+        print()
+        print(matcher.current_plan(trigger_leaf).explain())
+        legacy = plan_order(pattern, trigger_leaf, None)
+        if matcher.current_plan(trigger_leaf).order != legacy.order:
+            print(f"  (legacy heuristic order would be {legacy.order})")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     tracer = SpanTracer()
@@ -583,6 +614,10 @@ def _pipeline_cell(case: str, seed: int, traces: int, max_events: int,
     outcome = source.run(max_events=max_events)
     events, names = recorder.events, source.trace_names
     patterns = case_patterns(len(names))
+    if case not in patterns:
+        # a v2 case (hotpath, absence): its own pattern rides the
+        # sharded pass alongside the four legacy ones
+        patterns = {case: CASES[case].pattern(len(names)), **patterns}
 
     sharded = Pipeline.replay(events, names)
     for name, pattern in patterns.items():
@@ -785,6 +820,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p, 10)
     p.set_defaults(func=cmd_case)
 
+    p = sub.add_parser(
+        "plan",
+        help="explain the planner's evaluation order for a case pattern",
+    )
+    p.add_argument("case", choices=sorted(CASES))
+    add_common(p, 10)
+    p.set_defaults(func=cmd_plan)
+
     p = sub.add_parser("bench", help="quartile table for a case study")
     p.add_argument("case", choices=sorted(CASES))
     p.add_argument("--repetitions", type=int, default=3)
@@ -938,8 +981,9 @@ def build_parser() -> argparse.ArgumentParser:
         "pipeline",
         help="sharded single-pass equivalence check (the CI smoke job)",
     )
-    p.add_argument("case", choices=sorted(CASE_STUDY_NAMES) + ["all"],
-                   help="one case study, or 'all' four")
+    p.add_argument("case", choices=sorted(CASES) + ["all"],
+                   help="one case study ('all' = the four paper cases); "
+                        "a v2 case adds its own pattern to the pass")
     p.add_argument("--seeds", type=_parse_seeds, default=list(range(10)),
                    metavar="SPEC",
                    help="workload seeds: '0..9', '1,4,7', or a single int")

@@ -46,6 +46,10 @@ _COUNTER_FIELDS = (
     "back_jumps",
     "backtracks",
     "matches_found",
+    "window_rejections",
+    "negation_vetoes",
+    "kleene_group_events",
+    "plans_computed",
 )
 
 
@@ -66,6 +70,13 @@ def matcher_checkpoint(matcher: "OCEPMatcher") -> dict:
         "index": matcher.index.snapshot(),
         "history": matcher.history.snapshot(),
         "subset": matcher.subset.snapshot(),
+        # only present for patterns with negations — absent keys keep
+        # pre-v2 checkpoints loadable
+        **(
+            {"negation_history": matcher.negation_history.snapshot()}
+            if matcher.negation_history is not None
+            else {}
+        ),
     }
 
 
@@ -102,9 +113,15 @@ def restore_matcher(matcher: "OCEPMatcher", state: dict) -> None:
         matcher.index.restore(state["index"])
         matcher.history.restore(state["history"])
         matcher.subset.restore(state["subset"])
+        if matcher.negation_history is not None:
+            negation_state = state.get("negation_history")
+            if negation_state is not None:
+                matcher.negation_history.restore(negation_state)
         counters = state["counters"]
         for name in _COUNTER_FIELDS:
-            setattr(matcher, name, int(counters[name]))
+            # .get: counters added after a checkpoint was taken
+            # restore as zero
+            setattr(matcher, name, int(counters.get(name, 0)))
     except CheckpointError:
         raise
     except (KeyError, TypeError, ValueError, IndexError) as exc:

@@ -48,9 +48,11 @@ from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.obs.trace import SearchTrace
-from repro.patterns.ast import Exact
+from repro.patterns.ast import AttrVar, Exact
 from repro.patterns.classes import Bindings
 from repro.patterns.compile import CompiledPattern, Constraint
+from repro.patterns.errors import PatternError
+from repro.patterns.plan import LeafStats, Plan, plan_order
 
 #: A complete match: leaf id -> event.
 Match = Dict[int, Event]
@@ -71,6 +73,10 @@ class MatchReport:
     new_slots:
         Representative-subset slots this match newly covered (empty
         when the match was redundant for the subset).
+    groups:
+        For each Kleene leaf, the maximal event group the anchor
+        expanded to (anchor included, ordered by trace then index).
+        Empty for patterns without Kleene positions.
     """
 
     trigger_leaf: int
@@ -78,9 +84,17 @@ class MatchReport:
     assignment: Tuple[Tuple[int, Event], ...]
     bindings: Tuple[Tuple[str, str], ...]
     new_slots: Tuple[Tuple[int, int], ...]
+    groups: Tuple[Tuple[int, Tuple[Event, ...]], ...] = ()
 
     def as_dict(self) -> Match:
         return dict(self.assignment)
+
+    def group(self, leaf_id: int) -> Tuple[Event, ...]:
+        """The expanded group of a Kleene leaf (anchor included)."""
+        for g, events in self.groups:
+            if g == leaf_id:
+                return events
+        raise KeyError(f"leaf {leaf_id} is not a Kleene position")
 
 
 @dataclasses.dataclass(slots=True)
@@ -235,9 +249,55 @@ class OCEPMatcher:
                 event_class.text.value
                 if isinstance(event_class.text, Exact) else None
             )
+            # A Kleene leaf's history is never pruned: any class event
+            # may later join a reported maximal group, and pruning
+            # keeps only causally interchangeable representatives.
+            allow_prune = not leaf.kleene
             self._leaf_filters.append(
-                (leaf, event_class.exact_etype(), exact_process, exact_text)
+                (
+                    leaf,
+                    event_class.exact_etype(),
+                    exact_process,
+                    exact_text,
+                    allow_prune,
+                )
             )
+        # -- v2 operator state -----------------------------------------
+        self._v2 = pattern.has_v2_features
+        self._kleene_leaves: Tuple[int, ...] = tuple(
+            leaf.leaf_id for leaf in pattern.leaves if leaf.kleene
+        )
+        self._negations = tuple(pattern.negations)
+        #: Unpruned per-negation histories of potential witnesses
+        #: (events matching the absent class modulo attribute
+        #: variables); consulted by the complete-assignment veto.
+        self.negation_history = (
+            HistorySet(len(self._negations), num_traces)
+            if self._negations else None
+        )
+        self._negation_has_vars = tuple(
+            any(
+                isinstance(spec, AttrVar)
+                for spec in (
+                    neg.event_class.process,
+                    neg.event_class.etype,
+                    neg.event_class.text,
+                )
+            )
+            for neg in self._negations
+        )
+        self._has_windows = bool(pattern.windows)
+        self._wsim = pattern.window_matrix_sim
+        self._wwall = pattern.window_matrix_wall
+        self._wall_clock = self.config.wall_clock
+        if pattern.has_wall_windows and self._wall_clock is None:
+            raise PatternError(
+                "pattern uses a 'WITHIN n wall' guard but the matcher "
+                "has no wall_clock extractor configured"
+            )
+        # planner: plan per trigger leaf, recomputed as statistics
+        # drift (every plan_refresh_interval deliveries)
+        self._plans: Dict[int, Tuple[int, Plan]] = {}
         self.events_processed = 0
         self.searches_run = 0
         self.searches_truncated = 0
@@ -251,6 +311,10 @@ class OCEPMatcher:
         self.back_jumps = 0
         self.backtracks = 0
         self.matches_found = 0
+        self.window_rejections = 0
+        self.negation_vetoes = 0
+        self.kleene_group_events = 0
+        self.plans_computed = 0
         #: Per-search wall times (seconds); populated only while
         #: ``time_searches`` is on (the Monitor enables it), one entry
         #: per entry of ``searches_run``.
@@ -287,7 +351,13 @@ class OCEPMatcher:
             table[trace] if 0 <= trace < len(table) else str(trace)
         )
         str_trace = str(trace)
-        for leaf, exact_etype, exact_process, exact_text in self._leaf_filters:
+        for (
+            leaf,
+            exact_etype,
+            exact_process,
+            exact_text,
+            allow_prune,
+        ) in self._leaf_filters:
             # Exact-attribute prefilter: replicate the failing checks of
             # EventClass.matches without building a bindings dict.
             if exact_etype is not None and exact_etype != etype:
@@ -304,10 +374,17 @@ class OCEPMatcher:
             if env is None:
                 continue
             self.history.append(
-                leaf.leaf_id, event, prune=self.config.prune_history
+                leaf.leaf_id,
+                event,
+                prune=self.config.prune_history and allow_prune,
             )
             if leaf.leaf_id in self._terminating:
                 triggered.append((leaf.leaf_id, env))
+
+        if self.negation_history is not None:
+            for d, spec in enumerate(self._negations):
+                if spec.event_class.could_match(event):
+                    self.negation_history.append(d, event, prune=False)
 
         reports: List[MatchReport] = []
         for leaf_id, env in triggered:
@@ -365,6 +442,10 @@ class OCEPMatcher:
             "back_jumps": self.back_jumps,
             "backtracks": self.backtracks,
             "matches_found": self.matches_found,
+            "window_rejections": self.window_rejections,
+            "negation_vetoes": self.negation_vetoes,
+            "kleene_group_events": self.kleene_group_events,
+            "plans_computed": self.plans_computed,
         }
 
     def publish_metrics(
@@ -386,6 +467,10 @@ class OCEPMatcher:
             "back_jumps": "goBackward conflict-directed jumps",
             "backtracks": "goBackward single-level steps",
             "matches_found": "complete matches reported",
+            "window_rejections": "candidates rejected by WITHIN guards",
+            "negation_vetoes": "complete assignments vetoed by a negation",
+            "kleene_group_events": "events aggregated into Kleene groups",
+            "plans_computed": "cost-based evaluation plans computed",
         }
         for name, value in self.counters().items():
             registry.counter(
@@ -442,10 +527,47 @@ class OCEPMatcher:
     # Backtracking search (Algorithms 1-3)
     # ------------------------------------------------------------------
 
+    def _leaf_stats(self) -> Dict[int, LeafStats]:
+        """Live leaf-history statistics for the planner."""
+        return {
+            history.leaf_id: LeafStats(size=history.size)
+            for history in self.history.histories
+        }
+
+    def current_plan(self, trigger_leaf: int) -> Plan:
+        """The evaluation plan a search at ``trigger_leaf`` would use
+        right now (explainable via ``Plan.explain()``).  Legacy
+        patterns and a disabled planner yield the static-heuristic
+        plan."""
+        if not (self._v2 and self.config.planner):
+            return plan_order(self.pattern, trigger_leaf, None)
+        return plan_order(self.pattern, trigger_leaf, self._leaf_stats())
+
+    def _evaluation_order(self, trigger_leaf: int) -> Tuple[int, ...]:
+        """Level order for one search.
+
+        Output-compatibility guard: the cost-based order applies only
+        to patterns carrying a v2 operator.  Legacy patterns keep the
+        static heuristic order even with the planner enabled, so their
+        match output (including COVERAGE-mode subset sweeps) is
+        bit-identical to the pre-planner engine.
+        """
+        if not (self._v2 and self.config.planner):
+            return self.pattern.evaluation_order(trigger_leaf)
+        interval = max(self.config.plan_refresh_interval, 1)
+        stamp = self.events_processed // interval
+        cached = self._plans.get(trigger_leaf)
+        if cached is not None and cached[0] == stamp:
+            return cached[1].order
+        plan = plan_order(self.pattern, trigger_leaf, self._leaf_stats())
+        self._plans[trigger_leaf] = (stamp, plan)
+        self.plans_computed += 1
+        return plan.order
+
     def _search(
         self, trigger_leaf: int, trigger_event: Event, trigger_env: Bindings
     ) -> List[MatchReport]:
-        order = self.pattern.evaluation_order(trigger_leaf)
+        order = self._evaluation_order(trigger_leaf)
         k = len(order)
         # Fail fast: a representative subset only contains events that
         # are part of a complete match, and a complete match needs one
@@ -542,7 +664,16 @@ class OCEPMatcher:
         levels: Sequence[_Level],
     ) -> None:
         assignment = {level.leaf_id: level.event for level in levels}
-        new_slots = self.subset.update(assignment)
+        groups: Tuple[Tuple[int, Tuple[Event, ...]], ...] = ()
+        if self._kleene_leaves:
+            env = levels[-1].env or {}
+            groups = tuple(
+                (g, self._expand_group(g, assignment, env))
+                for g in self._kleene_leaves
+            )
+            for _, events in groups:
+                self.kleene_group_events += len(events)
+        new_slots = self.subset.update(assignment, groups=groups)
         if self.config.paranoid and not self.subset.check_bound():
             raise AssertionError(
                 f"representative subset holds {len(self.subset)} matches, "
@@ -576,8 +707,101 @@ class OCEPMatcher:
                 assignment=tuple(sorted(assignment.items())),
                 bindings=tuple(sorted(env.items())),
                 new_slots=new_slots,
+                groups=groups,
             )
         )
+
+    def _expand_group(
+        self, g: int, assignment: Match, env: Bindings
+    ) -> Tuple[Event, ...]:
+        """Expand a Kleene anchor to its maximal group: every stored
+        class event (Kleene histories are unpruned) that matches under
+        the final bindings, is distinct from the other bound events,
+        satisfies the anchor leaf's pairwise constraints against every
+        other bound leaf, and respects the window guards.  Members are
+        admitted in (trace, index) scan order; the member-member window
+        bound is checked against already-admitted members, which keeps
+        the expansion deterministic."""
+        anchor = assignment[g]
+        history = self.history.leaf(g)
+        leaf_class = self.pattern.leaves[g].event_class
+        cmat = self._cmat
+        others = [
+            (leaf_id, event)
+            for leaf_id, event in assignment.items()
+            if leaf_id != g
+        ]
+        self_bound = self._wsim[g][g] if self._has_windows else None
+        wall_self_bound = self._wwall[g][g] if self._has_windows else None
+        members: List[Event] = [anchor]
+        for trace in history.traces_with_events():
+            for event in history.on_trace(trace):
+                if event.trace == anchor.trace and event.index == anchor.index:
+                    continue
+                if leaf_class.matches(event, env) is None:
+                    continue
+                ok = True
+                for leaf_id, other in others:
+                    if (
+                        event.trace == other.trace
+                        and event.index == other.index
+                    ):
+                        ok = False
+                        break
+                    constraint = cmat[leaf_id][g]
+                    if constraint is Constraint.NONE:
+                        pass
+                    elif not _satisfies(constraint, other, event):
+                        ok = False
+                        break
+                    elif constraint is Constraint.LIMITED:
+                        if self.history.leaf(leaf_id).has_between(
+                            other, event
+                        ):
+                            ok = False
+                            break
+                    elif constraint is Constraint.LIMITED_REV:
+                        if history.has_between(event, other):
+                            ok = False
+                            break
+                    if self._has_windows and not self._window_ok(
+                        g, leaf_id, event, other
+                    ):
+                        ok = False
+                        break
+                if ok and self_bound is not None:
+                    for member in members:
+                        delta = event.lamport - member.lamport
+                        if delta > self_bound or -delta > self_bound:
+                            ok = False
+                            break
+                if ok and wall_self_bound is not None:
+                    stamp = self._wall_clock
+                    for member in members:
+                        delta = stamp(event) - stamp(member)
+                        if delta > wall_self_bound or -delta > wall_self_bound:
+                            ok = False
+                            break
+                if ok:
+                    members.append(event)
+        members.sort(key=lambda e: (e.trace, e.index))
+        return tuple(members)
+
+    def _window_ok(
+        self, leaf_a: int, leaf_b: int, event_a: Event, event_b: Event
+    ) -> bool:
+        bound = self._wsim[leaf_a][leaf_b]
+        if bound is not None:
+            delta = event_a.lamport - event_b.lamport
+            if delta > bound or -delta > bound:
+                return False
+        bound = self._wwall[leaf_a][leaf_b]
+        if bound is not None:
+            stamp = self._wall_clock
+            delta = stamp(event_a) - stamp(event_b)
+            if delta > bound or -delta > bound:
+                return False
+        return True
 
     # -- goForward ------------------------------------------------------
 
@@ -1036,6 +1260,33 @@ class OCEPMatcher:
             level.filter_rejected = True
             return None
 
+        # Window guards: timestamp distance to every already-bound
+        # leaf sharing a WITHIN with this one.  A window rejection
+        # depends on the candidate itself, so it must disable
+        # back-jumping from this level (filter_rejected), like any
+        # other non-interval filter.
+        if self._has_windows:
+            lid = level.leaf_id
+            wsim_row = self._wsim[lid]
+            wwall_row = self._wwall[lid]
+            for j in range(i):
+                other_leaf = levels[j].leaf_id
+                bound = wsim_row[other_leaf]
+                if bound is not None:
+                    delta = candidate.lamport - levels[j].event.lamport
+                    if delta > bound or -delta > bound:
+                        self.window_rejections += 1
+                        level.filter_rejected = True
+                        return None
+                bound = wwall_row[other_leaf]
+                if bound is not None:
+                    stamp = self._wall_clock
+                    delta = stamp(candidate) - stamp(levels[j].event)
+                    if delta > bound or -delta > bound:
+                        self.window_rejections += 1
+                        level.filter_rejected = True
+                        return None
+
         # A gapped stream (complete_stream=False after actual sheds)
         # can leave least-successor columns under-informed, which only
         # ever *widens* the GP/LS domains — so re-verifying each
@@ -1084,11 +1335,27 @@ class OCEPMatcher:
         return env
 
     def _accept_complete(self, levels: Sequence[_Level]) -> bool:
-        """Whole-assignment checks: compound-precedence existentials
-        and entanglement (equations (1) and (2))."""
-        if not self.pattern.exist_checks and not self.pattern.entangle_checks:
+        """Whole-assignment checks: compound-precedence existentials,
+        entanglement (equations (1) and (2)), and negation vetoes."""
+        if (
+            not self.pattern.exist_checks
+            and not self.pattern.entangle_checks
+            and not self._negations
+        ):
             return True
         assignment = {level.leaf_id: level.event for level in levels}
+        if self._negations:
+            env = levels[-1].env or {}
+            for d, spec in enumerate(self._negations):
+                if self._negation_witness(
+                    d,
+                    spec,
+                    assignment[spec.left_leaf],
+                    assignment[spec.right_leaf],
+                    env,
+                ):
+                    self.negation_vetoes += 1
+                    return False
         for check in self.pattern.exist_checks:
             if not any(
                 assignment[a].happens_before(assignment[b])
@@ -1110,6 +1377,40 @@ class OCEPMatcher:
             if not (forward and backward):
                 return False
         return True
+
+    def _negation_witness(
+        self, d: int, spec, left: Event, right: Event, env: Bindings
+    ) -> bool:
+        """True when some event matching the absent class (under the
+        final bindings) lies causally strictly between the two anchors.
+
+        Causal delivery order makes this check online-sound: any
+        witness happens-before the right anchor, so it was delivered —
+        and recorded in the negation history — before any search that
+        binds that anchor; and no future event can ever fall causally
+        between two already-delivered events.
+        """
+        history = self.negation_history.leaf(d)
+        if not self._negation_has_vars[d]:
+            # class fully determined: the history holds exactly the
+            # class events, so the range-prefiltered check suffices
+            return history.has_between(left, right)
+        left_lamport = left.lamport
+        right_lamport = right.lamport
+        matches = spec.event_class.matches
+        for trace in history.traces_with_events():
+            for event in history.on_trace(trace):
+                # lamport order is a necessary condition for
+                # left -> event -> right: cheap prefilter
+                if not left_lamport < event.lamport < right_lamport:
+                    continue
+                if matches(event, env) is None:
+                    continue
+                if left.happens_before(event) and event.happens_before(
+                    right
+                ):
+                    return True
+        return False
 
     # -- goBackward -------------------------------------------------------
 

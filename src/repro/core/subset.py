@@ -24,12 +24,21 @@ Slot = Tuple[int, int]
 Assignment = Dict[int, Event]
 
 
+#: Kleene-group expansions riding a match: (leaf id, group events).
+Groups = Tuple[Tuple[int, Tuple[Event, ...]], ...]
+
+
 @dataclasses.dataclass(frozen=True)
 class StoredMatch:
-    """A match retained in the subset, with the slots it covered."""
+    """A match retained in the subset, with the slots it covered.
+
+    ``groups`` carries the Kleene-group expansions of the match (empty
+    for patterns without Kleene positions — and absent from snapshots
+    taken before groups existed, which restore as empty)."""
 
     assignment: Tuple[Tuple[int, Event], ...]
     new_slots: Tuple[Slot, ...]
+    groups: Groups = ()
 
     def as_dict(self) -> Assignment:
         return dict(self.assignment)
@@ -52,12 +61,22 @@ class RepresentativeSubset:
     # Updates
     # ------------------------------------------------------------------
 
-    def update(self, assignment: Assignment) -> Tuple[Slot, ...]:
+    def update(
+        self, assignment: Assignment, groups: Groups = ()
+    ) -> Tuple[Slot, ...]:
         """Consider a complete match; returns the newly covered slots
-        (empty when the match was redundant and not stored)."""
+        (empty when the match was redundant and not stored).
+
+        A Kleene group extends the coverage of its leaf: every member's
+        trace counts as an occurrence of the pattern position there, so
+        a match whose group spans a previously uncovered trace is
+        retained even when its anchor trace was covered."""
         slots = {
             (leaf_id, event.trace) for leaf_id, event in assignment.items()
         }
+        for leaf_id, events in groups:
+            for event in events:
+                slots.add((leaf_id, event.trace))
         new_slots = tuple(sorted(slots - self._covered))
         if not new_slots:
             return ()
@@ -66,6 +85,7 @@ class RepresentativeSubset:
             StoredMatch(
                 assignment=tuple(sorted(assignment.items())),
                 new_slots=new_slots,
+                groups=groups,
             )
         )
         return new_slots
@@ -96,14 +116,21 @@ class RepresentativeSubset:
 
     def signature(self) -> Tuple[Tuple[Tuple[int, int, int], ...], ...]:
         """Canonical, order-sensitive identity of the stored matches:
-        one ``(leaf_id, trace, index)`` triple per assignment entry.
-        Two runs that discovered the same matches in the same order
-        have equal signatures — the equality the chaos harness checks
-        against its fault-free oracle."""
+        one ``(leaf_id, trace, index)`` triple per assignment entry,
+        followed by one triple per Kleene-group member (patterns
+        without groups contribute none, keeping legacy signatures
+        unchanged).  Two runs that discovered the same matches in the
+        same order have equal signatures — the equality the chaos
+        harness checks against its fault-free oracle."""
         return tuple(
             tuple(
                 (leaf_id, event.trace, event.index)
                 for leaf_id, event in match.assignment
+            )
+            + tuple(
+                (leaf_id, event.trace, event.index)
+                for leaf_id, events in match.groups
+                for event in events
             )
             for match in self._matches
         )
@@ -123,6 +150,10 @@ class RepresentativeSubset:
                         for leaf_id, event in match.assignment
                     ],
                     "new_slots": [list(slot) for slot in match.new_slots],
+                    "groups": [
+                        [leaf_id, [event.to_record() for event in events]]
+                        for leaf_id, events in match.groups
+                    ],
                 }
                 for match in self._matches
             ],
@@ -143,6 +174,14 @@ class RepresentativeSubset:
                 ),
                 new_slots=tuple(
                     (int(l), int(t)) for l, t in entry["new_slots"]
+                ),
+                # absent in pre-groups snapshots: restore as empty
+                groups=tuple(
+                    (
+                        int(leaf_id),
+                        tuple(event_from_record(r) for r in records),
+                    )
+                    for leaf_id, records in entry.get("groups", ())
                 ),
             )
             for entry in state["matches"]

@@ -14,13 +14,17 @@ import dataclasses
 from typing import Callable, Dict, Tuple
 
 from repro.workloads import (
+    absence_pattern,
     atomicity_pattern,
+    build_absence,
     build_atomicity,
+    build_hotpath,
     build_message_race,
     build_ordering_bug,
     build_random_walk,
     build_traffic_light,
     deadlock_pattern,
+    hotpath_pattern,
     message_race_pattern,
     ordering_bug_pattern,
     traffic_light_pattern,
@@ -84,6 +88,22 @@ CASES: Dict[str, CaseStudy] = {
             fault_probability=0.05, clock_backend=backend,
         ),
         pattern=lambda traces: traffic_light_pattern(),
+    ),
+    "hotpath": CaseStudy(
+        name="hotpath",
+        build=lambda traces, seed, backend="fidge": build_hotpath(
+            num_couriers=max(1, traces - 1), seed=seed,
+            jobs_per_courier=12, clock_backend=backend,
+        ),
+        pattern=lambda traces: hotpath_pattern(),
+    ),
+    "absence": CaseStudy(
+        name="absence",
+        build=lambda traces, seed, backend="fidge": build_absence(
+            num_workers=max(1, traces - 1), seed=seed,
+            jobs_per_worker=25, clock_backend=backend,
+        ),
+        pattern=lambda traces: absence_pattern(),
     ),
 }
 

@@ -132,7 +132,62 @@ class AndExpr:
             raise ValueError("conjunction needs at least two parts")
 
 
-Expr = Union[ClassRef, VarRef, BinaryExpr, AndExpr]
+@dataclasses.dataclass(frozen=True)
+class OrExpr:
+    """Disjunction of leaf alternatives (``A \\/ B``): one pattern
+    position matched by any of the alternative classes.  Alternatives
+    are tried left to right against a per-branch copy of the binding
+    environment — bindings never leak between branches."""
+
+    parts: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("disjunction needs at least two alternatives")
+
+
+@dataclasses.dataclass(frozen=True)
+class KleeneExpr:
+    """Kleene closure (``A+``): one-or-more events of the operand class
+    collapsed into one pattern position.  The match binds the *maximal
+    group* of class events consistent with every constraint on the
+    position; the aggregated group rides the match report."""
+
+    operand: "Expr"
+
+
+@dataclasses.dataclass(frozen=True)
+class NotExpr:
+    """Negation (``!A`` / ``ABSENT A``) inside a ``->`` chain: no event
+    of the operand class may lie causally between the two neighbouring
+    bound positions."""
+
+    operand: "Expr"
+
+
+@dataclasses.dataclass(frozen=True)
+class WithinExpr:
+    """Time-window guard (``expr WITHIN n`` or ``expr WITHIN n wall``):
+    every pair of events bound under the operand must carry timestamps
+    at most ``bound`` apart in the chosen clock ``domain`` (``sim`` =
+    the paper's logical Lamport timestamps, ``wall`` = an external
+    wall-clock stamp source the matcher must be configured with)."""
+
+    operand: "Expr"
+    bound: int
+    domain: str = "sim"
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ValueError("window bound must be non-negative")
+        if self.domain not in ("sim", "wall"):
+            raise ValueError(f"unknown window domain {self.domain!r}")
+
+
+Expr = Union[
+    ClassRef, VarRef, BinaryExpr, AndExpr, OrExpr, KleeneExpr, NotExpr,
+    WithinExpr,
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -150,14 +205,18 @@ class PatternDef:
 
 
 def walk_leaves(expr: Expr) -> List[Union[ClassRef, VarRef]]:
-    """All leaf references of an expression, left to right."""
+    """All leaf references of an expression, left to right — including
+    references inside negations, disjunction alternatives, Kleene
+    closures, and window guards (used for name validation)."""
     if isinstance(expr, (ClassRef, VarRef)):
         return [expr]
     if isinstance(expr, BinaryExpr):
         return walk_leaves(expr.left) + walk_leaves(expr.right)
-    if isinstance(expr, AndExpr):
+    if isinstance(expr, (AndExpr, OrExpr)):
         leaves: List[Union[ClassRef, VarRef]] = []
         for part in expr.parts:
             leaves.extend(walk_leaves(part))
         return leaves
+    if isinstance(expr, (KleeneExpr, NotExpr, WithinExpr)):
+        return walk_leaves(expr.operand)
     raise TypeError(f"unknown expression node {expr!r}")

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.events.event import Event
 from repro.patterns.ast import AttrSpec, AttrVar, ClassDef, Exact, Wildcard
@@ -152,3 +152,101 @@ class EventClass:
             f"EventClass({self.name} := [{show(self.process)}, "
             f"{show(self.etype)}, {show(self.text)}])"
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class UnionClass:
+    """A disjunction of event classes (``A \\/ B``) occupying one
+    pattern position.
+
+    Alternatives are tried left to right; the first branch that matches
+    wins.  Each branch is matched against a *copy* of the incoming
+    binding environment, so attribute-variable bindings made by a
+    failing branch never leak into the next branch (per-branch
+    scoping) — only the winning branch's extensions are returned.
+
+    The search hints are deliberately conservative: a hint is offered
+    only when *every* alternative agrees on it; the introspectable
+    ``process``/``etype``/``text`` attribute specs read as wildcards so
+    generic code (e.g. the evaluation-order heuristic) never assumes a
+    constraint that only one branch would enforce.
+    """
+
+    name: str
+    alternatives: Tuple[EventClass, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.alternatives) < 2:
+            raise ValueError("a union class needs at least two alternatives")
+
+    @classmethod
+    def from_defs(
+        cls,
+        definitions: Sequence[ClassDef],
+        trace_names: Sequence[str],
+    ) -> "UnionClass":
+        branches = tuple(
+            EventClass.from_def(d, trace_names) for d in definitions
+        )
+        return cls(
+            name=" \\/ ".join(b.name for b in branches),
+            alternatives=branches,
+        )
+
+    # Generic attribute introspection sees an unconstrained class.
+    @property
+    def process(self) -> AttrSpec:
+        return Wildcard()
+
+    @property
+    def etype(self) -> AttrSpec:
+        return Wildcard()
+
+    @property
+    def text(self) -> AttrSpec:
+        return Wildcard()
+
+    @property
+    def trace_names(self) -> Sequence[str]:
+        return self.alternatives[0].trace_names
+
+    def event_attrs(self, event: Event) -> Dict[str, str]:
+        return self.alternatives[0].event_attrs(event)
+
+    def matches(self, event: Event, bindings: Optional[Bindings] = None) -> Optional[Bindings]:
+        """First-match-wins over the alternatives, each against its own
+        copy of the environment (``EventClass.matches`` never mutates
+        its input, which is what makes the branch scoping sound)."""
+        for branch in self.alternatives:
+            env = branch.matches(event, bindings)
+            if env is not None:
+                return env
+        return None
+
+    def could_match(self, event: Event) -> bool:
+        return any(branch.could_match(event) for branch in self.alternatives)
+
+    # ------------------------------------------------------------------
+    # Search hints — only when every branch agrees
+    # ------------------------------------------------------------------
+
+    def pinned_trace(self, bindings: Optional[Bindings]) -> Optional[int]:
+        pins = {branch.pinned_trace(bindings) for branch in self.alternatives}
+        if len(pins) == 1:
+            return pins.pop()
+        return None
+
+    def exact_etype(self) -> Optional[str]:
+        etypes = {branch.exact_etype() for branch in self.alternatives}
+        if len(etypes) == 1:
+            return etypes.pop()
+        return None
+
+    def required_text(self, bindings: Optional[Bindings]) -> Optional[str]:
+        texts = {branch.required_text(bindings) for branch in self.alternatives}
+        if len(texts) == 1:
+            return texts.pop()
+        return None
+
+    def __repr__(self) -> str:
+        return f"UnionClass({self.name})"

@@ -32,11 +32,19 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.patterns.ast import AttrVar, Exact, Operator
+from repro.patterns.classes import UnionClass
 from repro.patterns.errors import PatternError
-from repro.patterns.tree import LeafNode, PatternTree, TreeExpr, TreeLeaf
+from repro.patterns.tree import (
+    LeafNode,
+    NegationSpec,
+    PatternTree,
+    TreeExpr,
+    TreeLeaf,
+    WindowSpec,
+)
 
 
 class Constraint(enum.Enum):
@@ -156,6 +164,24 @@ class CompiledPattern:
             self._dense[i][j] = constraint
             self._dense[j][i] = constraint.inverse()
         self._check_satisfiable()
+        self._check_v2_restrictions()
+        # tightest WITHIN bound per leaf pair and clock domain; the
+        # diagonal carries the member-member bound for Kleene groups
+        self._window_sim: List[List[Optional[int]]] = [
+            [None] * size for _ in range(size)
+        ]
+        self._window_wall: List[List[Optional[int]]] = [
+            [None] * size for _ in range(size)
+        ]
+        for spec in self.windows:
+            table = (
+                self._window_sim if spec.domain == "sim" else self._window_wall
+            )
+            for i in spec.leaf_ids:
+                for j in spec.leaf_ids:
+                    current = table[i][j]
+                    if current is None or spec.bound < current:
+                        table[i][j] = spec.bound
 
     # ------------------------------------------------------------------
     # Constraint derivation
@@ -281,6 +307,37 @@ class CompiledPattern:
                         f"{declared.value!r} constraint"
                     )
 
+    def _check_v2_restrictions(self) -> None:
+        """Operator combinations the matcher does not support.
+
+        A direct constraint between two Kleene positions would require
+        the maximal-group expansions of both to be mutually consistent
+        — group-against-group search that the one-anchor-per-position
+        model cannot express.  A ``<>`` on a Kleene position is
+        likewise meaningless: a message has exactly two halves, not a
+        group of them.
+        """
+        for i in range(len(self.leaves)):
+            if not self.leaves[i].kleene:
+                continue
+            for j in range(len(self.leaves)):
+                if i == j:
+                    continue
+                constraint = self._dense[i][j]
+                if constraint is Constraint.NONE:
+                    continue
+                if self.leaves[j].kleene:
+                    raise PatternError(
+                        f"constraints between two Kleene positions "
+                        f"({self.leaves[i].label}, {self.leaves[j].label}) "
+                        f"are not supported"
+                    )
+                if constraint is Constraint.PARTNER:
+                    raise PatternError(
+                        f"the partner operator cannot apply to the Kleene "
+                        f"position {self.leaves[i].label}"
+                    )
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -288,6 +345,52 @@ class CompiledPattern:
     @property
     def num_leaves(self) -> int:
         return len(self.leaves)
+
+    @property
+    def negations(self) -> Sequence[NegationSpec]:
+        """Absence requirements between anchor leaves (``-> !C ->``)."""
+        return self.tree.negations
+
+    @property
+    def windows(self) -> Sequence[WindowSpec]:
+        """Time-window guards over leaf subsets (``WITHIN n``)."""
+        return self.tree.windows
+
+    @property
+    def has_v2_features(self) -> bool:
+        """True when the pattern uses any v2 operator (Kleene closure,
+        disjunction, negation, or a window guard).  Legacy patterns —
+        where this is False — are guaranteed to evaluate exactly as
+        they did before the v2 engine existed."""
+        return bool(
+            self.tree.negations
+            or self.tree.windows
+            or any(
+                leaf.kleene or isinstance(leaf.event_class, UnionClass)
+                for leaf in self.leaves
+            )
+        )
+
+    def window_bound(self, i: int, j: int, domain: str = "sim") -> Optional[int]:
+        """The tightest window bound covering leaves ``i`` and ``j`` in
+        the given clock domain, or ``None``.  ``window_bound(g, g)`` is
+        the member-member bound for a Kleene group at leaf ``g``."""
+        table = self._window_sim if domain == "sim" else self._window_wall
+        return table[i][j]
+
+    @property
+    def window_matrix_sim(self) -> Sequence[Sequence[Optional[int]]]:
+        return self._window_sim
+
+    @property
+    def window_matrix_wall(self) -> Sequence[Sequence[Optional[int]]]:
+        return self._window_wall
+
+    @property
+    def has_wall_windows(self) -> bool:
+        return any(
+            spec.domain == "wall" for spec in self.tree.windows
+        )
 
     def constraint(self, i: int, j: int) -> Constraint:
         """The requirement of leaf ``i`` relative to leaf ``j``."""

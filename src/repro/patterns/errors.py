@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class PatternError(Exception):
     """Base class for pattern definition and compilation problems."""
@@ -10,10 +12,41 @@ class PatternError(Exception):
 class PatternParseError(PatternError):
     """Lexical or syntactic error in pattern source text.
 
-    Carries the 1-based line and column of the offending input.
+    Carries the 1-based line and column of the offending input.  When
+    the offending source line is known, the message includes a caret
+    excerpt pointing at the exact column::
+
+        unknown event class 'Pickupp' (line 3, column 12)
+          pattern := Pickupp -> Drop;
+                     ^
     """
 
-    def __init__(self, message: str, line: int, column: int):
+    def __init__(
+        self,
+        message: str,
+        line: int,
+        column: int,
+        source_line: Optional[str] = None,
+    ):
         self.line = line
         self.column = column
-        super().__init__(f"{message} (line {line}, column {column})")
+        self.source_line = source_line
+        text = f"{message} (line {line}, column {column})"
+        if source_line is not None:
+            stripped = source_line.rstrip("\n")
+            caret = " " * (column - 1) + "^"
+            text = f"{text}\n  {stripped}\n  {caret}"
+        super().__init__(text)
+
+    @classmethod
+    def at_token(
+        cls, message: str, token, source: Optional[str] = None
+    ) -> "PatternParseError":
+        """Build an error pointing at a lexer token, with a caret
+        excerpt when the original source text is available."""
+        source_line = None
+        if source is not None:
+            lines = source.splitlines()
+            if 1 <= token.line <= len(lines):
+                source_line = lines[token.line - 1]
+        return cls(message, token.line, token.column, source_line=source_line)

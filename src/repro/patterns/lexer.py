@@ -2,10 +2,12 @@
 
 Token inventory: identifiers, ``$``-variables (``$1`` is an attribute
 variable, ``$Diff`` an event variable — distinguished by the parser,
-not here), single-quoted strings, and the punctuation / operators of
-the grammar.  ASCII operator spellings are canonical; the Unicode forms
-used in the paper's figures (``→ ∥ ∧``) are accepted as aliases.
-``#`` starts a comment running to end of line.
+not here), single-quoted strings, bare numbers (window widths), and
+the punctuation / operators of the grammar.  ASCII operator spellings
+are canonical; the Unicode forms used in the paper's figures
+(``→ ∥ ∧ ∨``) are accepted as aliases.  ``#`` starts a comment running
+to end of line.  ``WITHIN`` / ``ABSENT`` are plain identifiers here;
+the parser treats them as keywords in expression position.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ class TokenKind(enum.Enum):
     IDENT = "ident"
     DOLLAR = "dollar"  # $name or $123
     STRING = "string"  # 'text' (may be empty)
+    NUMBER = "number"  # bare digits (window widths)
     ASSIGN = "assign"  # :=
     SEMI = "semi"  # ;
     COMMA = "comma"  # ,
@@ -34,6 +37,9 @@ class TokenKind(enum.Enum):
     LIMITED = "limited"  # ~>
     ENTANGLED = "entangled"  # <->  or  ↔
     AND = "and"  # /\  or  ∧
+    OR = "or"  # \/  or  ∨
+    PLUS = "plus"  # +  (Kleene closure)
+    BANG = "bang"  # !  (negation)
     EOF = "eof"
 
 
@@ -59,6 +65,7 @@ _TWO_CHAR = {
     "<>": TokenKind.PARTNER,
     "~>": TokenKind.LIMITED,
     "/\\": TokenKind.AND,
+    "\\/": TokenKind.OR,
 }
 
 _ONE_CHAR = {
@@ -68,9 +75,12 @@ _ONE_CHAR = {
     "]": TokenKind.RBRACKET,
     "(": TokenKind.LPAREN,
     ")": TokenKind.RPAREN,
+    "+": TokenKind.PLUS,
+    "!": TokenKind.BANG,
     "→": TokenKind.PRECEDES,  # →
     "∥": TokenKind.CONCURRENT,  # ∥
     "∧": TokenKind.AND,  # ∧
+    "∨": TokenKind.OR,  # ∨
     "↔": TokenKind.ENTANGLED,  # ↔
 }
 
@@ -91,8 +101,13 @@ def tokenize(source: str) -> List[Token]:
     i = 0
     n = len(source)
 
+    source_lines = source.splitlines()
+
     def error(message: str) -> PatternParseError:
-        return PatternParseError(message, line, column)
+        excerpt = (
+            source_lines[line - 1] if 1 <= line <= len(source_lines) else None
+        )
+        return PatternParseError(message, line, column, source_line=excerpt)
 
     while i < n:
         ch = source[i]
@@ -166,6 +181,16 @@ def tokenize(source: str) -> List[Token]:
                 j += 1
             value = source[i:j]
             tokens.append(Token(TokenKind.IDENT, value, start_line, start_column))
+            column += j - i
+            i = j
+            continue
+
+        if ch.isdigit():
+            j = i + 1
+            while j < n and source[j].isdigit():
+                j += 1
+            value = source[i:j]
+            tokens.append(Token(TokenKind.NUMBER, value, start_line, start_column))
             column += j - i
             i = j
             continue

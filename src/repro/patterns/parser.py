@@ -9,20 +9,37 @@ Grammar (see the package docstring for examples)::
                   | '$' NUM           # attribute variable
     var_decl     := IDENT '$' IDENT ';'
     pattern_def  := 'pattern' ':=' expr ';'
-    expr         := rel { '/\\' rel }               # AND binds loosest
-    rel          := primary { causal_op primary }    # left-associative
-    causal_op    := '->' | '||' | '<>' | '~>'
+    expr         := windowed { '/\\' windowed }          # AND binds loosest
+    windowed     := rel [ 'WITHIN' NUMBER [ domain ] ]   # window guard
+    domain       := 'sim' | 'wall'
+    rel          := term { causal_op term }              # left-associative
+    causal_op    := '->' | '||' | '<>' | '~>' | '<->'
+    term         := ( '!' | 'ABSENT' ) postfix | postfix
+    postfix      := alt [ '+' ]                          # Kleene closure
+    alt          := primary { '\\/' primary }            # leaf disjunction
     primary      := IDENT | '$' IDENT | '(' expr ')'
 
 Attribute variables are ``$`` followed by digits (``$1``); event
 variables are ``$`` followed by a name (``$Diff``).  Declarations may
 appear in any order relative to each other; the pattern may reference
-only declared classes and variables.
+only declared classes and variables.  ``WITHIN`` and ``ABSENT`` are
+reserved words.
+
+Structural rules enforced here (with source positions):
+
+* disjunction alternatives must be plain class references — one leaf
+  position matched by any alternative, bindings scoped per branch;
+* the Kleene ``+`` applies to a class reference or a disjunction of
+  class references, never to an event variable or a compound;
+* a negation (``!C`` / ``ABSENT C``) must sit strictly *between* two
+  ``->`` operators of a precedence chain (its neighbours are its
+  causal anchors), its operand must be a plain class reference, and
+  two negations may not be adjacent.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.patterns.ast import (
     AndExpr,
@@ -33,12 +50,15 @@ from repro.patterns.ast import (
     ClassRef,
     Exact,
     Expr,
+    KleeneExpr,
+    NotExpr,
     Operator,
+    OrExpr,
     PatternDef,
     VarDecl,
     VarRef,
     Wildcard,
-    walk_leaves,
+    WithinExpr,
 )
 from repro.patterns.errors import PatternParseError
 from repro.patterns.lexer import Token, TokenKind, tokenize
@@ -51,11 +71,23 @@ _CAUSAL_OPS = {
     TokenKind.ENTANGLED: Operator.ENTANGLED,
 }
 
+#: Identifiers with grammatical meaning — not usable as class or
+#: variable names.
+RESERVED_WORDS = frozenset({"WITHIN", "ABSENT", "pattern"})
+
+#: Window clock domains accepted after ``WITHIN <n>``.
+WINDOW_DOMAINS = ("sim", "wall")
+
 
 class _Parser:
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: List[Token], source: Optional[str] = None):
         self._tokens = tokens
+        self._source = source
         self._pos = 0
+        # Every class/variable reference in the pattern expression,
+        # with its token — validation points at the exact occurrence.
+        self._class_refs: List[Token] = []
+        self._var_refs: List[Token] = []
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -76,9 +108,8 @@ class _Parser:
             raise self._error(f"expected {what}, found {token.value!r}", token)
         return self._advance()
 
-    @staticmethod
-    def _error(message: str, token: Token) -> PatternParseError:
-        return PatternParseError(message, token.line, token.column)
+    def _error(self, message: str, token: Token) -> PatternParseError:
+        return PatternParseError.at_token(message, token, self._source)
 
     # ------------------------------------------------------------------
     # Program
@@ -104,6 +135,10 @@ class _Parser:
             name_token = self._advance()
             nxt = self._peek()
             if nxt.kind is TokenKind.ASSIGN:
+                if name_token.value in RESERVED_WORDS:
+                    raise self._error(
+                        f"{name_token.value!r} is a reserved word", name_token
+                    )
                 class_def = self._parse_class_body(name_token.value)
                 if class_def.name in classes:
                     raise self._error(
@@ -117,6 +152,10 @@ class _Parser:
                     raise self._error(
                         "event variable names cannot be numeric", var_token
                     )
+                if var_token.value in RESERVED_WORDS:
+                    raise self._error(
+                        f"{var_token.value!r} is a reserved word", var_token
+                    )
                 if var_token.value in variables:
                     raise self._error(
                         f"duplicate variable ${var_token.value}", var_token
@@ -124,6 +163,7 @@ class _Parser:
                 variables[var_token.value] = VarDecl(
                     class_name=name_token.value, var_name=var_token.value
                 )
+                self._class_refs.append(name_token)
             else:
                 raise self._error(
                     f"expected ':=' or a variable after {name_token.value!r}", nxt
@@ -158,7 +198,7 @@ class _Parser:
         if token.kind is TokenKind.STRING:
             self._advance()
             return Wildcard() if token.value == "" else Exact(token.value)
-        if token.kind is TokenKind.IDENT:
+        if token.kind in (TokenKind.IDENT, TokenKind.NUMBER):
             self._advance()
             return Exact(token.value)
         if token.kind is TokenKind.DOLLAR:
@@ -181,21 +221,128 @@ class _Parser:
         return expr
 
     def _parse_expr(self) -> Expr:
-        parts = [self._parse_rel()]
+        parts = [self._parse_windowed()]
         while self._peek().kind is TokenKind.AND:
             self._advance()
-            parts.append(self._parse_rel())
+            parts.append(self._parse_windowed())
         if len(parts) == 1:
             return parts[0]
         return AndExpr(parts=tuple(parts))
 
-    def _parse_rel(self) -> Expr:
-        expr = self._parse_primary()
-        while self._peek().kind in _CAUSAL_OPS:
-            op_token = self._advance()
-            right = self._parse_primary()
-            expr = BinaryExpr(op=_CAUSAL_OPS[op_token.kind], left=expr, right=right)
+    def _parse_windowed(self) -> Expr:
+        expr = self._parse_rel()
+        token = self._peek()
+        if token.kind is TokenKind.IDENT and token.value == "WITHIN":
+            self._advance()
+            number = self._expect(TokenKind.NUMBER, "a window width")
+            domain = "sim"
+            nxt = self._peek()
+            if nxt.kind is TokenKind.IDENT and nxt.value in WINDOW_DOMAINS:
+                self._advance()
+                domain = nxt.value
+            elif nxt.kind is TokenKind.IDENT and nxt.value not in RESERVED_WORDS:
+                raise self._error(
+                    f"expected a window domain {WINDOW_DOMAINS}, "
+                    f"found {nxt.value!r}",
+                    nxt,
+                )
+            if isinstance(expr, NotExpr):
+                raise self._error(
+                    "a negation cannot carry a window guard", token
+                )
+            expr = WithinExpr(
+                operand=expr, bound=int(number.value), domain=domain
+            )
         return expr
+
+    def _parse_rel(self) -> Expr:
+        terms: List[Tuple[Expr, Token]] = [self._parse_term()]
+        ops: List[Token] = []
+        while self._peek().kind in _CAUSAL_OPS:
+            ops.append(self._advance())
+            terms.append(self._parse_term())
+        self._check_negation_placement(terms, ops)
+        expr = terms[0][0]
+        for op_token, (right, _right_tok) in zip(ops, terms[1:]):
+            expr = BinaryExpr(
+                op=_CAUSAL_OPS[op_token.kind], left=expr, right=right
+            )
+        return expr
+
+    def _check_negation_placement(
+        self, terms: List[Tuple[Expr, Token]], ops: List[Token]
+    ) -> None:
+        """A negated term must sit between two ``->`` operators, with
+        non-negated neighbours (its causal anchors)."""
+        for k, (term, term_token) in enumerate(terms):
+            if not isinstance(term, NotExpr):
+                continue
+            if k == 0 or ops[k - 1].kind is not TokenKind.PRECEDES:
+                raise self._error(
+                    "a negation needs a preceding '->' anchor", term_token
+                )
+            if k == len(terms) - 1 or ops[k].kind is not TokenKind.PRECEDES:
+                raise self._error(
+                    "a negation needs a following '->' anchor", term_token
+                )
+            if isinstance(terms[k - 1][0], NotExpr) or isinstance(
+                terms[k + 1][0], NotExpr
+            ):
+                raise self._error(
+                    "adjacent negations are not supported", term_token
+                )
+
+    def _parse_term(self) -> Tuple[Expr, Token]:
+        """One causal-chain element; returns (node, its first token)."""
+        token = self._peek()
+        negated = False
+        if token.kind is TokenKind.BANG or (
+            token.kind is TokenKind.IDENT and token.value == "ABSENT"
+        ):
+            self._advance()
+            negated = True
+        expr = self._parse_postfix()
+        if negated:
+            if not isinstance(expr, ClassRef):
+                raise self._error(
+                    "negation applies to a plain event class", token
+                )
+            return NotExpr(operand=expr), token
+        return expr, token
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_alt()
+        if self._peek().kind is TokenKind.PLUS:
+            plus = self._advance()
+            if not isinstance(expr, (ClassRef, OrExpr, VarRef)):
+                raise self._error(
+                    "the Kleene closure applies to an event class, an "
+                    "event variable, or a disjunction of event classes",
+                    plus,
+                )
+            expr = KleeneExpr(operand=expr)
+            if self._peek().kind is TokenKind.PLUS:
+                raise self._error(
+                    "duplicate Kleene closure", self._peek()
+                )
+        return expr
+
+    def _parse_alt(self) -> Expr:
+        expr = self._parse_primary()
+        if self._peek().kind is not TokenKind.OR:
+            return expr
+        parts = [expr]
+        while self._peek().kind is TokenKind.OR:
+            or_token = self._advance()
+            part = self._parse_primary()
+            parts.append(part)
+        for part in parts:
+            if not isinstance(part, ClassRef):
+                raise self._error(
+                    "disjunction alternatives must be plain event classes",
+                    or_token,
+                )
+        return OrExpr(parts=tuple(parts))
 
     def _parse_primary(self) -> Expr:
         token = self._peek()
@@ -205,7 +352,12 @@ class _Parser:
             self._expect(TokenKind.RPAREN, "')'")
             return expr
         if token.kind is TokenKind.IDENT:
+            if token.value in RESERVED_WORDS:
+                raise self._error(
+                    f"{token.value!r} is a reserved word", token
+                )
             self._advance()
+            self._class_refs.append(token)
             return ClassRef(name=token.value)
         if token.kind is TokenKind.DOLLAR:
             self._advance()
@@ -213,6 +365,7 @@ class _Parser:
                 raise self._error(
                     "attribute variables cannot appear as pattern events", token
                 )
+            self._var_refs.append(token)
             return VarRef(name=token.value)
         raise self._error(
             f"expected an event class, variable, or '(', found {token.value!r}",
@@ -224,25 +377,38 @@ class _Parser:
     # ------------------------------------------------------------------
 
     def _validate(self, definition: PatternDef) -> None:
-        eof = self._tokens[-1]
         for decl in definition.variables.values():
             if decl.class_name not in definition.classes:
+                token = next(
+                    (
+                        t
+                        for t in self._class_refs
+                        if t.value == decl.class_name
+                    ),
+                    self._tokens[-1],
+                )
                 raise self._error(
                     f"variable ${decl.var_name} references unknown class "
                     f"{decl.class_name!r}",
-                    eof,
+                    token,
                 )
-        for leaf in walk_leaves(definition.expr):
-            if isinstance(leaf, ClassRef) and leaf.name not in definition.classes:
-                raise self._error(f"unknown event class {leaf.name!r}", eof)
-            if isinstance(leaf, VarRef) and leaf.name not in definition.variables:
-                raise self._error(f"unknown event variable ${leaf.name}", eof)
+        for token in self._class_refs:
+            if token.value not in definition.classes:
+                raise self._error(
+                    f"unknown event class {token.value!r}", token
+                )
+        for token in self._var_refs:
+            if token.value not in definition.variables:
+                raise self._error(
+                    f"unknown event variable ${token.value}", token
+                )
 
 
 def parse_pattern(source: str) -> PatternDef:
     """Parse pattern source text into a :class:`PatternDef`.
 
     Raises :class:`~repro.patterns.errors.PatternParseError` with line
-    and column information on malformed input.
+    and column information — and a caret excerpt of the offending
+    source line — on malformed input.
     """
-    return _Parser(tokenize(source)).parse()
+    return _Parser(tokenize(source), source).parse()

@@ -1,0 +1,222 @@
+"""Cost-based constraint planner.
+
+The legacy evaluation order (``CompiledPattern.evaluation_order``) is a
+purely *static* heuristic: it ranks leaves by constraint strength and
+attribute-variable reuse, knowing nothing about the data.  That goes
+wrong exactly when class populations are skewed — a heavily-constrained
+class with a huge history gets ordered early and the search enumerates
+its thousands of candidates before a rare class would have cut the
+space to almost nothing.
+
+The planner replaces the ranking signal with *live statistics* sampled
+from the matcher's leaf histories: the estimated number of candidates a
+leaf contributes, discounted by how hard the constraints into the
+already-ordered prefix restrict its domain.  It is a greedy smallest-
+estimated-candidates-first join-order search — the classic Selinger
+recipe shrunk to the pattern-matching setting, where every "relation"
+is one leaf history and every "join predicate" is a pairwise causal
+constraint.
+
+Two guarantees keep it safe:
+
+* **Fallback** — with no statistics (cold start, or a caller that
+  never samples), :func:`plan_order` returns the legacy order wrapped
+  in a plan marked ``cost_based=False``.
+* **Output compatibility** — the planner is only *applied* by the
+  matcher to patterns carrying v2 operators; legacy patterns keep the
+  legacy order even with the planner enabled, so their match output is
+  bit-identical to the pre-planner engine (enforced by the committed
+  plan-equivalence fixture).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.patterns.ast import AttrVar
+from repro.patterns.compile import CompiledPattern, Constraint
+
+#: Domain-restriction factor of one constraint kind: the estimated
+#: fraction of a leaf's candidates that survive when the constraint
+#: partner is already bound.  PARTNER is (at most) one event; strict
+#: precedence cuts a causal cone; concurrency cuts the complement;
+#: weak precedence barely filters.
+_RESTRICTION = {
+    Constraint.PARTNER: 0.001,
+    Constraint.BEFORE: 0.25,
+    Constraint.AFTER: 0.25,
+    Constraint.LIMITED: 0.05,
+    Constraint.LIMITED_REV: 0.05,
+    Constraint.CONCURRENT: 0.5,
+    Constraint.NOT_AFTER: 0.8,
+    Constraint.NOT_BEFORE: 0.8,
+    Constraint.NONE: 1.0,
+}
+
+#: Restriction factor for each attribute variable already bound by the
+#: ordered prefix — an exact-match key into the candidate history.
+_ATTR_VAR_FACTOR = 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class LeafStats:
+    """Statistics of one leaf history at planning time."""
+
+    size: int
+    traces: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanStep:
+    """One level of the evaluation order with its cost estimate."""
+
+    leaf_id: int
+    label: str
+    history_size: int
+    estimate: float
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """An explained evaluation order for one trigger leaf."""
+
+    trigger_leaf: int
+    order: Tuple[int, ...]
+    steps: Tuple[PlanStep, ...]
+    cost_based: bool
+    total_estimate: float
+
+    def explain(self) -> str:
+        """Human-readable plan, one line per level."""
+        kind = "cost-based" if self.cost_based else "legacy heuristic"
+        lines = [
+            f"plan for trigger leaf {self.trigger_leaf} ({kind}), "
+            f"estimated search space {self.total_estimate:.1f}:"
+        ]
+        for level, step in enumerate(self.steps, start=1):
+            lines.append(
+                f"  {level}. leaf {step.leaf_id} [{step.label}] "
+                f"history={step.history_size} "
+                f"estimate={step.estimate:.2f} — {step.reason}"
+            )
+        return "\n".join(lines)
+
+
+def _attr_vars(pattern: CompiledPattern, leaf_id: int) -> set:
+    cls = pattern.leaves[leaf_id].event_class
+    return {
+        spec.name
+        for spec in (cls.process, cls.etype, cls.text)
+        if isinstance(spec, AttrVar)
+    }
+
+
+def _legacy_plan(pattern: CompiledPattern, trigger_leaf: int) -> Plan:
+    order = pattern.evaluation_order(trigger_leaf)
+    steps = tuple(
+        PlanStep(
+            leaf_id=leaf_id,
+            label=pattern.leaves[leaf_id].label,
+            history_size=0,
+            estimate=0.0,
+            reason="static heuristic order (no statistics)",
+        )
+        for leaf_id in order
+    )
+    return Plan(
+        trigger_leaf=trigger_leaf,
+        order=order,
+        steps=steps,
+        cost_based=False,
+        total_estimate=0.0,
+    )
+
+
+def plan_order(
+    pattern: CompiledPattern,
+    trigger_leaf: int,
+    stats: Optional[Dict[int, LeafStats]] = None,
+) -> Plan:
+    """Greedy cheapest-leaf-next join order from live statistics.
+
+    ``stats`` maps leaf id -> :class:`LeafStats`; missing or empty
+    statistics select the legacy heuristic order (``cost_based=False``).
+    The trigger leaf is always level 1 — the search is anchored on the
+    newly delivered event, which is not a planning choice.
+    """
+    if not stats or all(s.size == 0 for s in stats.values()):
+        return _legacy_plan(pattern, trigger_leaf)
+
+    order: List[int] = [trigger_leaf]
+    steps: List[PlanStep] = [
+        PlanStep(
+            leaf_id=trigger_leaf,
+            label=pattern.leaves[trigger_leaf].label,
+            history_size=stats.get(trigger_leaf, LeafStats(0)).size,
+            estimate=1.0,
+            reason="trigger (the newly delivered event)",
+        )
+    ]
+    remaining = [i for i in range(pattern.num_leaves) if i != trigger_leaf]
+    matrix = pattern.constraint_matrix
+    total = 1.0
+
+    while remaining:
+        bound_vars: set = set()
+        for j in order:
+            bound_vars |= _attr_vars(pattern, j)
+
+        def estimate(i: int) -> Tuple[float, str]:
+            size = stats.get(i, LeafStats(0)).size
+            value = float(max(size, 1))
+            factors = []
+            best = Constraint.NONE
+            for j in order:
+                constraint = matrix[i][j]
+                factor = _RESTRICTION[constraint]
+                if factor < _RESTRICTION[best]:
+                    best = constraint
+                value *= factor
+            if best is not Constraint.NONE:
+                factors.append(f"{best.value} into prefix")
+            shared = _attr_vars(pattern, i) & bound_vars
+            if shared:
+                value *= _ATTR_VAR_FACTOR ** len(shared)
+                factors.append(
+                    "bound $" + ", $".join(sorted(shared))
+                )
+            reason = (
+                f"history {size} × " + " × ".join(factors)
+                if factors
+                else f"history {size}, unconstrained"
+            )
+            return value, reason
+
+        # cheapest first; ties broken by leaf id for determinism
+        scored = sorted(
+            ((estimate(i), i) for i in remaining),
+            key=lambda item: (item[0][0], item[1]),
+        )
+        (value, reason), best_leaf = scored[0]
+        order.append(best_leaf)
+        remaining.remove(best_leaf)
+        total *= max(value, 1.0)
+        steps.append(
+            PlanStep(
+                leaf_id=best_leaf,
+                label=pattern.leaves[best_leaf].label,
+                history_size=stats.get(best_leaf, LeafStats(0)).size,
+                estimate=value,
+                reason=reason,
+            )
+        )
+
+    return Plan(
+        trigger_leaf=trigger_leaf,
+        order=tuple(order),
+        steps=tuple(steps),
+        cost_based=True,
+        total_estimate=total,
+    )

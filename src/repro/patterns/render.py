@@ -16,9 +16,13 @@ from repro.patterns.ast import (
     ClassRef,
     Exact,
     Expr,
+    KleeneExpr,
+    NotExpr,
+    OrExpr,
     PatternDef,
     VarRef,
     Wildcard,
+    WithinExpr,
 )
 
 _NEEDS_QUOTES = set(" \t'()[]{},;$#")
@@ -50,11 +54,11 @@ def render_expr(expr: Expr, parent_is_causal: bool = False) -> str:
         # causal chains are left-associative: the left child may stay
         # bare when it is itself causal, the right child may not.
         left = render_expr(expr.left, parent_is_causal=False)
-        if isinstance(expr.right, (BinaryExpr, AndExpr)):
+        if isinstance(expr.right, (BinaryExpr, AndExpr, WithinExpr)):
             right = f"({render_expr(expr.right)})"
         else:
             right = render_expr(expr.right)
-        if isinstance(expr.left, AndExpr):
+        if isinstance(expr.left, (AndExpr, WithinExpr)):
             left = f"({left})"
         text = f"{left} {expr.op.value} {right}"
         return f"({text})" if parent_is_causal else text
@@ -66,6 +70,25 @@ def render_expr(expr: Expr, parent_is_causal: bool = False) -> str:
                 rendered = f"({rendered})"
             parts.append(rendered)
         text = " /\\ ".join(parts)
+        return f"({text})" if parent_is_causal else text
+    if isinstance(expr, OrExpr):
+        # alternatives are plain class references; the disjunction binds
+        # tighter than every causal operator, so no parens are needed.
+        return " \\/ ".join(render_expr(part) for part in expr.parts)
+    if isinstance(expr, KleeneExpr):
+        if isinstance(expr.operand, OrExpr):
+            return f"({render_expr(expr.operand)})+"
+        return f"{render_expr(expr.operand)}+"
+    if isinstance(expr, NotExpr):
+        return f"!{render_expr(expr.operand)}"
+    if isinstance(expr, WithinExpr):
+        if isinstance(expr.operand, (AndExpr, WithinExpr)):
+            operand = f"({render_expr(expr.operand)})"
+        else:
+            operand = render_expr(expr.operand)
+        text = f"{operand} WITHIN {expr.bound}"
+        if expr.domain != "sim":
+            text = f"{text} {expr.domain}"
         return f"({text})" if parent_is_causal else text
     raise TypeError(f"unknown expression node {expr!r}")
 

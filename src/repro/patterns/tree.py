@@ -17,6 +17,21 @@ in the pattern expression refers to the same leaf node, which is
 exactly the variable-binding semantics of Section III-C (one matched
 event for all occurrences).  Distinct occurrences of a plain class
 name become distinct leaves.
+
+The v2 operators lower onto this same leaf structure:
+
+* a disjunction ``A \\/ B`` becomes one leaf whose class is a
+  :class:`~repro.patterns.classes.UnionClass`;
+* a Kleene closure ``A+`` becomes one leaf flagged ``kleene`` — the
+  search binds a single *anchor* event and the matcher expands the
+  anchor to the maximal consistent group at report time;
+* a negation ``X -> !A -> Y`` contributes **no** leaf: the chain is
+  flattened, the negated position removed (leaving ``X -> Y``), and a
+  :class:`NegationSpec` records the class that must be absent between
+  the two anchor leaves;
+* a window guard ``expr WITHIN n`` contributes no node either: the
+  operand subtree is built normally and a :class:`WindowSpec` records
+  the timestamp bound over the operand's leaves.
 """
 
 from __future__ import annotations
@@ -29,12 +44,19 @@ from repro.patterns.ast import (
     BinaryExpr,
     ClassRef,
     Expr,
+    KleeneExpr,
+    NotExpr,
     Operator,
+    OrExpr,
     PatternDef,
     VarRef,
+    WithinExpr,
 )
-from repro.patterns.classes import EventClass
+from repro.patterns.classes import EventClass, UnionClass
 from repro.patterns.errors import PatternError
+
+#: A leaf's class: a plain event class or a disjunction of them.
+LeafClass = Union[EventClass, UnionClass]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,18 +64,46 @@ class LeafNode:
     """A pattern-tree leaf: one primitive event position.
 
     ``var_name`` is set when the leaf arises from an event variable;
-    the leaf is shared by all occurrences of that variable.
+    the leaf is shared by all occurrences of that variable.  ``kleene``
+    marks a one-or-more position: the bound event is the group anchor
+    and the leaf's history is never pruned (every class event may later
+    join a reported group).
     """
 
     leaf_id: int
-    event_class: EventClass
+    event_class: LeafClass
     var_name: Optional[str] = None
+    kleene: bool = False
 
     @property
     def label(self) -> str:
+        suffix = "+" if self.kleene else ""
         if self.var_name is not None:
-            return f"${self.var_name}"
-        return f"{self.event_class.name}#{self.leaf_id}"
+            return f"${self.var_name}{suffix}"
+        return f"{self.event_class.name}{suffix}#{self.leaf_id}"
+
+
+@dataclasses.dataclass(frozen=True)
+class NegationSpec:
+    """``left -> !C -> right``: no event matching ``event_class`` (under
+    the final attribute bindings) may lie causally between the events
+    bound at the two anchor leaves."""
+
+    event_class: LeafClass
+    left_leaf: int
+    right_leaf: int
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowSpec:
+    """``WITHIN bound``: every pair of events bound at ``leaf_ids``
+    must carry timestamps at most ``bound`` apart in ``domain``
+    (``sim`` = logical Lamport clock, ``wall`` = a configured external
+    stamp source)."""
+
+    leaf_ids: Tuple[int, ...]
+    bound: int
+    domain: str
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +124,13 @@ class TreeNode:
 TreeExpr = Union[TreeLeaf, TreeNode]
 
 
+def _precedes_spine(expr: Expr) -> List[Expr]:
+    """The elements of a maximal left-associated ``->`` chain."""
+    if isinstance(expr, BinaryExpr) and expr.op is Operator.PRECEDES:
+        return _precedes_spine(expr.left) + [expr.right]
+    return [expr]
+
+
 class PatternTree:
     """The pattern tree for one parsed pattern over a trace-name table.
 
@@ -91,9 +148,17 @@ class PatternTree:
         self.trace_names = tuple(trace_names)
         self._leaves: List[LeafNode] = []
         self._var_leaf: Dict[str, int] = {}
+        self.negations: List[NegationSpec] = []
+        self.windows: List[WindowSpec] = []
         self.root = self._build(definition.expr)
         if not self._leaves:
             raise PatternError("pattern has no event positions")
+        for spec in self.negations:
+            for anchor in (spec.left_leaf, spec.right_leaf):
+                if self._leaves[anchor].kleene:
+                    raise PatternError(
+                        "a Kleene position cannot anchor a negation"
+                    )
 
     # ------------------------------------------------------------------
     # Construction
@@ -101,16 +166,47 @@ class PatternTree:
 
     def _build(self, expr: Expr) -> TreeExpr:
         if isinstance(expr, ClassRef):
-            definition = self.definition.classes[expr.name]
-            return TreeLeaf(self._new_leaf(definition, var_name=None))
+            return TreeLeaf(self._new_leaf(self._class(expr.name)))
         if isinstance(expr, VarRef):
-            if expr.name in self._var_leaf:
-                return TreeLeaf(self._var_leaf[expr.name])
-            definition = self.definition.class_of_var(expr.name)
-            leaf_id = self._new_leaf(definition, var_name=expr.name)
-            self._var_leaf[expr.name] = leaf_id
-            return TreeLeaf(leaf_id)
+            return TreeLeaf(self._var_leaf_id(expr, kleene=False))
+        if isinstance(expr, OrExpr):
+            return TreeLeaf(self._new_leaf(self._union_class(expr)))
+        if isinstance(expr, KleeneExpr):
+            operand = expr.operand
+            if isinstance(operand, ClassRef):
+                event_class: LeafClass = self._class(operand.name)
+            elif isinstance(operand, OrExpr):
+                event_class = self._union_class(operand)
+            elif isinstance(operand, VarRef):
+                # a Kleene-closed variable: every reference shares one
+                # Kleene leaf (how a closure position joins several
+                # single-event relations of a conjunction)
+                return TreeLeaf(self._var_leaf_id(operand, kleene=True))
+            else:
+                raise PatternError(
+                    "the Kleene closure applies to an event class, an "
+                    "event variable, or a disjunction of event classes"
+                )
+            return TreeLeaf(self._new_leaf(event_class, kleene=True))
+        if isinstance(expr, NotExpr):
+            raise PatternError(
+                "a negation must sit between two '->' operators"
+            )
+        if isinstance(expr, WithinExpr):
+            subtree = self._build(expr.operand)
+            self.windows.append(
+                WindowSpec(
+                    leaf_ids=tuple(self.leaf_ids_under(subtree)),
+                    bound=expr.bound,
+                    domain=expr.domain,
+                )
+            )
+            return subtree
         if isinstance(expr, BinaryExpr):
+            if expr.op is Operator.PRECEDES:
+                elements = _precedes_spine(expr)
+                if any(isinstance(el, NotExpr) for el in elements):
+                    return self._build_negation_chain(elements)
             left = self._build(expr.left)
             right = self._build(expr.right)
             return TreeNode(op=expr.op, children=(left, right))
@@ -119,11 +215,106 @@ class PatternTree:
             return TreeNode(op=Operator.AND, children=children)
         raise TypeError(f"unknown expression node {expr!r}")
 
-    def _new_leaf(self, definition, var_name: Optional[str]) -> int:
-        leaf_id = len(self._leaves)
+    def _build_negation_chain(self, elements: List[Expr]) -> TreeExpr:
+        """Flatten a ``->`` chain containing negated positions: build
+        the non-negated elements (left to right, preserving leaf
+        numbering), chain them with ``->``, and record one
+        :class:`NegationSpec` per removed position, anchored on the
+        single-leaf neighbours."""
+        built: Dict[int, TreeExpr] = {}
+        for k, element in enumerate(elements):
+            if not isinstance(element, NotExpr):
+                built[k] = self._build(element)
+
+        def anchor(k: int) -> int:
+            leaf_ids = self.leaf_ids_under(built[k])
+            if len(leaf_ids) != 1:
+                raise PatternError(
+                    "negation anchors must be single event positions"
+                )
+            return leaf_ids[0]
+
+        for k, element in enumerate(elements):
+            if not isinstance(element, NotExpr):
+                continue
+            if k == 0 or k == len(elements) - 1:
+                raise PatternError(
+                    "a negation must sit between two '->' operators"
+                )
+            if (k - 1) not in built or (k + 1) not in built:
+                raise PatternError("adjacent negations are not supported")
+            operand = element.operand
+            if not isinstance(operand, ClassRef):
+                raise PatternError(
+                    "negation applies to a plain event class"
+                )
+            self.negations.append(
+                NegationSpec(
+                    event_class=self._class(operand.name),
+                    left_leaf=anchor(k - 1),
+                    right_leaf=anchor(k + 1),
+                )
+            )
+
+        chain: Optional[TreeExpr] = None
+        for k in sorted(built):
+            chain = (
+                built[k]
+                if chain is None
+                else TreeNode(op=Operator.PRECEDES, children=(chain, built[k]))
+            )
+        assert chain is not None  # parser guarantees two anchors
+        return chain
+
+    def _var_leaf_id(self, ref: VarRef, kleene: bool) -> int:
+        """The (shared) leaf of an event variable, creating it on first
+        reference.  A variable must be referenced consistently: either
+        always plain or always Kleene-closed."""
+        existing = self._var_leaf.get(ref.name)
+        if existing is not None:
+            if self._leaves[existing].kleene != kleene:
+                raise PatternError(
+                    f"variable {ref.name} is referenced both plain and "
+                    "Kleene-closed; pick one"
+                )
+            return existing
+        definition = self.definition.class_of_var(ref.name)
         event_class = EventClass.from_def(definition, self.trace_names)
+        leaf_id = self._new_leaf(
+            event_class, var_name=ref.name, kleene=kleene
+        )
+        self._var_leaf[ref.name] = leaf_id
+        return leaf_id
+
+    def _class(self, name: str) -> EventClass:
+        return EventClass.from_def(
+            self.definition.classes[name], self.trace_names
+        )
+
+    def _union_class(self, expr: OrExpr) -> UnionClass:
+        definitions = []
+        for part in expr.parts:
+            if not isinstance(part, ClassRef):
+                raise PatternError(
+                    "disjunction alternatives must be plain event classes"
+                )
+            definitions.append(self.definition.classes[part.name])
+        return UnionClass.from_defs(definitions, self.trace_names)
+
+    def _new_leaf(
+        self,
+        event_class: LeafClass,
+        var_name: Optional[str] = None,
+        kleene: bool = False,
+    ) -> int:
+        leaf_id = len(self._leaves)
         self._leaves.append(
-            LeafNode(leaf_id=leaf_id, event_class=event_class, var_name=var_name)
+            LeafNode(
+                leaf_id=leaf_id,
+                event_class=event_class,
+                var_name=var_name,
+                kleene=kleene,
+            )
         )
         return leaf_id
 

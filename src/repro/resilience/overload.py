@@ -397,7 +397,7 @@ class EventUtilityScorer:
         trace_name = table[trace] if 0 <= trace < len(table) else str(trace)
         str_trace = str(trace)
         hit = False
-        for leaf, exact_etype, exact_process, exact_text in matcher._leaf_filters:
+        for leaf, exact_etype, exact_process, exact_text, _ in matcher._leaf_filters:
             if exact_etype is not None and exact_etype != etype:
                 continue
             if exact_text is not None and exact_text != text:

@@ -16,6 +16,13 @@ completeness benchmarks can verify OCEP's reports:
   (Sections III-D and V-C4);
 * :mod:`~repro.workloads.patterns` — the corresponding detection
   patterns in the pattern language.
+
+Two further workloads exercise the v2 pattern operators:
+
+* :mod:`~repro.workloads.hotpath` — courier hot-path tracking
+  (Kleene closure + time window, the planner benchmark case);
+* :mod:`~repro.workloads.absence` — skipped-validation detection
+  (negation with a shared process variable).
 """
 
 from repro.workloads.patterns import (
@@ -28,6 +35,8 @@ from repro.workloads.random_walk import RandomWalkResult, build_random_walk
 from repro.workloads.message_race import MessageRaceResult, build_message_race
 from repro.workloads.atomicity import AtomicityResult, build_atomicity
 from repro.workloads.ordering_bug import OrderingBugResult, build_ordering_bug
+from repro.workloads.hotpath import HotpathResult, build_hotpath, hotpath_pattern
+from repro.workloads.absence import AbsenceResult, build_absence, absence_pattern
 from repro.workloads.traffic_light import (
     TrafficLightResult,
     build_traffic_light,
@@ -50,4 +59,10 @@ __all__ = [
     "build_traffic_light",
     "TrafficLightResult",
     "traffic_light_pattern",
+    "build_hotpath",
+    "HotpathResult",
+    "hotpath_pattern",
+    "build_absence",
+    "AbsenceResult",
+    "absence_pattern",
 ]

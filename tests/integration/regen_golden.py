@@ -1,0 +1,85 @@
+"""Regenerate the PR-9 baseline fixture for the plan-equivalence gate.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/integration/regen_golden.py
+
+Writes ``tests/integration/golden_case_signatures.json``: for every
+(case, seed) cell of the four paper case studies on seeds 0..9, the
+representative-subset signature and the match-report fingerprints of a
+single-pattern replay.  The committed fixture is the *frozen* output of
+the pre-planner code; ``test_plan_equivalence.py`` replays the same
+cells with the current code (planner on and off) and requires
+bit-identical output.  Regenerating this file is only legitimate when a
+PR deliberately changes match *semantics* — never to paper over a
+planner divergence.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.engine.cases import CASE_STUDY_NAMES
+from repro.engine.pipeline import Pipeline
+
+TRACES = 4
+SEEDS = range(10)
+MAX_EVENTS = 3000
+
+FIXTURE = Path(__file__).with_name("golden_case_signatures.json")
+
+
+def report_fingerprint(report) -> list:
+    """A JSON-stable fingerprint of one match report."""
+    return [
+        report.trigger_leaf,
+        [report.trigger_event.trace, report.trigger_event.index],
+        [[leaf, e.trace, e.index] for leaf, e in report.assignment],
+        sorted([str(k), str(v)] for k, v in report.bindings),
+        sorted([list(slot) for slot in report.new_slots]),
+    ]
+
+
+def cell(case: str, seed: int) -> dict:
+    source = Pipeline.for_case(case, TRACES, seed)
+    recorder = source.record()
+    source.run(max_events=MAX_EVENTS)
+    events, names = recorder.events, source.trace_names
+
+    replay = Pipeline.replay(events, names)
+    monitor = replay.watch(case, source.case_pattern, record_timings=False)
+    replay.run(batch_size=1)
+    # JSON round-trip so the cell compares equal to the committed
+    # fixture (tuples become lists)
+    return json.loads(
+        json.dumps(
+            {
+                "events": len(events),
+                "signature": [
+                    list(entry) for entry in monitor.subset.signature()
+                ],
+                "reports": [report_fingerprint(r) for r in monitor.reports],
+            }
+        )
+    )
+
+
+def main() -> int:
+    document = {"traces": TRACES, "max_events": MAX_EVENTS, "cells": {}}
+    for case in CASE_STUDY_NAMES:
+        for seed in SEEDS:
+            key = f"{case}/{seed}"
+            document["cells"][key] = cell(case, seed)
+            print(
+                f"{key}: events={document['cells'][key]['events']} "
+                f"matches={len(document['cells'][key]['reports'])}"
+            )
+    FIXTURE.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

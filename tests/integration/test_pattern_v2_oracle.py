@@ -1,0 +1,200 @@
+"""Oracle equivalence for the v2 pattern operators.
+
+Every new operator — Kleene closure, time windows (both domains),
+negation, disjunction — and their interactions are checked against the
+brute-force oracle on randomized Weaver schedules, seeds 0..9:
+
+* EXHAUSTIVE-mode matcher output (unpruned histories, as in the
+  legacy oracle-equivalence suite) must equal the oracle's full match
+  enumeration (as assignment sets), with the planner on AND off;
+* every reported Kleene group must equal the oracle's maximal-group
+  expansion;
+* COVERAGE-mode reports must individually verify against the full
+  event pool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Monitor
+from repro.core.matcher import MatcherConfig, SweepMode
+from repro.core import oracle
+from repro.testing import random_computation
+
+SEEDS = range(10)
+TRACES = 3
+STEPS = 40
+
+
+def wall_stamp(event) -> float:
+    """Deterministic wall-clock stand-in for the wall window tests."""
+    return float(event.index)
+
+
+KLEENE = """
+X := ['', A, ''];
+Y := ['', B, ''];
+pattern := X -> Y+;
+"""
+
+WINDOW_SIM = """
+X := ['', A, ''];
+Y := ['', B, ''];
+pattern := X -> Y WITHIN 4;
+"""
+
+WINDOW_WALL = """
+X := ['', A, ''];
+Y := ['', B, ''];
+pattern := X -> Y WITHIN 3 wall;
+"""
+
+NEGATION = """
+X := ['', A, ''];
+Z := ['', C, ''];
+Y := ['', B, ''];
+pattern := X -> !Z -> Y;
+"""
+
+NEGATION_VAR = """
+X := [$1, A, ''];
+Z := [$1, C, ''];
+Y := [$1, B, ''];
+pattern := X -> !Z -> Y;
+"""
+
+DISJUNCTION = """
+X := ['', A, ''];
+Z := ['', C, ''];
+Y := ['', B, ''];
+pattern := X \\/ Z -> Y;
+"""
+
+KLEENE_OF_DISJUNCTION = """
+X := ['', A, ''];
+Z := ['', C, ''];
+Y := ['', B, ''];
+pattern := (X \\/ Z)+ -> Y;
+"""
+
+KLEENE_WINDOW = """
+X := ['', A, ''];
+Y := ['', B, ''];
+Z := ['', C, ''];
+Y $y;
+pattern := ((X ~> $y+) /\\ ($y+ -> Z)) WITHIN 6;
+"""
+
+NEGATION_WINDOW = """
+X := ['', A, ''];
+Z := ['', C, ''];
+Y := ['', B, ''];
+pattern := X -> !Z -> Y WITHIN 8;
+"""
+
+ALL_PATTERNS = {
+    "kleene": KLEENE,
+    "window_sim": WINDOW_SIM,
+    "window_wall": WINDOW_WALL,
+    "negation": NEGATION,
+    "negation_var": NEGATION_VAR,
+    "disjunction": DISJUNCTION,
+    "kleene_of_disjunction": KLEENE_OF_DISJUNCTION,
+    "kleene_window": KLEENE_WINDOW,
+    "negation_window": NEGATION_WINDOW,
+}
+
+NAMES = [f"P{i}" for i in range(TRACES)]
+
+
+def run_monitor(source, events, **config_kwargs):
+    config = MatcherConfig(**config_kwargs)
+    monitor = Monitor.from_source(
+        source, NAMES, config=config, record_timings=False
+    )
+    for event in events:
+        monitor.on_event(event)
+    return monitor
+
+
+def fingerprint(assignment_items):
+    return tuple(sorted((l, e.trace, e.index) for l, e in assignment_items))
+
+
+def wall_clock_for(source):
+    return wall_stamp if "wall" in source else None
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PATTERNS))
+def test_exhaustive_equals_oracle(name):
+    source = ALL_PATTERNS[name]
+    wall = wall_clock_for(source)
+    for seed in SEEDS:
+        events = random_computation(seed, TRACES, STEPS).events
+        monitor = run_monitor(
+            source,
+            events,
+            sweep=SweepMode.EXHAUSTIVE,
+            prune_history=False,
+            wall_clock=wall,
+        )
+        pattern = monitor.matcher.pattern
+        got = {fingerprint(r.assignment) for r in monitor.reports}
+        want = {
+            fingerprint(m.items())
+            for m in oracle.enumerate_matches(pattern, events, wall_clock=wall)
+        }
+        assert got == want, (name, seed, got ^ want)
+
+        # reported Kleene groups are the oracle's maximal expansions
+        # over the events delivered up to the report (groups are
+        # expanded online, at report time)
+        position = {e: k for k, e in enumerate(events)}
+        for report in monitor.reports:
+            seen = events[: position[report.trigger_event] + 1]
+            expected = oracle.kleene_groups(
+                pattern, dict(report.assignment), seen, wall_clock=wall
+            )
+            assert tuple((l, tuple(g)) for l, g in report.groups) == expected
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PATTERNS))
+def test_planner_off_finds_the_same_matches(name):
+    source = ALL_PATTERNS[name]
+    wall = wall_clock_for(source)
+    for seed in SEEDS:
+        events = random_computation(seed, TRACES, STEPS).events
+        with_planner = run_monitor(
+            source,
+            events,
+            sweep=SweepMode.EXHAUSTIVE,
+            prune_history=False,
+            wall_clock=wall,
+        )
+        without = run_monitor(
+            source,
+            events,
+            sweep=SweepMode.EXHAUSTIVE,
+            prune_history=False,
+            wall_clock=wall,
+            planner=False,
+        )
+        assert {fingerprint(r.assignment) for r in with_planner.reports} == {
+            fingerprint(r.assignment) for r in without.reports
+        }, (name, seed)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PATTERNS))
+def test_coverage_reports_verify(name):
+    source = ALL_PATTERNS[name]
+    wall = wall_clock_for(source)
+    for seed in SEEDS:
+        events = random_computation(seed, TRACES, STEPS).events
+        monitor = run_monitor(source, events, wall_clock=wall)
+        pattern = monitor.matcher.pattern
+        for report in monitor.reports:
+            assert oracle.verify_match(
+                pattern, dict(report.assignment), events, wall_clock=wall
+            ), (name, seed, report)
+        assert monitor.matcher.subset.check_bound()

@@ -1,0 +1,71 @@
+"""The PR's hard back-compat gate: bit-identical legacy matches.
+
+``golden_case_signatures.json`` froze the representative-subset
+signatures and match-report fingerprints of the four paper case
+studies (seeds 0..9) as produced by the pre-planner engine.  This test
+replays every cell with the current engine — planner enabled AND
+disabled — and requires *bit-identical* output.  If it fails, the
+pattern-language changes altered legacy match semantics; fix the code,
+do not regenerate the fixture.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.matcher import MatcherConfig
+from repro.engine.cases import CASE_STUDY_NAMES
+from repro.engine.pipeline import Pipeline
+
+from tests.integration.regen_golden import (
+    MAX_EVENTS,
+    SEEDS,
+    TRACES,
+    report_fingerprint,
+)
+
+FIXTURE = Path(__file__).with_name("golden_case_signatures.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(FIXTURE.read_text())
+
+
+def replay_cell(case: str, seed: int, config: MatcherConfig) -> dict:
+    source = Pipeline.for_case(case, TRACES, seed)
+    recorder = source.record()
+    source.run(max_events=MAX_EVENTS)
+    events, names = recorder.events, source.trace_names
+
+    replay = Pipeline.replay(events, names)
+    monitor = replay.watch(
+        case, source.case_pattern, record_timings=False, config=config
+    )
+    replay.run(batch_size=1)
+    return json.loads(
+        json.dumps(
+            {
+                "events": len(events),
+                "signature": [
+                    list(entry) for entry in monitor.subset.signature()
+                ],
+                "reports": [report_fingerprint(r) for r in monitor.reports],
+            }
+        )
+    )
+
+
+@pytest.mark.parametrize("case", CASE_STUDY_NAMES)
+@pytest.mark.parametrize("planner", [True, False], ids=["planner", "legacy"])
+def test_legacy_cases_bit_identical(golden, case, planner):
+    assert golden["traces"] == TRACES and golden["max_events"] == MAX_EVENTS
+    for seed in SEEDS:
+        cell = replay_cell(case, seed, MatcherConfig(planner=planner))
+        assert cell == golden["cells"][f"{case}/{seed}"], (
+            f"{case}/{seed} diverged from the PR-9 baseline "
+            f"(planner={'on' if planner else 'off'})"
+        )

@@ -24,11 +24,15 @@ from repro.patterns.ast import (
     ClassDef,
     ClassRef,
     Exact,
+    KleeneExpr,
+    NotExpr,
     Operator,
+    OrExpr,
     PatternDef,
     VarDecl,
     VarRef,
     Wildcard,
+    WithinExpr,
 )
 
 CLASS_NAMES = ["Alpha", "Beta", "Gamma"]
@@ -50,12 +54,28 @@ operators = st.sampled_from(
 )
 
 
+@st.composite
+def or_exprs(draw):
+    # alternatives must be plain, distinct class references
+    count = draw(st.integers(2, 3))
+    names = draw(st.permutations(CLASS_NAMES))
+    return OrExpr(parts=tuple(ClassRef(n) for n in names[:count]))
+
+
+kleenes = st.builds(
+    lambda operand: KleeneExpr(operand=operand),
+    st.one_of(leaf, or_exprs()),
+)
+
+atoms = st.one_of(leaf, or_exprs(), kleenes)
+
+
 def exprs(depth):
     if depth == 0:
-        return leaf
+        return atoms
     sub = exprs(depth - 1)
     return st.one_of(
-        leaf,
+        atoms,
         st.builds(
             lambda op, l, r: BinaryExpr(op=op, left=l, right=r),
             operators,
@@ -66,7 +86,29 @@ def exprs(depth):
             lambda parts: AndExpr(parts=tuple(parts)),
             st.lists(sub, min_size=2, max_size=3),
         ),
+        st.builds(
+            lambda op, b, d: WithinExpr(operand=op, bound=b, domain=d),
+            sub,
+            st.integers(0, 50),
+            st.sampled_from(["sim", "wall"]),
+        ),
     )
+
+
+@st.composite
+def negation_chains(draw):
+    # negation is only legal between two '->' anchors, so it gets its
+    # own generator: a left-associative PRECEDES chain whose segments
+    # alternate anchor / negated class
+    anchors = draw(st.lists(leaf, min_size=2, max_size=3))
+    chain = anchors[0]
+    for anchor in anchors[1:]:
+        negated = NotExpr(
+            operand=ClassRef(draw(st.sampled_from(CLASS_NAMES)))
+        )
+        chain = BinaryExpr(op=Operator.PRECEDES, left=chain, right=negated)
+        chain = BinaryExpr(op=Operator.PRECEDES, left=chain, right=anchor)
+    return chain
 
 
 @st.composite
@@ -84,7 +126,7 @@ def pattern_defs(draw):
         var: VarDecl(class_name=draw(st.sampled_from(CLASS_NAMES)), var_name=var)
         for var in VAR_NAMES
     }
-    expr = draw(exprs(2))
+    expr = draw(st.one_of(exprs(2), negation_chains()))
     return PatternDef(classes=classes, variables=variables, expr=expr)
 
 

@@ -1,0 +1,204 @@
+"""Unit tests for the v2 pattern syntax and parser diagnostics.
+
+Covers the new operators — Kleene closure ``+``, disjunction ``\\/``,
+negation ``!``/``ABSENT``, time windows ``WITHIN`` — and the
+position-accurate error reporting (line/column plus a caret excerpt of
+the offending source line).
+"""
+
+import pytest
+
+from repro.patterns import (
+    PatternParseError,
+    parse_pattern,
+)
+from repro.patterns.ast import (
+    BinaryExpr,
+    ClassRef,
+    KleeneExpr,
+    NotExpr,
+    Operator,
+    OrExpr,
+    VarRef,
+    WithinExpr,
+)
+
+HEADER = "A := ['', A, '']; B := ['', B, '']; C := ['', C, ''];"
+
+
+def parse_expr(expr_src: str):
+    return parse_pattern(f"{HEADER} pattern := {expr_src};").expr
+
+
+class TestKleene:
+    def test_class_closure(self):
+        assert parse_expr("A -> B+") == BinaryExpr(
+            op=Operator.PRECEDES,
+            left=ClassRef("A"),
+            right=KleeneExpr(operand=ClassRef("B")),
+        )
+
+    def test_disjunction_closure(self):
+        assert parse_expr("(A \\/ B)+ -> C") == BinaryExpr(
+            op=Operator.PRECEDES,
+            left=KleeneExpr(
+                operand=OrExpr(parts=(ClassRef("A"), ClassRef("B")))
+            ),
+            right=ClassRef("C"),
+        )
+
+    def test_variable_closure(self):
+        parsed = parse_pattern(
+            f"{HEADER} B $m; pattern := (A ~> $m+) /\\ ($m+ -> C);"
+        )
+        left = parsed.expr.parts[0]
+        assert left.right == KleeneExpr(operand=VarRef("m"))
+
+    def test_duplicate_plus_rejected(self):
+        with pytest.raises(PatternParseError, match="duplicate Kleene"):
+            parse_expr("A -> B++")
+
+    def test_plus_on_parenthesized_chain_rejected(self):
+        with pytest.raises(PatternParseError, match="Kleene closure"):
+            parse_expr("(A -> B)+")
+
+
+class TestDisjunction:
+    def test_binds_tighter_than_causal_ops(self):
+        assert parse_expr("A \\/ B -> C") == BinaryExpr(
+            op=Operator.PRECEDES,
+            left=OrExpr(parts=(ClassRef("A"), ClassRef("B"))),
+            right=ClassRef("C"),
+        )
+
+    def test_three_alternatives_flatten(self):
+        expr = parse_expr("A \\/ B \\/ C")
+        assert expr == OrExpr(
+            parts=(ClassRef("A"), ClassRef("B"), ClassRef("C"))
+        )
+
+    def test_unicode_vee_accepted(self):
+        assert parse_expr("A ∨ B") == parse_expr("A \\/ B")
+
+    def test_non_class_alternative_rejected(self):
+        with pytest.raises(PatternParseError, match="alternatives"):
+            parse_pattern(
+                f"{HEADER} A $x; pattern := A \\/ $x -> C;"
+            )
+
+
+class TestNegation:
+    def test_bang_and_absent_are_synonyms(self):
+        assert parse_expr("A -> !B -> C") == parse_expr(
+            "A -> ABSENT B -> C"
+        )
+
+    def test_shape(self):
+        expr = parse_expr("A -> !B -> C")
+        assert expr == BinaryExpr(
+            op=Operator.PRECEDES,
+            left=BinaryExpr(
+                op=Operator.PRECEDES,
+                left=ClassRef("A"),
+                right=NotExpr(operand=ClassRef("B")),
+            ),
+            right=ClassRef("C"),
+        )
+
+    def test_needs_preceding_anchor(self):
+        with pytest.raises(PatternParseError, match="preceding '->'"):
+            parse_expr("!B -> C")
+
+    def test_needs_following_anchor(self):
+        with pytest.raises(PatternParseError, match="following '->'"):
+            parse_expr("A -> !B")
+
+    def test_not_under_other_operators(self):
+        with pytest.raises(PatternParseError):
+            parse_expr("A || !B")
+
+    def test_adjacent_negations_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_expr("A -> !B -> !C -> A")
+
+    def test_window_on_negation_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_expr("A -> (!B WITHIN 3) -> C")
+
+
+class TestWithin:
+    def test_default_domain_is_sim(self):
+        expr = parse_expr("A -> B WITHIN 9")
+        assert expr == WithinExpr(
+            operand=BinaryExpr(
+                op=Operator.PRECEDES,
+                left=ClassRef("A"),
+                right=ClassRef("B"),
+            ),
+            bound=9,
+            domain="sim",
+        )
+
+    def test_wall_domain(self):
+        expr = parse_expr("A -> B WITHIN 3 wall")
+        assert expr.domain == "wall"
+
+    def test_binds_one_relation_in_a_conjunction(self):
+        expr = parse_expr("A -> B WITHIN 3 /\\ B -> C")
+        assert isinstance(expr.parts[0], WithinExpr)
+        assert isinstance(expr.parts[1], BinaryExpr)
+
+    def test_parenthesized_conjunction_windowed_whole(self):
+        expr = parse_expr("(A -> B /\\ B -> C) WITHIN 5")
+        assert isinstance(expr, WithinExpr)
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(PatternParseError, match="window domain"):
+            parse_expr("A -> B WITHIN 3 lunar")
+
+    def test_missing_bound_rejected(self):
+        with pytest.raises(PatternParseError):
+            parse_expr("A -> B WITHIN")
+
+    def test_reserved_word_not_a_class_name(self):
+        with pytest.raises(PatternParseError, match="reserved"):
+            parse_pattern(
+                "WITHIN := ['', A, '']; pattern := WITHIN;"
+            )
+
+
+class TestDiagnostics:
+    """Errors carry the offending line/column and a caret excerpt."""
+
+    def test_position_of_unknown_class(self):
+        with pytest.raises(PatternParseError) as excinfo:
+            parse_pattern("A := ['', A, ''];\npattern := A -> Nope;")
+        err = excinfo.value
+        assert err.line == 2
+        assert err.column == 17
+        assert "Nope" in str(err)
+
+    def test_caret_excerpt_points_at_token(self):
+        with pytest.raises(PatternParseError) as excinfo:
+            parse_pattern("A := ['', A, ''];\npattern := A -> !B;")
+        message = str(excinfo.value)
+        assert "line 2" in message
+        # the excerpt quotes the source line and a caret marks the spot
+        assert "pattern := A -> !B;" in message
+        assert "^" in message
+
+    def test_negation_placement_position(self):
+        source = "A := ['', A, '']; B := ['', B, ''];\npattern := A || !B -> A;"
+        with pytest.raises(PatternParseError) as excinfo:
+            parse_pattern(source)
+        assert excinfo.value.line == 2
+
+    def test_malformed_class_def_position(self):
+        with pytest.raises(PatternParseError) as excinfo:
+            parse_pattern("A := ['', ''];\npattern := A;")
+        assert excinfo.value.line == 1
+
+    def test_unterminated_pattern_position(self):
+        with pytest.raises(PatternParseError) as excinfo:
+            parse_pattern("A := ['', A, ''];\npattern := A ->")
+        assert excinfo.value.line == 2

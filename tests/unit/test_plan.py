@@ -1,0 +1,157 @@
+"""Unit tests for the cost-based constraint planner."""
+
+from repro.core import Monitor
+from repro.core.matcher import MatcherConfig
+from repro.patterns import PatternTree, compile_pattern, parse_pattern
+from repro.patterns.plan import LeafStats, plan_order
+from repro.testing import Weaver
+
+NAMES = ["P0", "P1", "P2"]
+
+
+def compiled(source):
+    return compile_pattern(PatternTree(parse_pattern(source), NAMES))
+
+SKEWED = """
+P := ['', Pickup, ''];
+M := ['', Move, 'hot'];
+D := ['', Drop, ''];
+M $m;
+pattern := ((P ~> $m+) /\\ ($m+ -> D)) WITHIN 16;
+"""
+
+CHAIN = "A := ['', A, '']; B := ['', B, '']; pattern := A -> B;"
+
+VARS = """
+S := ['', Synch, $r];
+T := [$l, Snap, $r];
+U := [$l, Fwd, $r];
+T $t;
+pattern := (S -> $t) /\\ ($t -> U);
+"""
+
+
+class TestFallback:
+    def test_no_stats_selects_legacy_order(self):
+        pattern = compiled(SKEWED)
+        plan = plan_order(pattern, 2, None)
+        assert not plan.cost_based
+        assert plan.order == pattern.evaluation_order(2)
+
+    def test_empty_stats_select_legacy_order(self):
+        pattern = compiled(SKEWED)
+        stats = {i: LeafStats(size=0) for i in range(3)}
+        plan = plan_order(pattern, 2, stats)
+        assert not plan.cost_based
+        assert plan.order == pattern.evaluation_order(2)
+
+
+class TestCostBasedOrder:
+    def test_rare_leaf_ordered_before_huge_leaf(self):
+        # the static heuristic ranks the doubly-exact Move class right
+        # after the trigger; live sizes flip that to Pickup-first
+        pattern = compiled(SKEWED)
+        assert pattern.evaluation_order(2) == (2, 1, 0)
+        stats = {0: LeafStats(30), 1: LeafStats(5000), 2: LeafStats(30)}
+        plan = plan_order(pattern, 2, stats)
+        assert plan.cost_based
+        assert plan.order == (2, 0, 1)
+
+    def test_trigger_is_always_level_one(self):
+        pattern = compiled(SKEWED)
+        stats = {0: LeafStats(10), 1: LeafStats(10), 2: LeafStats(10)}
+        for trigger in range(3):
+            assert plan_order(pattern, trigger, stats).order[0] == trigger
+
+    def test_order_is_a_permutation(self):
+        pattern = compiled(VARS)
+        stats = {0: LeafStats(7), 1: LeafStats(900), 2: LeafStats(40)}
+        plan = plan_order(pattern, 2, stats)
+        assert sorted(plan.order) == [0, 1, 2]
+
+    def test_bound_attr_vars_discount_estimate(self):
+        # T shares $l and $r with the prefix: its effective estimate is
+        # size × 0.01, cheaper than an unshared leaf of equal size
+        pattern = compiled(VARS)
+        stats = {0: LeafStats(500), 1: LeafStats(500), 2: LeafStats(500)}
+        plan = plan_order(pattern, 2, stats)
+        step = next(s for s in plan.steps if s.leaf_id == 1)
+        assert "$l" in step.reason and "$r" in step.reason
+
+    def test_deterministic_tie_break(self):
+        pattern = compiled(CHAIN)
+        stats = {0: LeafStats(10), 1: LeafStats(10)}
+        assert plan_order(pattern, 1, stats).order == (1, 0)
+
+
+class TestExplain:
+    def test_explain_mentions_every_leaf(self):
+        pattern = compiled(SKEWED)
+        stats = {0: LeafStats(3), 1: LeafStats(100), 2: LeafStats(3)}
+        text = plan_order(pattern, 2, stats).explain()
+        assert "cost-based" in text
+        for leaf in pattern.leaves:
+            assert leaf.label in text
+
+    def test_legacy_explain_says_so(self):
+        pattern = compiled(CHAIN)
+        assert "legacy heuristic" in plan_order(pattern, 1, None).explain()
+
+
+class TestMatcherIntegration:
+    def test_legacy_patterns_never_use_cost_based_order(self):
+        # output-compatibility guard: no v2 operator -> legacy order,
+        # even with the planner enabled and live statistics available
+        monitor = Monitor.from_source(CHAIN, NAMES)
+        w = Weaver(3)
+        for _ in range(5):
+            w.local(0, "A")
+        w.local(1, "B")
+        for e in w.events:
+            monitor.on_event(e)
+        matcher = monitor.matcher
+        assert not matcher.pattern.has_v2_features
+        plan = matcher.current_plan(1)
+        assert not plan.cost_based
+        assert matcher.plans_computed == 0
+
+    def test_v2_pattern_uses_cost_based_order(self):
+        monitor = Monitor.from_source(SKEWED, NAMES)
+        w = Weaver(3)
+        w.local(0, "Pickup")
+        for _ in range(6):
+            w.local(0, "Move", "hot")
+        w.local(0, "Drop")
+        for e in w.events:
+            monitor.on_event(e)
+        matcher = monitor.matcher
+        assert matcher.current_plan(2).cost_based
+        assert matcher.plans_computed >= 1
+
+    def test_planner_disabled_by_config(self):
+        monitor = Monitor.from_source(
+            SKEWED, NAMES, config=MatcherConfig(planner=False)
+        )
+        w = Weaver(3)
+        w.local(0, "Pickup")
+        w.local(0, "Move", "hot")
+        w.local(0, "Drop")
+        for e in w.events:
+            monitor.on_event(e)
+        assert not monitor.matcher.current_plan(2).cost_based
+        assert monitor.matcher.plans_computed == 0
+
+    def test_plan_cache_refreshes_on_interval(self):
+        monitor = Monitor.from_source(
+            SKEWED, NAMES, config=MatcherConfig(plan_refresh_interval=2)
+        )
+        w = Weaver(3)
+        w.local(0, "Pickup")
+        w.local(0, "Move", "hot")
+        for _ in range(4):
+            w.local(0, "Drop")
+        for e in w.events:
+            monitor.on_event(e)
+        # four Drop triggers across different refresh stamps recompute
+        # the plan more than once, but not once per search forever
+        assert 2 <= monitor.matcher.plans_computed <= 4
